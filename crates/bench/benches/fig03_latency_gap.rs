@@ -1,0 +1,34 @@
+//! Figure 3: NPB execution time on NVM-only main memory with various
+//! latency (2x, 4x, 8x DRAM), normalized to DRAM-only.
+
+use unimem::exec::Policy;
+use unimem_bench::{emulation_setup, normalized, print_table, Cell, Row};
+use unimem_hms::MachineConfig;
+use unimem_workloads::all_npb;
+
+fn main() {
+    let (class, nranks) = emulation_setup();
+    let multiples = [2.0, 4.0, 8.0];
+    let mut rows = Vec::new();
+    for w in all_npb(class) {
+        let cells = multiples
+            .iter()
+            .map(|&x| {
+                let m = MachineConfig::nvm_lat_multiple(x);
+                Cell {
+                    label: format!("{}x lat", x),
+                    value: normalized(w.as_ref(), &m, nranks, &Policy::NvmOnly),
+                }
+            })
+            .collect();
+        rows.push(Row {
+            name: w.name(),
+            cells,
+        });
+    }
+    print_table(
+        "Figure 3 — NVM-only slowdown vs. latency (normalized to DRAM-only)",
+        "paper: LU 2.14x at 2x latency; latency-sensitive codes (CG) degrade fastest",
+        &rows,
+    );
+}

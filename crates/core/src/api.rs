@@ -1,0 +1,222 @@
+//! The programmer-facing API of Table 2, over real memory.
+//!
+//! | API | Functionality |
+//! |---|---|
+//! | `unimem_init` | initialize counters, timers, helper thread |
+//! | `unimem_start` | identify the beginning of the main computation loop |
+//! | `unimem_end` | identify the end of the main computation loop |
+//! | `unimem_malloc` | identify and allocate target data objects |
+//! | `unimem_free` | free target data objects |
+//!
+//! This is the *real-memory* embodiment used by the runnable examples and
+//! wall-clock benches: objects live in the two accounted pools of
+//! `unimem-hms`, migration goes through the real helper thread and its
+//! FIFO queue, and pointer fix-up is the handle swap under the object's
+//! lock. Hardware miss sampling is not available to a plain user-space
+//! process, so this mode counts accesses in software (the workload reports
+//! touches); the full sampling→model→knapsack pipeline is exercised by the
+//! simulation driver in [`crate::exec`].
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use unimem_hms::pools::{HelperThread, RealHms, RealObject, Ticket};
+use unimem_hms::tier::TierKind;
+use unimem_sim::Bytes;
+
+/// Real-mode Unimem runtime handle (Table 2's API).
+pub struct Unimem {
+    hms: RealHms,
+    helper: HelperThread,
+    objects: Mutex<HashMap<String, Arc<RealObject>>>,
+    touches: Mutex<HashMap<String, u64>>,
+    pending: Mutex<Vec<Ticket>>,
+    in_loop: Mutex<bool>,
+    migrations: Mutex<u64>,
+}
+
+impl Unimem {
+    /// `unimem_init`: set up pools, counters and the helper thread.
+    pub fn init(dram_capacity: Bytes) -> Unimem {
+        Unimem {
+            hms: RealHms::new(dram_capacity),
+            helper: HelperThread::spawn(),
+            objects: Mutex::new(HashMap::new()),
+            touches: Mutex::new(HashMap::new()),
+            pending: Mutex::new(Vec::new()),
+            in_loop: Mutex::new(false),
+            migrations: Mutex::new(0),
+        }
+    }
+
+    /// `unimem_malloc`: register and allocate a target data object. All
+    /// objects start in NVM (the paper's default initial placement).
+    pub fn malloc(&self, name: &str, len: Bytes) -> Arc<RealObject> {
+        let obj = self
+            .hms
+            .alloc(name, len, TierKind::Nvm)
+            .expect("NVM pool is unbounded");
+        self.objects.lock().insert(name.to_string(), Arc::clone(&obj));
+        self.touches.lock().insert(name.to_string(), 0);
+        obj
+    }
+
+    /// `unimem_free`: drop a target data object.
+    pub fn free(&self, name: &str) {
+        self.objects.lock().remove(name);
+        self.touches.lock().remove(name);
+    }
+
+    /// `unimem_start`: the main computation loop begins.
+    pub fn start(&self) {
+        *self.in_loop.lock() = true;
+    }
+
+    /// Software access accounting (stands in for the hardware counters the
+    /// simulation path models; see module docs).
+    pub fn record_access(&self, name: &str, count: u64) {
+        if let Some(t) = self.touches.lock().get_mut(name) {
+            *t += count;
+        }
+    }
+
+    /// End of one loop iteration: after the first iteration, decide the
+    /// placement — hottest objects per byte into DRAM, greedily within
+    /// capacity — and enqueue the moves on the helper thread (proactive,
+    /// overlapping the next iteration's work).
+    pub fn end_iteration(&self) {
+        let objects = self.objects.lock();
+        let touches = self.touches.lock();
+        let mut ranked: Vec<(&String, f64)> = touches
+            .iter()
+            .filter_map(|(n, &t)| {
+                objects.get(n).map(|o| (n, t as f64 / o.len().max(1) as f64))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("densities finite"));
+
+        let cap = self.hms.accounts().dram_capacity().get();
+        let mut planned = self.hms.accounts().dram_used().get();
+        let mut pending = self.pending.lock();
+        for (name, density) in ranked {
+            // Below one touch per byte the movement cannot pay off.
+            if density < 1.0 {
+                break;
+            }
+            let obj = &objects[name];
+            let len = obj.len() as u64;
+            if obj.tier() == TierKind::Dram || planned + len > cap {
+                continue;
+            }
+            planned += len;
+            pending.push(self.helper.migrate(Arc::clone(obj), TierKind::Dram));
+            *self.migrations.lock() += 1;
+        }
+    }
+
+    /// Block until all enqueued migrations finished (the per-phase queue
+    /// check of §3.3, collapsed to one call in real mode).
+    pub fn quiesce(&self) -> usize {
+        let mut pending = self.pending.lock();
+        let n = pending.len();
+        for t in pending.drain(..) {
+            t.wait();
+        }
+        n
+    }
+
+    /// `unimem_end`: the loop finished; returns (migrations, DRAM bytes).
+    pub fn end(&self) -> (u64, Bytes) {
+        *self.in_loop.lock() = false;
+        self.quiesce();
+        (*self.migrations.lock(), self.hms.accounts().dram_used())
+    }
+
+    pub fn dram_used(&self) -> Bytes {
+        self.hms.accounts().dram_used()
+    }
+
+    pub fn tier_of(&self, name: &str) -> Option<TierKind> {
+        self.objects.lock().get(name).map(|o| o.tier())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malloc_starts_in_nvm() {
+        let rt = Unimem::init(Bytes::mib(1));
+        let a = rt.malloc("a", Bytes::kib(64));
+        assert_eq!(a.tier(), TierKind::Nvm);
+        assert_eq!(rt.tier_of("a"), Some(TierKind::Nvm));
+    }
+
+    #[test]
+    fn hottest_object_moves_to_dram() {
+        let rt = Unimem::init(Bytes::kib(128));
+        let _a = rt.malloc("hot", Bytes::kib(64));
+        let _b = rt.malloc("cold", Bytes::kib(64));
+        let _c = rt.malloc("big", Bytes::kib(128));
+        rt.start();
+        rt.record_access("hot", 1_000_000);
+        rt.record_access("cold", 10);
+        rt.record_access("big", 500_000); // dense too, but hot fills first
+        rt.end_iteration();
+        rt.quiesce();
+        assert_eq!(rt.tier_of("hot"), Some(TierKind::Dram));
+        assert_eq!(rt.tier_of("cold"), Some(TierKind::Nvm));
+        // hot (64K) leaves 64K free: big (128K) cannot fit.
+        assert_eq!(rt.tier_of("big"), Some(TierKind::Nvm));
+    }
+
+    #[test]
+    fn capacity_respected_across_iterations() {
+        let rt = Unimem::init(Bytes::kib(100));
+        for i in 0..5 {
+            let name = format!("o{i}");
+            rt.malloc(&name, Bytes::kib(40));
+            // Density above 1 touch/byte, decreasing with i.
+            rt.record_access(&name, 10 * 40 * 1024 - i);
+        }
+        rt.start();
+        rt.end_iteration();
+        let (migs, used) = rt.end();
+        assert_eq!(migs, 2, "two 40K objects fit in 100K");
+        assert_eq!(used, Bytes::kib(80));
+    }
+
+    #[test]
+    fn untouched_objects_stay_put() {
+        let rt = Unimem::init(Bytes::mib(1));
+        rt.malloc("idle", Bytes::kib(4));
+        rt.start();
+        rt.end_iteration();
+        let (migs, _) = rt.end();
+        assert_eq!(migs, 0);
+    }
+
+    #[test]
+    fn free_removes_object() {
+        let rt = Unimem::init(Bytes::mib(1));
+        rt.malloc("a", Bytes::kib(4));
+        rt.free("a");
+        assert_eq!(rt.tier_of("a"), None);
+    }
+
+    #[test]
+    fn data_survives_migration() {
+        let rt = Unimem::init(Bytes::mib(1));
+        let a = rt.malloc("a", Bytes::kib(16));
+        a.with_write(|b| b.iter_mut().enumerate().for_each(|(i, x)| *x = (i % 251) as u8));
+        rt.record_access("a", 100_000);
+        rt.start();
+        rt.end_iteration();
+        rt.quiesce();
+        assert_eq!(a.tier(), TierKind::Dram);
+        a.with_read(|b| {
+            assert!(b.iter().enumerate().all(|(i, &x)| x == (i % 251) as u8));
+        });
+    }
+}

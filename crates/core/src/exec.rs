@@ -1,0 +1,716 @@
+//! The execution driver: runs a [`Workload`] under a placement [`Policy`]
+//! on a machine model and reports virtual times plus runtime statistics.
+//!
+//! A workload is a *phase script*: per rank and iteration, a sequence of
+//! steps — computation (with per-object access descriptors at class scale)
+//! or communication. The driver replays the script on the mini-MPI
+//! substrate, computing ground-truth phase times from the cache model and
+//! tier parameters under the *current* placement, while the Unimem runtime
+//! (when enabled) watches through the sampling profiler and manages
+//! placement exactly as §3.1 prescribes: profile the first iteration,
+//! decide at its end, enforce thereafter, re-profile on variation.
+//!
+//! Every figure in the paper is a ratio of the run times this driver
+//! produces under different policies and machine configurations.
+
+use crate::adapt::VariationMonitor;
+use crate::deps::PhaseRefTable;
+use crate::enforce::Enforcer;
+use crate::initial::initial_placement;
+use crate::model::ModelParams;
+use crate::partition::{partition_large_objects, PartitionPolicy};
+use crate::profile::{IterationProfile, PhaseRecord};
+use crate::search::{best_plan, SearchInput, SearchKind};
+use crate::stats::RunStats;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use unimem_cache::{CacheModel, ObjAccess};
+use unimem_hms::object::{ObjectRegistry, ObjectSpec, UnitId};
+use unimem_hms::tier::TierKind;
+use unimem_hms::{DramService, MachineConfig, MigrationEngine};
+use unimem_mpi::{CommWorld, NetParams, PhaseId, PhaseTracker, RankCtx};
+use unimem_perf::sampler::GroundTruth;
+use unimem_perf::{calibrate, Sampler, SamplerConfig};
+use unimem_sim::{Bytes, VDur};
+
+/// A computation phase of the script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeSpec {
+    pub label: &'static str,
+    /// Pure CPU time, independent of data placement.
+    pub cpu: VDur,
+    /// Class-scale access descriptors for the target objects it touches.
+    pub accesses: Vec<ObjAccess>,
+}
+
+/// One step of a rank's per-iteration script. Each step is one phase
+/// (computation, or a blocking communication operation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepSpec {
+    Compute(ComputeSpec),
+    Barrier,
+    AllreduceSum { bytes: Bytes },
+    Bcast { bytes: Bytes },
+    Alltoall { bytes: Bytes },
+    /// Nearest-neighbour exchange: eager sends then waits (one phase).
+    Halo { neighbors: Vec<usize>, bytes: Bytes },
+}
+
+/// A phase-structured iterative application.
+pub trait Workload: Sync {
+    fn name(&self) -> String;
+    /// Target data objects of one rank (Table 3), in registration order —
+    /// `ObjId(k)` is the k-th spec returned here.
+    fn objects(&self, rank: usize, nranks: usize) -> Vec<ObjectSpec>;
+    /// The per-iteration phase script. The *structure* (step kinds and
+    /// order) must not vary across iterations; access volumes may.
+    fn script(&self, rank: usize, nranks: usize, iter: usize) -> Vec<StepSpec>;
+    fn iterations(&self) -> usize;
+}
+
+/// Runtime configuration for the Unimem policy, with ablation toggles
+/// matching Fig. 11's four techniques.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnimemConfig {
+    pub use_global: bool,
+    pub use_local: bool,
+    pub partitioning: bool,
+    pub initial_placement: bool,
+    pub adaptation: bool,
+    pub sampler: SamplerConfig,
+    pub seed: u64,
+    /// Cost charged per placement decision (model + knapsack solve).
+    pub modeling_cost: VDur,
+    /// Cost charged per phase boundary (helper-queue status check).
+    pub sync_cost: VDur,
+    pub partition_policy: PartitionPolicy,
+}
+
+impl Default for UnimemConfig {
+    fn default() -> UnimemConfig {
+        UnimemConfig {
+            use_global: true,
+            use_local: true,
+            partitioning: true,
+            initial_placement: true,
+            adaptation: true,
+            sampler: SamplerConfig::default(),
+            seed: 0x5eed,
+            modeling_cost: VDur::from_micros(120.0),
+            sync_cost: VDur::from_nanos(250.0),
+            partition_policy: PartitionPolicy::default(),
+        }
+    }
+}
+
+impl UnimemConfig {
+    /// Fig. 11 ablation rungs: 1 = global only, 2 = +local, 3 =
+    /// +partitioning, 4 = +initial placement (full system sans adaptation
+    /// toggles, which stay on).
+    pub fn ablation(rung: u8) -> UnimemConfig {
+        UnimemConfig {
+            use_global: rung >= 1,
+            use_local: rung >= 2,
+            partitioning: rung >= 3,
+            initial_placement: rung >= 4,
+            ..UnimemConfig::default()
+        }
+    }
+}
+
+/// Placement policy for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// Unlimited DRAM (the paper's DRAM-only baseline machine).
+    DramOnly,
+    /// Everything in NVM.
+    NvmOnly,
+    /// Named objects pinned in DRAM for the whole run (Fig. 4 and the
+    /// X-Mem baseline feed this).
+    Static { in_dram: Vec<String>, label: String },
+    Unimem(UnimemConfig),
+}
+
+impl Policy {
+    pub fn label(&self) -> String {
+        match self {
+            Policy::DramOnly => "DRAM-only".into(),
+            Policy::NvmOnly => "NVM-only".into(),
+            Policy::Static { label, .. } => label.clone(),
+            Policy::Unimem(_) => "Unimem".into(),
+        }
+    }
+
+    pub fn unimem() -> Policy {
+        Policy::Unimem(UnimemConfig::default())
+    }
+}
+
+/// Result of one job run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub workload: String,
+    pub policy: String,
+    pub per_rank: Vec<RunStats>,
+    /// Job-level merge: max times, summed counters.
+    pub job: RunStats,
+    /// Which search won (rank 0's decision), for Unimem runs.
+    pub plan_kind: Option<SearchKind>,
+}
+
+impl RunReport {
+    /// Job completion time (slowest rank).
+    pub fn time(&self) -> VDur {
+        self.job.total_time
+    }
+}
+
+/// Per-rank placement state.
+enum RankPolicy {
+    /// Fixed tier assignment: units in the set are in DRAM; `all_dram`
+    /// short-circuits for the DRAM-only machine.
+    Fixed {
+        in_dram: BTreeSet<UnitId>,
+        all_dram: bool,
+    },
+    Unimem(Box<UnimemState>),
+}
+
+struct UnimemState {
+    cfg: UnimemConfig,
+    model: ModelParams,
+    sampler: Sampler,
+    engine: MigrationEngine,
+    monitor: Option<VariationMonitor>,
+    profile: IterationProfile,
+    refs: Option<PhaseRefTable>,
+    enforcer: Option<Enforcer>,
+    /// Pre-plan DRAM contents (initial placement) and their grants.
+    committed: BTreeSet<UnitId>,
+    grants: HashMap<UnitId, unimem_hms::alloc::Region>,
+    profiling: bool,
+    cap_per_rank: Bytes,
+}
+
+impl UnimemState {
+    fn dram_units(&self) -> &BTreeSet<UnitId> {
+        self.enforcer
+            .as_ref()
+            .map(|e| e.committed())
+            .unwrap_or(&self.committed)
+    }
+}
+
+/// Run `workload` on `nranks` ranks of the machine under `policy`.
+pub fn run_workload(
+    workload: &dyn Workload,
+    machine: &MachineConfig,
+    cache: &CacheModel,
+    nranks: usize,
+    policy: &Policy,
+) -> RunReport {
+    let service = DramService::new(nranks, machine.ranks_per_node, machine.dram_capacity);
+    let cap_per_rank = Bytes(machine.dram_capacity.get() / machine.ranks_per_node as u64);
+    // Offline calibration happens once per platform, outside the job.
+    let cal = match policy {
+        Policy::Unimem(cfg) => Some(calibrate(machine, cache, cfg.sampler, cfg.seed)),
+        _ => None,
+    };
+
+    let outcomes = CommWorld::run(nranks, NetParams::default(), |ctx| {
+        run_rank(
+            ctx,
+            workload,
+            machine,
+            cache,
+            policy,
+            &service,
+            cap_per_rank,
+            cal,
+        )
+    });
+
+    let mut job = RunStats::default();
+    let mut plan_kind = None;
+    let mut per_rank = Vec::with_capacity(nranks);
+    for (stats, kind) in outcomes {
+        job.merge_job(&stats);
+        if plan_kind.is_none() {
+            plan_kind = kind;
+        }
+        per_rank.push(stats);
+    }
+    RunReport {
+        workload: workload.name(),
+        policy: policy.label(),
+        per_rank,
+        job,
+        plan_kind,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_rank(
+    ctx: &mut RankCtx,
+    workload: &dyn Workload,
+    machine: &MachineConfig,
+    cache: &CacheModel,
+    policy: &Policy,
+    service: &DramService,
+    cap_per_rank: Bytes,
+    cal: Option<unimem_perf::Calibration>,
+) -> (RunStats, Option<SearchKind>) {
+    let rank = ctx.rank();
+    let nranks = ctx.nranks();
+
+    // Register target data objects (unimem_malloc).
+    let mut registry = ObjectRegistry::new();
+    for spec in workload.objects(rank, nranks) {
+        registry.register(spec);
+    }
+
+    // Set up the placement policy.
+    let mut rp = match policy {
+        Policy::DramOnly => RankPolicy::Fixed {
+            in_dram: BTreeSet::new(),
+            all_dram: true,
+        },
+        Policy::NvmOnly => RankPolicy::Fixed {
+            in_dram: BTreeSet::new(),
+            all_dram: false,
+        },
+        Policy::Static { in_dram, .. } => {
+            let set = in_dram
+                .iter()
+                .filter_map(|name| registry.lookup(name))
+                .flat_map(|id| registry.get(id).units().collect::<Vec<_>>())
+                .collect();
+            RankPolicy::Fixed {
+                in_dram: set,
+                all_dram: false,
+            }
+        }
+        Policy::Unimem(cfg) => {
+            if cfg.partitioning {
+                partition_large_objects(&mut registry, cap_per_rank, cfg.partition_policy);
+            }
+            let model = ModelParams::new(
+                machine.dram,
+                machine.nvm,
+                machine.copy_bw,
+                cal.expect("calibration computed for Unimem runs"),
+            );
+            let mut committed = BTreeSet::new();
+            let mut grants = HashMap::new();
+            if cfg.initial_placement {
+                for u in initial_placement(&registry, cap_per_rank) {
+                    if let Some(g) = service.reserve(rank, registry.unit_size(u)) {
+                        committed.insert(u);
+                        grants.insert(u, g);
+                    }
+                }
+            }
+            RankPolicy::Unimem(Box::new(UnimemState {
+                sampler: Sampler::new(cfg.sampler, cfg.seed ^ (rank as u64).wrapping_mul(0x9e3779b9)),
+                engine: MigrationEngine::new(machine.copy_bw),
+                monitor: None,
+                profile: IterationProfile::new(),
+                refs: None,
+                enforcer: None,
+                committed,
+                grants,
+                profiling: true,
+                cap_per_rank,
+                model,
+                cfg: cfg.clone(),
+            }))
+        }
+    };
+
+    let mut tracker = PhaseTracker::new();
+    let mut stats = RunStats::default();
+    let iterations = workload.iterations();
+
+    for it in 0..iterations {
+        tracker.begin_iteration();
+        let steps = workload.script(rank, nranks, it);
+
+        // Build the reference table from the first iteration's structure
+        // (the directive-declared dependency information of §3.3).
+        if let RankPolicy::Unimem(st) = &mut rp {
+            if st.refs.is_none() {
+                st.refs = Some(build_refs(&steps, &registry));
+            }
+        }
+
+        for (step_idx, step) in steps.iter().enumerate() {
+            let phase = tracker.next_phase();
+
+            // Phase boundary: enforcement + queue sync.
+            if let RankPolicy::Unimem(st) = &mut rp {
+                if let (Some(enf), Some(refs)) = (st.enforcer.as_mut(), st.refs.as_ref()) {
+                    let phase_est = st
+                        .profile
+                        .get(phase)
+                        .map(|r| r.time)
+                        .unwrap_or(VDur::ZERO);
+                    let cost = enf.phase_begin(
+                        phase, ctx.now(), phase_est, refs, &registry, &mut st.engine, service,
+                    );
+                    ctx.advance(cost.sync + cost.stall);
+                    stats.sync_overhead += cost.sync;
+                    stats.migration_stall += cost.stall;
+                }
+            }
+
+            match step {
+                StepSpec::Compute(spec) => {
+                    let dram_units: &BTreeSet<UnitId> = match &rp {
+                        RankPolicy::Fixed { in_dram, .. } => in_dram,
+                        RankPolicy::Unimem(st) => st.dram_units(),
+                    };
+                    let all_dram = matches!(
+                        &rp,
+                        RankPolicy::Fixed { all_dram: true, .. }
+                    );
+                    let (phase_time, truths) = ground_truth(
+                        spec, &registry, dram_units, all_dram, cache, machine,
+                    );
+                    ctx.advance(phase_time);
+                    stats.app_time += phase_time;
+
+                    if let RankPolicy::Unimem(st) = &mut rp {
+                        if st.profiling {
+                            let prof = st.sampler.sample_phase(phase_time, &truths);
+                            ctx.advance(prof.overhead);
+                            stats.profiling_overhead += prof.overhead;
+                            let mut rec = PhaseRecord::from_profile(&prof);
+                            rec.time = phase_time;
+                            st.profile.insert(phase, rec);
+                        }
+                        if !st.profiling {
+                            if let Some(mon) = &mut st.monitor {
+                                if mon.observe(phase, phase_time) && st.cfg.adaptation {
+                                    st.profiling = true;
+                                    stats.reprofiles += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                comm => {
+                    let t0 = ctx.now();
+                    run_comm(ctx, comm, it, step_idx);
+                    let dt = ctx.now() - t0;
+                    stats.app_time += dt;
+                    if let RankPolicy::Unimem(st) = &mut rp {
+                        if st.profiling {
+                            st.profile.insert(
+                                phase,
+                                PhaseRecord {
+                                    units: Vec::new(),
+                                    windows: st.sampler.windows_in(dt),
+                                    time: dt,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // End of a profiled iteration: build models, decide, enforce.
+        if let RankPolicy::Unimem(st) = &mut rp {
+            if st.profiling && st.profile.len() == steps.len() {
+                ctx.advance(st.cfg.modeling_cost);
+                stats.modeling_overhead += st.cfg.modeling_cost;
+                let refs = st.refs.as_ref().expect("refs built in first iteration");
+                let (committed, grants) = match st.enforcer.take() {
+                    Some(e) => e.into_state(),
+                    None => (
+                        std::mem::take(&mut st.committed),
+                        std::mem::take(&mut st.grants),
+                    ),
+                };
+                let input = SearchInput {
+                    registry: &registry,
+                    profile: &st.profile,
+                    refs,
+                    model: &st.model,
+                    capacity: st.cap_per_rank,
+                    profiled_dram: &committed,
+                    remaining_iters: (iterations - it).max(1) as u64,
+                };
+                let plan = best_plan(&input, st.cfg.use_global, st.cfg.use_local);
+                let mut enf = Enforcer::new(
+                    plan,
+                    refs,
+                    &registry,
+                    st.cap_per_rank,
+                    committed,
+                    grants,
+                    rank,
+                    st.cfg.sync_cost,
+                );
+                enf.enter_plan(ctx.now(), refs, &registry, &mut st.engine, service);
+                st.enforcer = Some(enf);
+                // Fresh baseline: the new placement legitimately changes
+                // phase times; the monitor must not mistake that for
+                // workload variation.
+                st.monitor = Some(VariationMonitor::paper_default(steps.len()));
+                st.profiling = false;
+            }
+        }
+    }
+
+    stats.total_time = ctx.now() - unimem_sim::VTime::ZERO;
+    stats.iterations = iterations as u64;
+    let plan_kind = match &rp {
+        RankPolicy::Unimem(st) => {
+            stats.migrations = st.engine.stats();
+            st.enforcer.as_ref().map(|e| e.plan().kind)
+        }
+        _ => None,
+    };
+    (stats, plan_kind)
+}
+
+/// Compute ground-truth phase time and per-unit sampler inputs for a
+/// compute step under the current placement.
+fn ground_truth(
+    spec: &ComputeSpec,
+    registry: &ObjectRegistry,
+    dram_units: &BTreeSet<UnitId>,
+    all_dram: bool,
+    cache: &CacheModel,
+    machine: &MachineConfig,
+) -> (VDur, Vec<GroundTruth>) {
+    let phase_total: Bytes = spec.accesses.iter().map(|a| a.touched).sum();
+    // A phase may carry several descriptors for the same object (e.g. a
+    // streaming factor pass plus a dependent back-substitution); traffic
+    // merges per placement unit for the sampler.
+    let mut truths: Vec<GroundTruth> = Vec::new();
+    let mut mem_time = VDur::ZERO;
+    for acc in &spec.accesses {
+        let obj = registry.get(acc.obj);
+        let chunks = obj.chunks;
+        let frac = 1.0 / f64::from(chunks);
+        for unit in obj.units() {
+            let a = if chunks == 1 {
+                *acc
+            } else {
+                acc.scaled(frac)
+            };
+            let est = cache.misses(&a, phase_total);
+            if est.misses == 0 {
+                continue;
+            }
+            let tier = if all_dram || dram_units.contains(&unit) {
+                TierKind::Dram
+            } else {
+                TierKind::Nvm
+            };
+            let t = machine.tier(tier).access_time(
+                est.misses,
+                est.miss_bytes,
+                a.pattern.mlp(),
+                a.mix,
+            );
+            mem_time += t;
+            match truths.iter_mut().find(|g| g.unit == unit) {
+                Some(g) => {
+                    g.misses += est.misses;
+                    g.miss_bytes += est.miss_bytes;
+                    g.mem_time += t;
+                }
+                None => truths.push(GroundTruth {
+                    unit,
+                    misses: est.misses,
+                    miss_bytes: est.miss_bytes,
+                    mem_time: t,
+                }),
+            }
+        }
+    }
+    (spec.cpu + mem_time, truths)
+}
+
+/// Execute a communication step (one phase).
+fn run_comm(ctx: &mut RankCtx, step: &StepSpec, iter: usize, step_idx: usize) {
+    match step {
+        StepSpec::Barrier => ctx.barrier(),
+        StepSpec::AllreduceSum { bytes } => ctx.allreduce_modeled(*bytes),
+        StepSpec::Bcast { bytes } => ctx.bcast_modeled(*bytes),
+        StepSpec::Alltoall { bytes } => ctx.alltoall_modeled(*bytes),
+        StepSpec::Halo { neighbors, bytes } => {
+            let tag_base = (iter as u64) << 20 | (step_idx as u64) << 8;
+            let mut reqs = Vec::with_capacity(neighbors.len());
+            for &n in neighbors {
+                ctx.isend(n, tag_base | 1, *bytes, &[]);
+                reqs.push(ctx.irecv(n, tag_base | 1));
+            }
+            for r in reqs {
+                ctx.wait(r);
+            }
+        }
+        StepSpec::Compute(_) => unreachable!("compute handled by caller"),
+    }
+}
+
+/// Reference table from the script: a phase references the units of every
+/// object its descriptors touch. Communication phases reference nothing
+/// (packing traffic lives in the adjacent compute descriptors).
+fn build_refs(steps: &[StepSpec], registry: &ObjectRegistry) -> PhaseRefTable {
+    let mut refs = PhaseRefTable::new(steps.len());
+    for (i, step) in steps.iter().enumerate() {
+        if let StepSpec::Compute(spec) = step {
+            for acc in &spec.accesses {
+                for unit in registry.get(acc.obj).units() {
+                    refs.add_ref(PhaseId(i as u32), unit);
+                }
+            }
+        }
+    }
+    refs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unimem_cache::AccessPattern;
+    use unimem_hms::object::ObjId;
+
+    /// Two-object synthetic workload: a streaming-hot `hot` and a cold
+    /// `cold`, two compute phases and an allreduce per iteration.
+    struct Synth {
+        iters: usize,
+    }
+
+    impl Workload for Synth {
+        fn name(&self) -> String {
+            "synth".into()
+        }
+
+        fn objects(&self, _rank: usize, _nranks: usize) -> Vec<ObjectSpec> {
+            vec![
+                ObjectSpec::new("hot", Bytes::mib(100)).est_refs(1e9),
+                ObjectSpec::new("cold", Bytes::mib(100)).est_refs(1e6),
+            ]
+        }
+
+        fn script(&self, _rank: usize, _nranks: usize, _iter: usize) -> Vec<StepSpec> {
+            vec![
+                StepSpec::Compute(ComputeSpec {
+                    label: "sweep",
+                    cpu: VDur::from_millis(5.0),
+                    accesses: vec![
+                        ObjAccess::new(
+                            ObjId(0),
+                            40_000_000,
+                            Bytes::mib(100),
+                            AccessPattern::Streaming { stride: Bytes(8) },
+                        ),
+                        ObjAccess::new(
+                            ObjId(1),
+                            400_000,
+                            Bytes::mib(100),
+                            AccessPattern::Random,
+                        ),
+                    ],
+                }),
+                StepSpec::AllreduceSum { bytes: Bytes(64) },
+            ]
+        }
+
+        fn iterations(&self) -> usize {
+            self.iters
+        }
+    }
+
+    fn machine() -> MachineConfig {
+        MachineConfig::nvm_bw_fraction(0.5)
+    }
+
+    #[test]
+    fn dram_only_faster_than_nvm_only() {
+        let w = Synth { iters: 4 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let dram = run_workload(&w, &m, &c, 2, &Policy::DramOnly);
+        let nvm = run_workload(&w, &m, &c, 2, &Policy::NvmOnly);
+        assert!(
+            nvm.time().secs() > dram.time().secs() * 1.2,
+            "dram={} nvm={}",
+            dram.time(),
+            nvm.time()
+        );
+    }
+
+    #[test]
+    fn unimem_lands_between_and_close_to_dram() {
+        let w = Synth { iters: 10 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let dram = run_workload(&w, &m, &c, 2, &Policy::DramOnly).time();
+        let nvm = run_workload(&w, &m, &c, 2, &Policy::NvmOnly).time();
+        let uni = run_workload(&w, &m, &c, 2, &Policy::unimem()).time();
+        assert!(uni.secs() <= nvm.secs() * 1.01, "uni={uni} nvm={nvm}");
+        assert!(uni.secs() >= dram.secs() * 0.99, "uni={uni} dram={dram}");
+        // The hot object dominates; Unimem should close most of the gap.
+        let gap_closed = (nvm.secs() - uni.secs()) / (nvm.secs() - dram.secs());
+        assert!(gap_closed > 0.5, "gap closed only {gap_closed:.2}");
+    }
+
+    #[test]
+    fn static_pin_of_hot_object_helps() {
+        let w = Synth { iters: 4 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let nvm = run_workload(&w, &m, &c, 1, &Policy::NvmOnly).time();
+        let pinned = run_workload(
+            &w,
+            &m,
+            &c,
+            1,
+            &Policy::Static {
+                in_dram: vec!["hot".into()],
+                label: "pin hot".into(),
+            },
+        )
+        .time();
+        assert!(pinned.secs() < nvm.secs());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = Synth { iters: 5 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let a = run_workload(&w, &m, &c, 4, &Policy::unimem());
+        let b = run_workload(&w, &m, &c, 4, &Policy::unimem());
+        assert_eq!(a.time().secs(), b.time().secs());
+        assert_eq!(a.job.migrations, b.job.migrations);
+    }
+
+    #[test]
+    fn unimem_reports_stats() {
+        let w = Synth { iters: 6 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let rep = run_workload(&w, &m, &c, 1, &Policy::unimem());
+        assert!(rep.plan_kind.is_some());
+        assert!(rep.job.pure_runtime_cost() < 0.05, "cost={}", rep.job.pure_runtime_cost());
+        assert_eq!(rep.job.iterations, 6);
+        // Initial placement put `hot` in DRAM already (est_refs), so few
+        // migrations are expected — but profiling must have happened.
+        assert!(rep.job.profiling_overhead > VDur::ZERO);
+    }
+
+    #[test]
+    fn ablation_rungs_monotonically_enable() {
+        let c0 = UnimemConfig::ablation(1);
+        assert!(c0.use_global && !c0.use_local && !c0.partitioning && !c0.initial_placement);
+        let c3 = UnimemConfig::ablation(4);
+        assert!(c3.use_global && c3.use_local && c3.partitioning && c3.initial_placement);
+    }
+}

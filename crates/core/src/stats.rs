@@ -1,0 +1,115 @@
+//! Run statistics: everything Table 4 and the harness summaries report.
+
+use serde::{Deserialize, Serialize};
+use unimem_hms::MigrationStats;
+use unimem_sim::{Bytes, VDur};
+
+/// Statistics of one rank's run under one policy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total virtual execution time of the rank.
+    pub total_time: VDur,
+    /// Time spent in application phases (compute + comm), excluding
+    /// runtime-induced costs.
+    pub app_time: VDur,
+    /// Profiling overhead (sampler windows).
+    pub profiling_overhead: VDur,
+    /// Modeling + knapsack decision cost.
+    pub modeling_overhead: VDur,
+    /// Helper-thread queue synchronization cost at phase boundaries.
+    pub sync_overhead: VDur,
+    /// Stall time waiting for in-flight migrations (exposed movement cost).
+    pub migration_stall: VDur,
+    /// Migration engine counters.
+    pub migrations: MigrationStats,
+    /// Times the variation monitor re-triggered profiling.
+    pub reprofiles: u64,
+    /// Iterations executed.
+    pub iterations: u64,
+}
+
+impl RunStats {
+    /// Table 4's "pure runtime cost": counters + modeling + sync, as a
+    /// fraction of total time. Excludes data movement cost and benefit.
+    pub fn pure_runtime_cost(&self) -> f64 {
+        if self.total_time.is_zero() {
+            return 0.0;
+        }
+        (self.profiling_overhead + self.modeling_overhead + self.sync_overhead)
+            .ratio(self.total_time)
+    }
+
+    /// Table 4's "% overlap".
+    pub fn overlap_pct(&self) -> f64 {
+        self.migrations.overlap_pct()
+    }
+
+    /// Table 4's "Times of Migration".
+    pub fn migration_count(&self) -> u64 {
+        self.migrations.count
+    }
+
+    /// Table 4's "Migrated data size".
+    pub fn migrated_bytes(&self) -> Bytes {
+        self.migrations.bytes
+    }
+
+    /// Merge a peer rank's stats (for job-wide maxima/sums the harnesses
+    /// print). Times take the max (job finishes with the slowest rank),
+    /// counters sum.
+    pub fn merge_job(&mut self, other: &RunStats) {
+        self.total_time = self.total_time.max(other.total_time);
+        self.app_time = self.app_time.max(other.app_time);
+        self.profiling_overhead = self.profiling_overhead.max(other.profiling_overhead);
+        self.modeling_overhead = self.modeling_overhead.max(other.modeling_overhead);
+        self.sync_overhead = self.sync_overhead.max(other.sync_overhead);
+        self.migration_stall = self.migration_stall.max(other.migration_stall);
+        self.migrations.merge(&other.migrations);
+        self.reprofiles += other.reprofiles;
+        self.iterations = self.iterations.max(other.iterations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_runtime_cost_fraction() {
+        let s = RunStats {
+            total_time: VDur::from_secs(10.0),
+            profiling_overhead: VDur::from_millis(100.0),
+            modeling_overhead: VDur::from_millis(50.0),
+            sync_overhead: VDur::from_millis(50.0),
+            ..RunStats::default()
+        };
+        assert!((s.pure_runtime_cost() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_guards() {
+        let s = RunStats::default();
+        assert_eq!(s.pure_runtime_cost(), 0.0);
+        assert_eq!(s.overlap_pct(), 100.0);
+    }
+
+    #[test]
+    fn job_merge_maxes_times_sums_counters() {
+        let mut a = RunStats {
+            total_time: VDur::from_secs(10.0),
+            reprofiles: 1,
+            ..RunStats::default()
+        };
+        a.migrations.count = 3;
+        let mut b = RunStats {
+            total_time: VDur::from_secs(12.0),
+            reprofiles: 2,
+            ..RunStats::default()
+        };
+        b.migrations.count = 5;
+        a.merge_job(&b);
+        assert_eq!(a.total_time, VDur::from_secs(12.0));
+        assert_eq!(a.reprofiles, 3);
+        assert_eq!(a.migrations.count, 8);
+    }
+}

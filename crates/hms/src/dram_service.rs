@@ -1,0 +1,138 @@
+//! Per-node user-level DRAM space service.
+//!
+//! "Each node runs an instance of such service. The service coordinates the
+//! DRAM allocation from multiple MPI processes on the same node" (§3.3).
+//! Ranks of the same node share one [`SpaceAllocator`] behind a mutex; the
+//! service responds to allocation requests and bounds them within the node's
+//! DRAM allowance. Requests never block — a rank that cannot get space keeps
+//! its object in NVM, exactly as the runtime's knapsack assumes.
+
+use crate::alloc::{Region, SpaceAllocator};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use unimem_sim::Bytes;
+
+/// Shared handle to the DRAM services of every node in the job.
+#[derive(Debug, Clone)]
+pub struct DramService {
+    nodes: Arc<Vec<Mutex<SpaceAllocator>>>,
+    ranks_per_node: usize,
+}
+
+impl DramService {
+    /// One allocator per node; `ranks` total MPI ranks with `ranks_per_node`
+    /// packed per node (the last node may be partially filled).
+    pub fn new(ranks: usize, ranks_per_node: usize, dram_per_node: Bytes) -> DramService {
+        assert!(ranks >= 1 && ranks_per_node >= 1);
+        let n_nodes = ranks.div_ceil(ranks_per_node);
+        DramService {
+            nodes: Arc::new(
+                (0..n_nodes)
+                    .map(|_| Mutex::new(SpaceAllocator::new(dram_per_node)))
+                    .collect(),
+            ),
+            ranks_per_node,
+        }
+    }
+
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Try to reserve `size` bytes of DRAM for `rank`. Non-blocking.
+    pub fn reserve(&self, rank: usize, size: Bytes) -> Option<Region> {
+        self.nodes[self.node_of(rank)].lock().alloc(size)
+    }
+
+    /// Return a region previously granted to `rank`.
+    pub fn release(&self, rank: usize, region: Region) {
+        self.nodes[self.node_of(rank)].lock().free(region);
+    }
+
+    /// Free DRAM on `rank`'s node right now.
+    pub fn available(&self, rank: usize) -> Bytes {
+        self.nodes[self.node_of(rank)].lock().available()
+    }
+
+    /// Largest single allocatable run on `rank`'s node.
+    pub fn largest_run(&self, rank: usize) -> Bytes {
+        self.nodes[self.node_of(rank)].lock().largest_free_run()
+    }
+
+    /// Per-node DRAM capacity.
+    pub fn capacity(&self) -> Bytes {
+        self.nodes[0].lock().capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_map_to_nodes() {
+        let s = DramService::new(8, 4, Bytes::mib(256));
+        assert_eq!(s.node_count(), 2);
+        assert_eq!(s.node_of(0), 0);
+        assert_eq!(s.node_of(3), 0);
+        assert_eq!(s.node_of(4), 1);
+        assert_eq!(s.node_of(7), 1);
+    }
+
+    #[test]
+    fn uneven_last_node() {
+        let s = DramService::new(5, 4, Bytes::mib(1));
+        assert_eq!(s.node_count(), 2);
+        assert_eq!(s.node_of(4), 1);
+    }
+
+    #[test]
+    fn ranks_on_same_node_share_allowance() {
+        let s = DramService::new(2, 2, Bytes(100));
+        let r = s.reserve(0, Bytes(80)).unwrap();
+        // Rank 1 is on the same node; only 20 left.
+        assert!(s.reserve(1, Bytes(40)).is_none());
+        assert_eq!(s.available(1), Bytes(20));
+        s.release(0, r);
+        assert!(s.reserve(1, Bytes(40)).is_some());
+    }
+
+    #[test]
+    fn ranks_on_different_nodes_are_independent() {
+        let s = DramService::new(2, 1, Bytes(100));
+        let _ = s.reserve(0, Bytes(100)).unwrap();
+        assert!(s.reserve(1, Bytes(100)).is_some());
+    }
+
+    #[test]
+    fn concurrent_reservations_never_overcommit() {
+        let s = DramService::new(4, 4, Bytes(1000));
+        let grants: Vec<_> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|rank| {
+                    let s = s.clone();
+                    scope.spawn(move || {
+                        (0..50)
+                            .filter_map(|_| s.reserve(rank, Bytes(7)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let total: u64 = grants.iter().flatten().map(|r| r.len).sum();
+        assert!(total <= 1000, "overcommitted: {total}");
+        // Regions must be pairwise disjoint.
+        let mut all: Vec<_> = grants.into_iter().flatten().collect();
+        all.sort_by_key(|r| r.offset);
+        for w in all.windows(2) {
+            assert!(w[0].offset + w[0].len <= w[1].offset, "overlap: {w:?}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Heterogeneous memory system (HMS) substrate.
+//!
+//! The paper pairs a small DRAM with a large NVM in one physical address
+//! space, managed at user level. This crate models that substrate:
+//!
+//! * [`tier`] — per-tier timing parameters and the roofline-style access-time
+//!   model that serves as the simulation's ground truth.
+//! * [`profiles`] — NVM presets from the paper's Table 1 plus the parametric
+//!   configurations used throughout the evaluation ("½ DRAM bandwidth",
+//!   "4× DRAM latency", the Edison NUMA emulation).
+//! * [`object`] — target data objects (`unimem_malloc`ed arrays) and their
+//!   registry, including chunked views for large-object partitioning.
+//! * [`alloc`] — the user-level DRAM space allocator (first-fit free list),
+//!   the "simple memory allocator" of §3.3.
+//! * [`dram_service`] — the per-node user-level service that coordinates
+//!   DRAM allowance among MPI ranks on the same node.
+//! * [`migration`] — the virtual-time migration engine modelling the helper
+//!   thread: FIFO queue, serial copies at `copy_bw`, overlap accounting.
+//! * [`pools`] — a *real* two-pool backing store plus a *real* helper thread
+//!   with a FIFO queue, used by wall-clock benches and examples so the
+//!   concurrency machinery is exercised for real, not only in virtual time.
+
+pub mod alloc;
+pub mod dram_service;
+pub mod migration;
+pub mod object;
+pub mod pools;
+pub mod profiles;
+pub mod tier;
+
+pub use alloc::SpaceAllocator;
+pub use dram_service::DramService;
+pub use migration::{MigrationEngine, MigrationStats};
+pub use object::{DataObject, ObjId, ObjectRegistry, Placement};
+pub use profiles::MachineConfig;
+pub use tier::{AccessMix, TierKind, TierParams};

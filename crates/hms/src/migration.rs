@@ -1,0 +1,340 @@
+//! Virtual-time migration engine: the helper thread model.
+//!
+//! The paper's runtime hands data-movement requests to a helper thread over
+//! a FIFO queue; the helper performs copies asynchronously so movement
+//! overlaps application execution, and the main thread checks the queue at
+//! each phase start (§3.3). In virtual time this becomes:
+//!
+//! * the helper thread is a single serial resource — migrations execute in
+//!   FIFO order, each taking `bytes / copy_bw`;
+//! * a migration enqueued at `t` starts at `max(t, helper_free_at)`;
+//! * when the main thread *requires* a unit at a phase start, any remaining
+//!   copy time is exposed as a stall — that stall is exactly the
+//!   non-overlapped data movement cost of Eq. 4, and the overlapped/exposed
+//!   split is what Table 4 reports as "% overlap".
+
+use crate::object::UnitId;
+use crate::tier::TierKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use unimem_sim::{Bandwidth, Bytes, EventKind, TraceLog, VDur, VTime};
+
+/// One migration's lifecycle record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigRecord {
+    pub unit: UnitId,
+    pub to: TierKind,
+    pub bytes: Bytes,
+    pub enqueued: VTime,
+    pub start: VTime,
+    pub done: VTime,
+    /// When the main thread first required the unit (phase start), if ever.
+    pub required_at: Option<VTime>,
+}
+
+impl MigRecord {
+    pub fn duration(&self) -> VDur {
+        self.done - self.start
+    }
+
+    /// Portion of the copy hidden behind application execution.
+    pub fn overlapped(&self) -> VDur {
+        match self.required_at {
+            None => self.duration(),
+            Some(req) => self.duration().saturating_sub(self.done.since(req)),
+        }
+    }
+
+    /// Portion exposed on the critical path.
+    pub fn exposed(&self) -> VDur {
+        self.duration().saturating_sub(self.overlapped())
+    }
+}
+
+/// Aggregate migration statistics (Table 4 columns).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MigrationStats {
+    /// Times of migration (both directions, as the paper counts).
+    pub count: u64,
+    /// Total migrated bytes.
+    pub bytes: Bytes,
+    pub to_dram_count: u64,
+    pub to_nvm_count: u64,
+    /// Copy time hidden behind computation.
+    pub overlapped: VDur,
+    /// Copy time exposed as stalls.
+    pub exposed: VDur,
+}
+
+impl MigrationStats {
+    /// Table 4's "% overlap": share of data movement cost hidden.
+    pub fn overlap_pct(&self) -> f64 {
+        let total = self.overlapped + self.exposed;
+        if total.is_zero() {
+            100.0
+        } else {
+            100.0 * self.overlapped.ratio(total)
+        }
+    }
+
+    pub fn merge(&mut self, other: &MigrationStats) {
+        self.count += other.count;
+        self.bytes += other.bytes;
+        self.to_dram_count += other.to_dram_count;
+        self.to_nvm_count += other.to_nvm_count;
+        self.overlapped += other.overlapped;
+        self.exposed += other.exposed;
+    }
+}
+
+/// The virtual-time helper thread.
+#[derive(Debug)]
+pub struct MigrationEngine {
+    copy_bw: Bandwidth,
+    helper_free_at: VTime,
+    records: Vec<MigRecord>,
+    /// Index of the most recent record per unit.
+    latest: HashMap<UnitId, usize>,
+    pub log: TraceLog,
+}
+
+impl MigrationEngine {
+    pub fn new(copy_bw: Bandwidth) -> MigrationEngine {
+        MigrationEngine {
+            copy_bw,
+            helper_free_at: VTime::ZERO,
+            records: Vec::new(),
+            latest: HashMap::new(),
+            log: TraceLog::new(false),
+        }
+    }
+
+    pub fn with_trace(mut self) -> MigrationEngine {
+        self.log = TraceLog::new(true);
+        self
+    }
+
+    pub fn copy_bw(&self) -> Bandwidth {
+        self.copy_bw
+    }
+
+    /// Predicted copy duration for `bytes` (the `data_size / mem_copy_bw`
+    /// term of Eq. 4).
+    pub fn copy_time(&self, bytes: Bytes) -> VDur {
+        bytes / self.copy_bw
+    }
+
+    /// Enqueue a migration at virtual time `now`. Returns its completion
+    /// time. FIFO: it starts when the helper thread frees up.
+    pub fn enqueue(&mut self, unit: UnitId, to: TierKind, bytes: Bytes, now: VTime) -> VTime {
+        let start = now.max(self.helper_free_at);
+        let done = start + self.copy_time(bytes);
+        self.helper_free_at = done;
+        self.log
+            .push(now, EventKind::MigrationEnqueued, format!("{unit}->{}", to.name()));
+        self.log
+            .push(start, EventKind::MigrationStarted, format!("{unit}->{}", to.name()));
+        self.log.push(
+            done,
+            EventKind::MigrationCompleted,
+            format!("{unit}->{}", to.name()),
+        );
+        let idx = self.records.len();
+        self.records.push(MigRecord {
+            unit,
+            to,
+            bytes,
+            enqueued: now,
+            start,
+            done,
+            required_at: None,
+        });
+        self.latest.insert(unit, idx);
+        done
+    }
+
+    /// Completion time of the most recent migration of `unit`, if any.
+    pub fn ready_time(&self, unit: UnitId) -> Option<VTime> {
+        self.latest.get(&unit).map(|&i| self.records[i].done)
+    }
+
+    /// Main thread requires `unit` at `now` (phase start). Returns the stall
+    /// needed before the unit is usable and records the requirement for
+    /// overlap accounting. Only the first requirement after a migration
+    /// counts — later phases see the data already resident.
+    pub fn require(&mut self, unit: UnitId, now: VTime) -> VDur {
+        let Some(&idx) = self.latest.get(&unit) else {
+            return VDur::ZERO;
+        };
+        let rec = &mut self.records[idx];
+        if rec.required_at.is_none() {
+            rec.required_at = Some(now);
+        } else {
+            return VDur::ZERO;
+        }
+        let stall = rec.done.since(now);
+        if !stall.is_zero() {
+            self.log
+                .push(now, EventKind::MigrationStall, format!("{unit} stall {stall}"));
+        }
+        stall
+    }
+
+    /// True when the helper thread has nothing queued after `now`.
+    pub fn idle_at(&self, now: VTime) -> bool {
+        self.helper_free_at <= now
+    }
+
+    pub fn records(&self) -> &[MigRecord] {
+        &self.records
+    }
+
+    /// Aggregate statistics over all recorded migrations.
+    pub fn stats(&self) -> MigrationStats {
+        let mut s = MigrationStats::default();
+        for r in &self.records {
+            s.count += 1;
+            s.bytes += r.bytes;
+            match r.to {
+                TierKind::Dram => s.to_dram_count += 1,
+                TierKind::Nvm => s.to_nvm_count += 1,
+            }
+            s.overlapped += r.overlapped();
+            s.exposed += r.exposed();
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjId;
+
+    fn unit(n: u32) -> UnitId {
+        UnitId::whole(ObjId(n))
+    }
+
+    fn engine() -> MigrationEngine {
+        // 1 GB/s copy bandwidth: 1 MB copies take 1 ms.
+        MigrationEngine::new(Bandwidth::gb_per_s(1.0))
+    }
+
+    #[test]
+    fn copy_time_is_size_over_bw() {
+        let e = engine();
+        assert!((e.copy_time(Bytes(1_000_000)).millis() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_serializes_the_helper_thread() {
+        let mut e = engine();
+        let d1 = e.enqueue(unit(0), TierKind::Dram, Bytes(1_000_000), VTime(0.0));
+        let d2 = e.enqueue(unit(1), TierKind::Dram, Bytes(1_000_000), VTime(0.0));
+        assert!((d1.secs() - 0.001).abs() < 1e-12);
+        // Second starts only when the first finishes.
+        assert!((d2.secs() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_overlapped_when_required_late() {
+        let mut e = engine();
+        e.enqueue(unit(0), TierKind::Dram, Bytes(1_000_000), VTime(0.0));
+        let stall = e.require(unit(0), VTime(0.010));
+        assert!(stall.is_zero());
+        let s = e.stats();
+        assert_eq!(s.overlap_pct(), 100.0);
+        assert_eq!(s.exposed, VDur::ZERO);
+    }
+
+    #[test]
+    fn exposed_when_required_early() {
+        let mut e = engine();
+        e.enqueue(unit(0), TierKind::Dram, Bytes(1_000_000), VTime(0.0));
+        // Required immediately: the whole 1 ms copy is exposed.
+        let stall = e.require(unit(0), VTime(0.0));
+        assert!((stall.millis() - 1.0).abs() < 1e-9);
+        let s = e.stats();
+        assert!((s.exposed.millis() - 1.0).abs() < 1e-9);
+        assert!(s.overlap_pct() < 1e-9);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let mut e = engine();
+        e.enqueue(unit(0), TierKind::Dram, Bytes(1_000_000), VTime(0.0));
+        // Required halfway through the copy: 0.5 ms exposed, 0.5 ms hidden.
+        let stall = e.require(unit(0), VTime(0.0005));
+        assert!((stall.millis() - 0.5).abs() < 1e-9);
+        let s = e.stats();
+        assert!((s.overlap_pct() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn second_require_is_free() {
+        let mut e = engine();
+        e.enqueue(unit(0), TierKind::Dram, Bytes(1_000_000), VTime(0.0));
+        let _ = e.require(unit(0), VTime(0.0));
+        assert!(e.require(unit(0), VTime(0.0)).is_zero());
+    }
+
+    #[test]
+    fn unmigrated_unit_needs_no_wait() {
+        let mut e = engine();
+        assert!(e.require(unit(9), VTime(0.0)).is_zero());
+    }
+
+    #[test]
+    fn eviction_counts_as_fully_overlapped() {
+        let mut e = engine();
+        e.enqueue(unit(0), TierKind::Nvm, Bytes(2_000_000), VTime(0.0));
+        let s = e.stats();
+        assert_eq!(s.to_nvm_count, 1);
+        assert_eq!(s.overlap_pct(), 100.0);
+    }
+
+    #[test]
+    fn stats_accumulate_counts_and_bytes() {
+        let mut e = engine();
+        e.enqueue(unit(0), TierKind::Dram, Bytes(100), VTime(0.0));
+        e.enqueue(unit(1), TierKind::Nvm, Bytes(200), VTime(0.0));
+        e.enqueue(unit(0), TierKind::Nvm, Bytes(100), VTime(1.0));
+        let s = e.stats();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.bytes, Bytes(400));
+        assert_eq!(s.to_dram_count, 1);
+        assert_eq!(s.to_nvm_count, 2);
+    }
+
+    #[test]
+    fn ready_time_tracks_latest() {
+        let mut e = engine();
+        e.enqueue(unit(0), TierKind::Dram, Bytes(1_000_000), VTime(0.0));
+        let d2 = e.enqueue(unit(0), TierKind::Nvm, Bytes(1_000_000), VTime(5.0));
+        assert_eq!(e.ready_time(unit(0)), Some(d2));
+        assert_eq!(e.ready_time(unit(3)), None);
+    }
+
+    #[test]
+    fn idle_tracking() {
+        let mut e = engine();
+        assert!(e.idle_at(VTime(0.0)));
+        e.enqueue(unit(0), TierKind::Dram, Bytes(1_000_000), VTime(0.0));
+        assert!(!e.idle_at(VTime(0.0005)));
+        assert!(e.idle_at(VTime(0.002)));
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let mut e = engine().with_trace();
+        e.enqueue(unit(0), TierKind::Dram, Bytes(1_000_000), VTime(0.0));
+        assert!(e.log.find(&EventKind::MigrationEnqueued, "obj0").is_some());
+        assert!(e.log.find(&EventKind::MigrationCompleted, "obj0").is_some());
+    }
+
+    #[test]
+    fn empty_stats_report_full_overlap() {
+        let e = engine();
+        assert_eq!(e.stats().overlap_pct(), 100.0);
+    }
+}

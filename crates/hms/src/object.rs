@@ -1,0 +1,384 @@
+//! Target data objects and their registry.
+//!
+//! A *target data object* is an array the programmer registered with
+//! `unimem_malloc` (paper Table 2). The runtime decides placement per
+//! object — or, when large-object partitioning (§3.2) applies, per *chunk*
+//! of an object. [`UnitId`] names a placement unit (object + chunk index);
+//! an unpartitioned object is a single chunk.
+
+use crate::tier::TierKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use unimem_sim::Bytes;
+
+/// Identifier of a registered data object.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ObjId(pub u32);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// A placement unit: one chunk of one object. Unpartitioned objects have a
+/// single chunk with index 0.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct UnitId {
+    pub obj: ObjId,
+    pub chunk: u16,
+}
+
+impl UnitId {
+    pub fn whole(obj: ObjId) -> UnitId {
+        UnitId { obj, chunk: 0 }
+    }
+}
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.chunk == 0 {
+            write!(f, "{}", self.obj)
+        } else {
+            write!(f, "{}#{}", self.obj, self.chunk)
+        }
+    }
+}
+
+/// One registered target data object.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataObject {
+    pub id: ObjId,
+    pub name: String,
+    /// Modeled size (the size the placement problem sees).
+    pub size: Bytes,
+    /// True for 1-D arrays with regular references — the only case the
+    /// paper's conservative partitioner handles (§3.2).
+    pub partitionable: bool,
+    /// True when memory aliases created outside the main loop prevent
+    /// pointer fix-up after chunk migration (the MG situation in §5).
+    pub aliased: bool,
+    /// Compiler-estimated number of memory references per iteration
+    /// (the symbolic formula of §3.2, already evaluated); drives initial
+    /// data placement. Zero when the estimate is unavailable at startup.
+    pub est_refs: f64,
+    /// Current number of chunks (≥ 1). Set by the runtime's partitioner.
+    pub chunks: u16,
+}
+
+impl DataObject {
+    /// Size of chunk `idx`. Chunks split evenly; the last absorbs remainder.
+    pub fn chunk_size(&self, idx: u16) -> Bytes {
+        assert!(idx < self.chunks, "chunk {idx} of {}", self.chunks);
+        let n = u64::from(self.chunks);
+        let base = self.size.get() / n;
+        if u64::from(idx) == n - 1 {
+            Bytes(self.size.get() - base * (n - 1))
+        } else {
+            Bytes(base)
+        }
+    }
+
+    /// All placement units of this object.
+    pub fn units(&self) -> impl Iterator<Item = UnitId> + '_ {
+        (0..self.chunks).map(move |c| UnitId {
+            obj: self.id,
+            chunk: c,
+        })
+    }
+}
+
+/// Builder-style description used at registration time.
+#[derive(Debug, Clone)]
+pub struct ObjectSpec {
+    pub name: String,
+    pub size: Bytes,
+    pub partitionable: bool,
+    pub aliased: bool,
+    pub est_refs: f64,
+}
+
+impl ObjectSpec {
+    pub fn new(name: impl Into<String>, size: Bytes) -> ObjectSpec {
+        ObjectSpec {
+            name: name.into(),
+            size,
+            partitionable: false,
+            aliased: false,
+            est_refs: 0.0,
+        }
+    }
+
+    pub fn partitionable(mut self, yes: bool) -> ObjectSpec {
+        self.partitionable = yes;
+        self
+    }
+
+    pub fn aliased(mut self, yes: bool) -> ObjectSpec {
+        self.aliased = yes;
+        self
+    }
+
+    pub fn est_refs(mut self, refs: f64) -> ObjectSpec {
+        self.est_refs = refs;
+        self
+    }
+}
+
+/// Registry of all target data objects of one rank.
+#[derive(Debug, Default, Clone)]
+pub struct ObjectRegistry {
+    objects: Vec<DataObject>,
+    by_name: HashMap<String, ObjId>,
+}
+
+impl ObjectRegistry {
+    pub fn new() -> ObjectRegistry {
+        ObjectRegistry::default()
+    }
+
+    /// Register a new object. Panics on duplicate names (they identify
+    /// objects in workload descriptors and harness output).
+    pub fn register(&mut self, spec: ObjectSpec) -> ObjId {
+        assert!(
+            !self.by_name.contains_key(&spec.name),
+            "duplicate data object name: {}",
+            spec.name
+        );
+        let id = ObjId(self.objects.len() as u32);
+        self.by_name.insert(spec.name.clone(), id);
+        self.objects.push(DataObject {
+            id,
+            name: spec.name,
+            size: spec.size,
+            partitionable: spec.partitionable,
+            aliased: spec.aliased,
+            est_refs: spec.est_refs,
+            chunks: 1,
+        });
+        id
+    }
+
+    pub fn get(&self, id: ObjId) -> &DataObject {
+        &self.objects[id.0 as usize]
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<ObjId> {
+        self.by_name.get(name).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &DataObject> {
+        self.objects.iter()
+    }
+
+    /// Split `id` into `chunks` pieces (partitioner). Panics if the object
+    /// was declared non-partitionable or aliased.
+    pub fn set_chunks(&mut self, id: ObjId, chunks: u16) {
+        assert!(chunks >= 1);
+        let o = &mut self.objects[id.0 as usize];
+        assert!(
+            chunks == 1 || (o.partitionable && !o.aliased),
+            "object {} cannot be partitioned",
+            o.name
+        );
+        o.chunks = chunks;
+    }
+
+    /// All placement units across all objects.
+    pub fn units(&self) -> Vec<UnitId> {
+        self.objects.iter().flat_map(|o| o.units()).collect()
+    }
+
+    /// Size of one placement unit.
+    pub fn unit_size(&self, u: UnitId) -> Bytes {
+        self.get(u.obj).chunk_size(u.chunk)
+    }
+
+    /// Total modeled footprint.
+    pub fn total_size(&self) -> Bytes {
+        self.objects.iter().map(|o| o.size).sum()
+    }
+}
+
+/// A placement: which tier each placement unit lives in. Units default to
+/// NVM (the paper's default initial placement before optimization).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    in_dram: HashMap<UnitId, ()>,
+}
+
+impl Placement {
+    /// Everything in NVM.
+    pub fn all_nvm() -> Placement {
+        Placement::default()
+    }
+
+    /// Every unit of every object in DRAM (the DRAM-only policy).
+    pub fn all_dram(reg: &ObjectRegistry) -> Placement {
+        let mut p = Placement::default();
+        for u in reg.units() {
+            p.set(u, TierKind::Dram);
+        }
+        p
+    }
+
+    pub fn tier(&self, u: UnitId) -> TierKind {
+        if self.in_dram.contains_key(&u) {
+            TierKind::Dram
+        } else {
+            TierKind::Nvm
+        }
+    }
+
+    pub fn set(&mut self, u: UnitId, tier: TierKind) {
+        match tier {
+            TierKind::Dram => {
+                self.in_dram.insert(u, ());
+            }
+            TierKind::Nvm => {
+                self.in_dram.remove(&u);
+            }
+        }
+    }
+
+    /// Units currently in DRAM (unordered).
+    pub fn dram_units(&self) -> impl Iterator<Item = UnitId> + '_ {
+        self.in_dram.keys().copied()
+    }
+
+    /// Total DRAM bytes this placement occupies.
+    pub fn dram_bytes(&self, reg: &ObjectRegistry) -> Bytes {
+        self.in_dram.keys().map(|&u| reg.unit_size(u)).sum()
+    }
+
+    /// True when every chunk of `obj` is in DRAM.
+    pub fn object_fully_in_dram(&self, reg: &ObjectRegistry, obj: ObjId) -> bool {
+        reg.get(obj).units().all(|u| self.tier(u) == TierKind::Dram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_with(names: &[(&str, u64)]) -> ObjectRegistry {
+        let mut r = ObjectRegistry::new();
+        for (n, sz) in names {
+            r.register(ObjectSpec::new(*n, Bytes(*sz)));
+        }
+        r
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let r = reg_with(&[("a", 100), ("b", 200)]);
+        let a = r.lookup("a").unwrap();
+        assert_eq!(r.get(a).size, Bytes(100));
+        assert_eq!(r.lookup("c"), None);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.total_size(), Bytes(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_panic() {
+        let mut r = ObjectRegistry::new();
+        r.register(ObjectSpec::new("a", Bytes(1)));
+        r.register(ObjectSpec::new("a", Bytes(2)));
+    }
+
+    #[test]
+    fn chunk_sizes_cover_object() {
+        let mut r = ObjectRegistry::new();
+        let id = r.register(ObjectSpec::new("big", Bytes(1003)).partitionable(true));
+        r.set_chunks(id, 4);
+        let o = r.get(id);
+        let total: u64 = (0..4).map(|i| o.chunk_size(i).get()).sum();
+        assert_eq!(total, 1003);
+        assert_eq!(o.chunk_size(0), Bytes(250));
+        assert_eq!(o.chunk_size(3), Bytes(253));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be partitioned")]
+    fn non_partitionable_rejects_chunks() {
+        let mut r = ObjectRegistry::new();
+        let id = r.register(ObjectSpec::new("x", Bytes(100)));
+        r.set_chunks(id, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be partitioned")]
+    fn aliased_rejects_chunks() {
+        let mut r = ObjectRegistry::new();
+        let id = r.register(
+            ObjectSpec::new("mg_u", Bytes(100))
+                .partitionable(true)
+                .aliased(true),
+        );
+        r.set_chunks(id, 2);
+    }
+
+    #[test]
+    fn placement_defaults_to_nvm() {
+        let r = reg_with(&[("a", 100)]);
+        let p = Placement::all_nvm();
+        let u = UnitId::whole(r.lookup("a").unwrap());
+        assert_eq!(p.tier(u), TierKind::Nvm);
+    }
+
+    #[test]
+    fn placement_set_and_bytes() {
+        let r = reg_with(&[("a", 100), ("b", 200)]);
+        let mut p = Placement::all_nvm();
+        let ua = UnitId::whole(r.lookup("a").unwrap());
+        p.set(ua, TierKind::Dram);
+        assert_eq!(p.tier(ua), TierKind::Dram);
+        assert_eq!(p.dram_bytes(&r), Bytes(100));
+        p.set(ua, TierKind::Nvm);
+        assert_eq!(p.dram_bytes(&r), Bytes(0));
+    }
+
+    #[test]
+    fn all_dram_covers_every_unit() {
+        let mut r = ObjectRegistry::new();
+        let big = r.register(ObjectSpec::new("big", Bytes(400)).partitionable(true));
+        r.register(ObjectSpec::new("small", Bytes(40)));
+        r.set_chunks(big, 4);
+        let p = Placement::all_dram(&r);
+        assert_eq!(p.dram_bytes(&r), Bytes(440));
+        assert!(p.object_fully_in_dram(&r, big));
+    }
+
+    #[test]
+    fn partial_object_not_fully_in_dram() {
+        let mut r = ObjectRegistry::new();
+        let big = r.register(ObjectSpec::new("big", Bytes(400)).partitionable(true));
+        r.set_chunks(big, 2);
+        let mut p = Placement::all_nvm();
+        p.set(UnitId { obj: big, chunk: 0 }, TierKind::Dram);
+        assert!(!p.object_fully_in_dram(&r, big));
+    }
+
+    #[test]
+    fn units_enumerate_chunks() {
+        let mut r = ObjectRegistry::new();
+        let big = r.register(ObjectSpec::new("big", Bytes(100)).partitionable(true));
+        r.set_chunks(big, 3);
+        r.register(ObjectSpec::new("s", Bytes(10)));
+        assert_eq!(r.units().len(), 4);
+    }
+}

@@ -1,0 +1,231 @@
+//! Machine configurations: Table-1 NVM presets and the paper's parametric
+//! evaluation configurations.
+//!
+//! The paper's experiments never use the absolute Table-1 numbers directly;
+//! they configure NVM *relative* to DRAM ("½ DRAM bandwidth", "4× DRAM
+//! latency") via the Quartz emulator, or emulate NVM with a remote NUMA node
+//! (Edison: 60% of DRAM bandwidth, 1.89× latency). We provide both forms.
+
+use crate::tier::TierParams;
+use serde::{Deserialize, Serialize};
+use unimem_sim::{Bandwidth, Bytes, VDur};
+
+/// A complete HMS machine description for one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    pub dram: TierParams,
+    pub nvm: TierParams,
+    /// DRAM capacity available to target data objects (per node).
+    pub dram_capacity: Bytes,
+    /// NVM capacity (per node). Effectively unbounded in the experiments.
+    pub nvm_capacity: Bytes,
+    /// Memory-copy bandwidth between NVM and DRAM, used by the migration
+    /// engine (`mem_copy_bw` in Eq. 4). Dominated by the slower medium.
+    pub copy_bw: Bandwidth,
+    /// MPI ranks sharing one node's DRAM (the per-node DRAM service
+    /// coordinates them).
+    pub ranks_per_node: usize,
+    /// Human-readable label for harness output.
+    pub label: String,
+}
+
+/// Simulation baseline DRAM: 80 ns loaded latency, 12 GB/s per-rank stream
+/// bandwidth. Only the *ratios* to NVM matter for every figure.
+pub fn sim_dram() -> TierParams {
+    TierParams {
+        read_lat: VDur::from_nanos(80.0),
+        write_lat: VDur::from_nanos(80.0),
+        read_bw: Bandwidth::gb_per_s(12.0),
+        write_bw: Bandwidth::gb_per_s(10.0),
+    }
+}
+
+/// Table 1, DRAM row (10 ns, 1000/900 MB/s random BW).
+pub fn table1_dram() -> TierParams {
+    TierParams {
+        read_lat: VDur::from_nanos(10.0),
+        write_lat: VDur::from_nanos(10.0),
+        read_bw: Bandwidth::mb_per_s(1000.0),
+        write_bw: Bandwidth::mb_per_s(900.0),
+    }
+}
+
+/// Table 1, STT-RAM row (ITRS'13): 60/80 ns, 800/600 MB/s.
+pub fn table1_stt_ram() -> TierParams {
+    TierParams {
+        read_lat: VDur::from_nanos(60.0),
+        write_lat: VDur::from_nanos(80.0),
+        read_bw: Bandwidth::mb_per_s(800.0),
+        write_bw: Bandwidth::mb_per_s(600.0),
+    }
+}
+
+/// Table 1, PCRAM row, midpoints of the published ranges:
+/// 20–200 ns read → 110 ns, 80–10 000 ns write → 5 040 ns,
+/// 200–800 MB/s read → 500, 100–800 MB/s write → 450.
+pub fn table1_pcram() -> TierParams {
+    TierParams {
+        read_lat: VDur::from_nanos(110.0),
+        write_lat: VDur::from_nanos(5040.0),
+        read_bw: Bandwidth::mb_per_s(500.0),
+        write_bw: Bandwidth::mb_per_s(450.0),
+    }
+}
+
+/// Table 1, ReRAM row, midpoints: 10–1000 ns read → 505 ns,
+/// 10–10 000 ns write → 5 005 ns, 20–100 MB/s read → 60, 1–8 MB/s write → 4.5.
+pub fn table1_reram() -> TierParams {
+    TierParams {
+        read_lat: VDur::from_nanos(505.0),
+        write_lat: VDur::from_nanos(5005.0),
+        read_bw: Bandwidth::mb_per_s(60.0),
+        write_bw: Bandwidth::mb_per_s(4.5),
+    }
+}
+
+impl MachineConfig {
+    fn base(nvm: TierParams, label: String) -> MachineConfig {
+        let dram = sim_dram();
+        MachineConfig {
+            dram,
+            nvm,
+            // Paper §5 basic tests: DRAM 256 MB, NVM 16 GB per node.
+            dram_capacity: Bytes::mib(256),
+            nvm_capacity: Bytes::gib(16),
+            copy_bw: copy_bw_between(dram, nvm),
+            ranks_per_node: 1,
+            label,
+        }
+    }
+
+    /// NVM configured with a fraction of DRAM bandwidth, same latency
+    /// (the paper's Figure 2 / 9 configuration; Quartz can vary only one
+    /// dimension at a time).
+    pub fn nvm_bw_fraction(f: f64) -> MachineConfig {
+        MachineConfig::base(
+            sim_dram().with_bw_fraction(f),
+            format!("NVM {}x DRAM bandwidth", f),
+        )
+    }
+
+    /// NVM configured with a multiple of DRAM latency, same bandwidth
+    /// (Figures 3 / 10).
+    pub fn nvm_lat_multiple(m: f64) -> MachineConfig {
+        MachineConfig::base(
+            sim_dram().with_lat_multiple(m),
+            format!("NVM {}x DRAM latency", m),
+        )
+    }
+
+    /// Edison strong-scaling emulation (§4): remote NUMA node as NVM with
+    /// 60% of DRAM bandwidth and 1.89× DRAM latency.
+    pub fn edison_numa() -> MachineConfig {
+        let nvm = sim_dram().with_bw_fraction(0.6).with_lat_multiple(1.89);
+        let mut cfg = MachineConfig::base(nvm, "Edison NUMA emulation".into());
+        // Strong-scaling tests: DRAM 256 MB, NVM 32 GB.
+        cfg.nvm_capacity = Bytes::gib(32);
+        cfg
+    }
+
+    /// A Table-1 technology preset paired with the simulation DRAM.
+    pub fn technology(nvm: TierParams, label: &str) -> MachineConfig {
+        MachineConfig::base(nvm, label.to_string())
+    }
+
+    /// Replace the DRAM capacity (Figure 13 sweeps 128/256/512 MB).
+    pub fn with_dram_capacity(mut self, cap: Bytes) -> MachineConfig {
+        self.dram_capacity = cap;
+        self
+    }
+
+    pub fn with_ranks_per_node(mut self, r: usize) -> MachineConfig {
+        assert!(r >= 1);
+        self.ranks_per_node = r;
+        self
+    }
+
+    /// Tier parameters by kind.
+    pub fn tier(&self, kind: crate::tier::TierKind) -> &TierParams {
+        match kind {
+            crate::tier::TierKind::Dram => &self.dram,
+            crate::tier::TierKind::Nvm => &self.nvm,
+        }
+    }
+}
+
+/// NVM↔DRAM copy bandwidth: a large memcpy streams through both media, so
+/// the end-to-end rate is the harmonic combination, dominated by the slower
+/// side (reading from NVM and writing to DRAM or vice versa).
+pub fn copy_bw_between(a: TierParams, b: TierParams) -> Bandwidth {
+    let per_byte = 1.0 / a.read_bw.bytes_per_s().min(a.write_bw.bytes_per_s())
+        + 1.0 / b.read_bw.bytes_per_s().min(b.write_bw.bytes_per_s());
+    Bandwidth(1.0 / per_byte)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::TierKind;
+
+    #[test]
+    fn bw_fraction_halves_bandwidth_only() {
+        let cfg = MachineConfig::nvm_bw_fraction(0.5);
+        assert!(
+            (cfg.nvm.read_bw.bytes_per_s() - cfg.dram.read_bw.bytes_per_s() / 2.0).abs() < 1.0
+        );
+        assert_eq!(cfg.nvm.read_lat, cfg.dram.read_lat);
+    }
+
+    #[test]
+    fn lat_multiple_scales_latency_only() {
+        let cfg = MachineConfig::nvm_lat_multiple(4.0);
+        assert!((cfg.nvm.read_lat.nanos() - 4.0 * cfg.dram.read_lat.nanos()).abs() < 1e-9);
+        assert_eq!(cfg.nvm.read_bw, cfg.dram.read_bw);
+    }
+
+    #[test]
+    fn edison_profile_matches_paper() {
+        let cfg = MachineConfig::edison_numa();
+        assert!((cfg.nvm.read_bw.bytes_per_s() / cfg.dram.read_bw.bytes_per_s() - 0.6).abs()
+            < 1e-9);
+        assert!((cfg.nvm.read_lat.secs() / cfg.dram.read_lat.secs() - 1.89).abs() < 1e-9);
+        assert_eq!(cfg.nvm_capacity, Bytes::gib(32));
+    }
+
+    #[test]
+    fn default_capacities_match_section5() {
+        let cfg = MachineConfig::nvm_bw_fraction(0.5);
+        assert_eq!(cfg.dram_capacity, Bytes::mib(256));
+        assert_eq!(cfg.nvm_capacity, Bytes::gib(16));
+    }
+
+    #[test]
+    fn copy_bw_slower_than_both() {
+        let cfg = MachineConfig::nvm_bw_fraction(0.5);
+        assert!(cfg.copy_bw.bytes_per_s() < cfg.nvm.read_bw.bytes_per_s());
+        assert!(cfg.copy_bw.bytes_per_s() < cfg.dram.read_bw.bytes_per_s());
+    }
+
+    #[test]
+    fn tier_lookup() {
+        let cfg = MachineConfig::nvm_bw_fraction(0.25);
+        assert_eq!(cfg.tier(TierKind::Dram), &cfg.dram);
+        assert_eq!(cfg.tier(TierKind::Nvm), &cfg.nvm);
+    }
+
+    #[test]
+    fn table1_rows_are_ordered_as_published() {
+        // DRAM faster than STT-RAM faster than PCRAM faster than ReRAM (read BW).
+        let d = table1_dram().read_bw.bytes_per_s();
+        let s = table1_stt_ram().read_bw.bytes_per_s();
+        let p = table1_pcram().read_bw.bytes_per_s();
+        let r = table1_reram().read_bw.bytes_per_s();
+        assert!(d > s && s > p && p > r);
+    }
+
+    #[test]
+    fn dram_capacity_override() {
+        let cfg = MachineConfig::nvm_bw_fraction(0.5).with_dram_capacity(Bytes::mib(128));
+        assert_eq!(cfg.dram_capacity, Bytes::mib(128));
+    }
+}

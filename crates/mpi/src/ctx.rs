@@ -1,0 +1,460 @@
+//! Per-rank context: the MPI-like API surface workloads and the Unimem
+//! executor program against.
+//!
+//! Every operation advances this rank's virtual clock according to the
+//! LogP-style rules in [`crate::net`] and appends a [`CommEvent`] record.
+//! The executor drains those records to delineate phases exactly as the
+//! paper's PMPI wrapper does.
+
+use crate::net::CollectiveKind;
+use crate::world::{CommWorld, Message, ReduceOp};
+use std::sync::Arc;
+use unimem_sim::{Bytes, VDur, VTime};
+
+/// What kind of MPI call an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    Send { to: usize, tag: u64 },
+    Recv { from: usize, tag: u64 },
+    /// Non-blocking post (merged into the following phase per §2.1).
+    Isend { to: usize, tag: u64 },
+    /// Completion of a non-blocking receive — a communication phase.
+    Wait { from: usize, tag: u64 },
+    Collective(CollectiveKind),
+}
+
+/// One completed communication call on this rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommEvent {
+    pub op: OpKind,
+    pub bytes: Bytes,
+    pub begin: VTime,
+    pub end: VTime,
+}
+
+/// Handle for a pending non-blocking operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Eager send: already complete.
+    SendDone { to: usize, tag: u64 },
+    /// Posted receive, completed by [`RankCtx::wait`].
+    Recv { from: usize, tag: u64 },
+}
+
+/// Per-rank state: virtual clock + communicator handle + event log.
+pub struct RankCtx {
+    rank: usize,
+    world: Arc<CommWorld>,
+    clock: VTime,
+    events: Vec<CommEvent>,
+}
+
+impl RankCtx {
+    pub(crate) fn new(rank: usize, world: Arc<CommWorld>) -> RankCtx {
+        RankCtx {
+            rank,
+            world,
+            clock: VTime::ZERO,
+            events: Vec::new(),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.world.nranks()
+    }
+
+    pub fn now(&self) -> VTime {
+        self.clock
+    }
+
+    /// Advance the local clock by computation time (the executor charges
+    /// ground-truth phase durations through this).
+    pub fn advance(&mut self, d: VDur) {
+        self.clock += d;
+    }
+
+    /// Drain the communication event log.
+    pub fn take_events(&mut self) -> Vec<CommEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Blocking standard send of `payload` with a modeled size of `bytes`
+    /// (synthetic workloads model multi-MB messages with small payloads).
+    pub fn send(&mut self, to: usize, tag: u64, bytes: Bytes, payload: &[f64]) {
+        let begin = self.clock;
+        self.clock += self.world.net.overhead;
+        let avail_at = self.clock + self.world.net.p2p_time(bytes);
+        self.world.post(
+            self.rank,
+            to,
+            Message {
+                tag,
+                modeled_bytes: bytes,
+                payload: payload.to_vec(),
+                avail_at,
+            },
+        );
+        self.events.push(CommEvent {
+            op: OpKind::Send { to, tag },
+            bytes,
+            begin,
+            end: self.clock,
+        });
+    }
+
+    /// Blocking receive; returns the payload and advances the clock to the
+    /// message arrival.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        let begin = self.clock;
+        let msg = self.world.fetch(from, self.rank, tag);
+        self.clock = (self.clock + self.world.net.overhead).max(msg.avail_at);
+        self.events.push(CommEvent {
+            op: OpKind::Recv { from, tag },
+            bytes: msg.modeled_bytes,
+            begin,
+            end: self.clock,
+        });
+        msg.payload
+    }
+
+    /// Non-blocking send: eager, completes immediately; charged only the
+    /// software overhead (it merges into the next phase, per the paper).
+    pub fn isend(&mut self, to: usize, tag: u64, bytes: Bytes, payload: &[f64]) -> Request {
+        let begin = self.clock;
+        self.clock += self.world.net.overhead;
+        let avail_at = self.clock + self.world.net.p2p_time(bytes);
+        self.world.post(
+            self.rank,
+            to,
+            Message {
+                tag,
+                modeled_bytes: bytes,
+                payload: payload.to_vec(),
+                avail_at,
+            },
+        );
+        self.events.push(CommEvent {
+            op: OpKind::Isend { to, tag },
+            bytes,
+            begin,
+            end: self.clock,
+        });
+        Request::SendDone { to, tag }
+    }
+
+    /// Post a non-blocking receive. No clock cost until [`Self::wait`].
+    pub fn irecv(&mut self, from: usize, tag: u64) -> Request {
+        Request::Recv { from, tag }
+    }
+
+    /// Complete a pending request (the paper's `MPI_Wait` — a communication
+    /// phase in its own right).
+    pub fn wait(&mut self, req: Request) -> Option<Vec<f64>> {
+        match req {
+            Request::SendDone { .. } => None,
+            Request::Recv { from, tag } => {
+                let begin = self.clock;
+                let msg = self.world.fetch(from, self.rank, tag);
+                self.clock = (self.clock + self.world.net.overhead).max(msg.avail_at);
+                self.events.push(CommEvent {
+                    op: OpKind::Wait { from, tag },
+                    bytes: msg.modeled_bytes,
+                    begin,
+                    end: self.clock,
+                });
+                Some(msg.payload)
+            }
+        }
+    }
+
+    fn collective(
+        &mut self,
+        kind: CollectiveKind,
+        bytes: Bytes,
+        contrib: Vec<f64>,
+        op: ReduceOp,
+    ) -> Vec<f64> {
+        let begin = self.clock;
+        let (leave, data) = self
+            .world
+            .collective(self.rank, self.clock, kind, bytes, contrib, op);
+        self.clock = leave;
+        self.events.push(CommEvent {
+            op: OpKind::Collective(kind),
+            bytes,
+            begin,
+            end: self.clock,
+        });
+        data
+    }
+
+    /// Synchronize all ranks (clocks jump to the common departure time).
+    pub fn barrier(&mut self) {
+        let _ = self.collective(
+            CollectiveKind::Barrier,
+            Bytes::ZERO,
+            Vec::new(),
+            ReduceOp::Sum,
+        );
+    }
+
+    /// Element-wise sum allreduce of `data`; result replaces `data`.
+    pub fn allreduce_sum(&mut self, data: &mut Vec<f64>) {
+        let bytes = Bytes((data.len() * 8) as u64);
+        *data = self.collective(
+            CollectiveKind::Allreduce,
+            bytes,
+            std::mem::take(data),
+            ReduceOp::Sum,
+        );
+    }
+
+    /// Scalar sum allreduce.
+    pub fn allreduce_sum_scalar(&mut self, x: f64) -> f64 {
+        let mut v = vec![x];
+        self.allreduce_sum(&mut v);
+        v[0]
+    }
+
+    /// Scalar max allreduce.
+    pub fn allreduce_max_scalar(&mut self, x: f64) -> f64 {
+        self.collective(
+            CollectiveKind::Allreduce,
+            Bytes(8),
+            vec![x],
+            ReduceOp::Max,
+        )[0]
+    }
+
+    /// Broadcast `data` from `root` (replaces `data` on other ranks).
+    pub fn bcast(&mut self, root: usize, data: &mut Vec<f64>) {
+        let bytes = Bytes((data.len() * 8) as u64);
+        let contrib = if self.rank == root {
+            std::mem::take(data)
+        } else {
+            Vec::new()
+        };
+        *data = self.collective(CollectiveKind::Bcast, bytes, contrib, ReduceOp::TakeRoot(root));
+    }
+
+    /// Personalized all-to-all: `blocks` must contain `nranks` equal blocks;
+    /// returns the gathered blocks addressed to this rank, in rank order.
+    /// `bytes` is the modeled per-pair message size.
+    pub fn alltoall(&mut self, bytes: Bytes, blocks: Vec<f64>) -> Vec<f64> {
+        assert!(
+            blocks.is_empty() || blocks.len() % self.nranks() == 0,
+            "alltoall payload must split into nranks blocks"
+        );
+        self.collective(CollectiveKind::Alltoall, bytes, blocks, ReduceOp::AllToAll)
+    }
+
+    /// Allreduce with a modeled payload size and no real data — synthetic
+    /// workloads use this for clock effects only.
+    pub fn allreduce_modeled(&mut self, bytes: Bytes) {
+        let _ = self.collective(CollectiveKind::Allreduce, bytes, Vec::new(), ReduceOp::Sum);
+    }
+
+    /// Broadcast with a modeled payload size and no real data.
+    pub fn bcast_modeled(&mut self, bytes: Bytes) {
+        let _ = self.collective(
+            CollectiveKind::Bcast,
+            bytes,
+            Vec::new(),
+            ReduceOp::TakeRoot(0),
+        );
+    }
+
+    /// All-to-all with a modeled per-pair size and no real data.
+    pub fn alltoall_modeled(&mut self, bytes: Bytes) {
+        let _ = self.collective(
+            CollectiveKind::Alltoall,
+            bytes,
+            Vec::new(),
+            ReduceOp::AllToAll,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetParams;
+
+    fn run2<R: Send>(f: impl Fn(&mut RankCtx) -> R + Sync) -> Vec<R> {
+        CommWorld::run(2, NetParams::default(), f)
+    }
+
+    #[test]
+    fn send_recv_transfers_payload_and_time() {
+        let out = run2(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.advance(VDur::from_millis(5.0));
+                ctx.send(1, 7, Bytes::mib(1), &[1.0, 2.0, 3.0]);
+                ctx.now().secs()
+            } else {
+                let data = ctx.recv(0, 7);
+                assert_eq!(data, vec![1.0, 2.0, 3.0]);
+                ctx.now().secs()
+            }
+        });
+        // Receiver clock ≥ sender departure + wire time for 1 MiB at 5 GB/s.
+        assert!(out[1] > 0.005, "receiver at {}", out[1]);
+        assert!(out[1] > out[0]);
+    }
+
+    #[test]
+    fn recv_does_not_wait_for_late_messages_already_sent() {
+        let out = run2(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, Bytes(8), &[42.0]);
+                0.0
+            } else {
+                // Receiver is "late" in virtual time: message already there.
+                ctx.advance(VDur::from_secs(1.0));
+                ctx.recv(0, 1);
+                ctx.now().secs()
+            }
+        });
+        assert!((out[1] - 1.0).abs() < 0.001, "clock={}", out[1]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let out = run2(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, Bytes(8), &[1.0]);
+                ctx.send(1, 2, Bytes(8), &[2.0]);
+                Vec::new()
+            } else {
+                // Receive tag 2 first even though tag 1 arrived first.
+                let b = ctx.recv(0, 2);
+                let a = ctx.recv(0, 1);
+                vec![b[0], a[0]]
+            }
+        });
+        assert_eq!(out[1], vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let out = CommWorld::run(4, NetParams::default(), |ctx| {
+            ctx.advance(VDur::from_millis(ctx.rank() as f64 * 10.0));
+            ctx.barrier();
+            ctx.now().secs()
+        });
+        // All leave together, at ≥ the slowest rank's 30 ms.
+        assert!(out.iter().all(|&t| (t - out[0]).abs() < 1e-12));
+        assert!(out[0] >= 0.030);
+    }
+
+    #[test]
+    fn allreduce_sum_is_deterministic_and_correct() {
+        let out = CommWorld::run(4, NetParams::default(), |ctx| {
+            ctx.allreduce_sum_scalar((ctx.rank() + 1) as f64)
+        });
+        assert!(out.iter().all(|&x| x == 10.0));
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let out = CommWorld::run(3, NetParams::default(), |ctx| {
+            ctx.allreduce_max_scalar(ctx.rank() as f64)
+        });
+        assert!(out.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn bcast_from_root() {
+        let out = CommWorld::run(3, NetParams::default(), |ctx| {
+            let mut v = if ctx.rank() == 1 {
+                vec![3.0, 4.0]
+            } else {
+                vec![0.0, 0.0]
+            };
+            ctx.bcast(1, &mut v);
+            v
+        });
+        assert!(out.iter().all(|v| v == &[3.0, 4.0]));
+    }
+
+    #[test]
+    fn alltoall_exchanges_blocks() {
+        let out = run2(|ctx| {
+            let r = ctx.rank() as f64;
+            // Block for rank 0, block for rank 1.
+            let blocks = vec![r * 10.0, r * 10.0 + 1.0];
+            ctx.alltoall(Bytes(8), blocks)
+        });
+        assert_eq!(out[0], vec![0.0, 10.0]);
+        assert_eq!(out[1], vec![1.0, 11.0]);
+    }
+
+    #[test]
+    fn isend_wait_roundtrip() {
+        let out = run2(|ctx| {
+            if ctx.rank() == 0 {
+                let req = ctx.isend(1, 9, Bytes::kib(4), &[5.0]);
+                assert_eq!(ctx.wait(req), None);
+                0.0
+            } else {
+                let req = ctx.irecv(0, 9);
+                let data = ctx.wait(req).unwrap();
+                data[0]
+            }
+        });
+        assert_eq!(out[1], 5.0);
+    }
+
+    #[test]
+    fn events_are_recorded_in_order() {
+        let out = run2(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, Bytes(8), &[0.0]);
+            } else {
+                ctx.recv(0, 1);
+            }
+            ctx.barrier();
+            ctx.take_events()
+        });
+        assert_eq!(out[0].len(), 2);
+        assert!(matches!(out[0][0].op, OpKind::Send { to: 1, tag: 1 }));
+        assert!(matches!(
+            out[0][1].op,
+            OpKind::Collective(CollectiveKind::Barrier)
+        ));
+        assert!(out[0][1].begin >= out[0][0].end);
+    }
+
+    #[test]
+    fn repeated_collectives_reuse_slot() {
+        let out = CommWorld::run(3, NetParams::default(), |ctx| {
+            let mut acc = 0.0;
+            for i in 0..50 {
+                acc += ctx.allreduce_sum_scalar(i as f64);
+            }
+            acc
+        });
+        let expect: f64 = (0..50).map(|i| (i * 3) as f64).sum();
+        assert!(out.iter().all(|&x| (x - expect).abs() < 1e-9));
+    }
+
+    #[test]
+    fn virtual_time_is_schedule_independent() {
+        let run = || {
+            CommWorld::run(4, NetParams::default(), |ctx| {
+                for _ in 0..20 {
+                    ctx.advance(VDur::from_micros((ctx.rank() * 13 + 1) as f64));
+                    let _ = ctx.allreduce_sum_scalar(1.0);
+                }
+                ctx.now().secs()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "virtual clocks must not depend on host scheduling");
+    }
+}

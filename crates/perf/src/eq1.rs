@@ -1,0 +1,62 @@
+//! Equation 1 of the paper: per-object bandwidth consumption estimate.
+//!
+//! ```text
+//!                 #data_access × cacheline_size
+//! BW_data_obj = ─────────────────────────────────────────────
+//!               (#samples_with_data_accesses / #samples) × T
+//! ```
+//!
+//! All quantities come from the sampler, so the estimate lives in "sampled
+//! units" — systematically smaller than physical bandwidth by roughly the
+//! event-capture period. That is fine: the classification thresholds
+//! compare it against `BW_peak` measured the *same* way (STREAM through the
+//! same counters), so the scale cancels.
+
+use unimem_sim::units::CACHE_LINE;
+use unimem_sim::VDur;
+
+/// Sampled bandwidth estimate in bytes/second (sampled units).
+///
+/// Returns 0 when the object was never seen in a window (no duty time) —
+/// such objects are not candidates for movement anyway.
+pub fn eq1_bandwidth(recorded: u64, windows_hit: u64, windows: u64, phase_time: VDur) -> f64 {
+    if windows_hit == 0 || windows == 0 || phase_time.is_zero() {
+        return 0.0;
+    }
+    let accessed_bytes = recorded as f64 * CACHE_LINE.as_f64();
+    let duty_time = (windows_hit as f64 / windows as f64) * phase_time.secs();
+    accessed_bytes / duty_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // §3.1.2: 10 s phase, 10^7 samples, 10^5 with accesses → duty 0.1 s.
+        // Say 2000 recorded accesses: BW = 2000·64 / 0.1 = 1.28 MB/s.
+        let bw = eq1_bandwidth(2000, 100_000, 10_000_000, VDur::from_secs(10.0));
+        assert!((bw - 1_280_000.0).abs() < 1.0, "bw={bw}");
+    }
+
+    #[test]
+    fn dense_traffic_estimates_higher_bw() {
+        let t = VDur::from_secs(1.0);
+        // Same recorded count, but one object concentrates it in 10% duty.
+        let sparse = eq1_bandwidth(1000, 1_000_000, 1_000_000, t);
+        let dense = eq1_bandwidth(1000, 100_000, 1_000_000, t);
+        assert!((dense / sparse - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_object_is_zero() {
+        assert_eq!(eq1_bandwidth(0, 0, 1_000_000, VDur::from_secs(1.0)), 0.0);
+        assert_eq!(eq1_bandwidth(10, 0, 1_000_000, VDur::from_secs(1.0)), 0.0);
+    }
+
+    #[test]
+    fn zero_time_guard() {
+        assert_eq!(eq1_bandwidth(10, 10, 100, VDur::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Real calibration kernels: STREAM triad and pointer chase.
+//!
+//! These run on the host for the wall-clock path (criterion benches, the
+//! quickstart example): STREAM saturates bandwidth with independent
+//! unit-stride traffic, the pointer chase serializes dependent loads. They
+//! are the physical counterparts of the descriptors in [`crate::calibrate`].
+
+use unimem_sim::DetRng;
+
+/// STREAM triad: `a[i] = b[i] + s·c[i]`. Returns a checksum so the compiler
+/// cannot elide the work.
+pub fn stream_triad(a: &mut [f64], b: &[f64], c: &[f64], s: f64) -> f64 {
+    assert!(a.len() == b.len() && b.len() == c.len());
+    for i in 0..a.len() {
+        a[i] = b[i] + s * c[i];
+    }
+    a.iter().sum()
+}
+
+/// Build a random cyclic permutation for pointer chasing: `next[i]` is the
+/// successor of slot `i`, and following it visits every slot exactly once.
+pub fn build_chase_ring(slots: usize, rng: &mut DetRng) -> Vec<u32> {
+    assert!(slots >= 1 && slots <= u32::MAX as usize);
+    let mut order: Vec<u32> = (0..slots as u32).collect();
+    rng.shuffle(&mut order);
+    let mut next = vec![0u32; slots];
+    for w in 0..slots {
+        next[order[w] as usize] = order[(w + 1) % slots];
+    }
+    next
+}
+
+/// Chase `steps` hops through the ring starting at slot 0. Returns the
+/// final slot (data-dependent, so the loads cannot be reordered away).
+pub fn pointer_chase(next: &[u32], steps: usize) -> u32 {
+    let mut cur = 0u32;
+    for _ in 0..steps {
+        cur = next[cur as usize];
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triad_computes_elementwise() {
+        let b = [1.0, 2.0, 3.0];
+        let c = [10.0, 20.0, 30.0];
+        let mut a = [0.0; 3];
+        let sum = stream_triad(&mut a, &b, &c, 2.0);
+        assert_eq!(a, [21.0, 42.0, 63.0]);
+        assert_eq!(sum, 126.0);
+    }
+
+    #[test]
+    fn ring_is_a_single_cycle() {
+        let mut rng = DetRng::seed(3);
+        let n = 257;
+        let next = build_chase_ring(n, &mut rng);
+        let mut cur = 0u32;
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            assert!(!seen[cur as usize], "revisited before full cycle");
+            seen[cur as usize] = true;
+            cur = next[cur as usize];
+        }
+        assert_eq!(cur, 0, "must return to start after n hops");
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chase_steps_land_deterministically() {
+        let mut rng = DetRng::seed(4);
+        let next = build_chase_ring(64, &mut rng);
+        assert_eq!(pointer_chase(&next, 64), 0);
+        let a = pointer_chase(&next, 17);
+        let b = pointer_chase(&next, 17);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_slot_ring() {
+        let mut rng = DetRng::seed(5);
+        let next = build_chase_ring(1, &mut rng);
+        assert_eq!(pointer_chase(&next, 10), 0);
+    }
+}

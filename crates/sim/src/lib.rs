@@ -1,0 +1,30 @@
+//! Simulation foundation for the Unimem reproduction.
+//!
+//! This crate provides the shared vocabulary every other crate builds on:
+//!
+//! * [`time`] — virtual time ([`VTime`]) and durations ([`VDur`]) measured in
+//!   seconds of *simulated* wall clock. The whole reproduction is an analytic
+//!   virtual-time simulation: nothing here sleeps or reads the host clock.
+//! * [`units`] — byte quantities, bandwidths and latencies with safe
+//!   conversions (`bytes / bandwidth -> duration`, …).
+//! * [`rng`] — a deterministic random number generator plus the sampling
+//!   distributions the PEBS-style profiler needs (binomial thinning).
+//! * [`stats`] — streaming statistics (Welford) used by the runtime's
+//!   phase-variation detector and by the benchmark harnesses.
+//! * [`events`] — a lightweight trace log used by tests to assert on
+//!   migration/overlap timing.
+//!
+//! Everything is deterministic: identical inputs yield bit-identical outputs
+//! regardless of host scheduling, which the integration tests assert.
+
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use events::{Event, EventKind, TraceLog};
+pub use rng::DetRng;
+pub use stats::{OnlineStats, Summary};
+pub use time::{VDur, VTime};
+pub use units::{Bandwidth, Bytes, Latency};

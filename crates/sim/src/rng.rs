@@ -1,0 +1,217 @@
+//! Deterministic randomness for the simulation.
+//!
+//! All stochastic elements of the reproduction (sampling noise in the
+//! PEBS-style profiler, randomized workload geometry, property tests) draw
+//! from [`DetRng`], a seeded `SmallRng`. Seeds are always explicit so runs
+//! are reproducible; helpers derive independent substreams from a parent
+//! seed plus a label, so adding a consumer never perturbs existing ones.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic RNG with the distributions the simulator needs.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Create from an explicit seed.
+    pub fn seed(seed: u64) -> DetRng {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent substream for `label` under `parent` seed.
+    /// Uses an FNV-1a mix so distinct labels give uncorrelated streams.
+    pub fn derive(parent: u64, label: &str) -> DetRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ parent.rotate_left(17);
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        DetRng::seed(h)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be positive.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Standard normal deviate (Box–Muller; one value per call for
+    /// simplicity — this is not a hot path).
+    pub fn std_normal(&mut self) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Binomial(n, p) deviate.
+    ///
+    /// The sampler thins per-object miss counts with this: a phase with `n`
+    /// misses on an object observed at sampling probability `p` records
+    /// `Binomial(n, p)` samples. Exact inversion is used for small `n·p`,
+    /// a normal approximation (clamped to `[0, n]`) for large, which is
+    /// accurate far beyond what the placement decisions are sensitive to.
+    pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        if n == 0 || p <= 0.0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        let mean = n as f64 * p;
+        let var = mean * (1.0 - p);
+        if n <= 64 {
+            // Exact: n Bernoulli trials.
+            let mut k = 0;
+            for _ in 0..n {
+                if self.f64() < p {
+                    k += 1;
+                }
+            }
+            k
+        } else if var > 25.0 {
+            // Normal approximation with continuity correction.
+            let x = mean + var.sqrt() * self.std_normal();
+            x.round().clamp(0.0, n as f64) as u64
+        } else {
+            // Moderate n, small p: Poisson-style inversion on the count of
+            // successes via geometric skips (BG algorithm).
+            let mut k: u64 = 0;
+            let mut i: u64 = 0;
+            let log_q = (1.0 - p).ln();
+            loop {
+                let u = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+                let skip = (u.ln() / log_q).floor() as u64;
+                i = i.saturating_add(skip).saturating_add(1);
+                if i > n {
+                    return k;
+                }
+                k += 1;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Raw 64 random bits.
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = DetRng::seed(42);
+        let mut b = DetRng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn derive_differs_by_label() {
+        let mut a = DetRng::derive(7, "sampler");
+        let mut b = DetRng::derive(7, "workload");
+        assert_ne!(a.u64(), b.u64());
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        let mut a = DetRng::derive(7, "x");
+        let mut b = DetRng::derive(7, "x");
+        assert_eq!(a.u64(), b.u64());
+    }
+
+    #[test]
+    fn binomial_edges() {
+        let mut r = DetRng::seed(1);
+        assert_eq!(r.binomial(0, 0.5), 0);
+        assert_eq!(r.binomial(100, 0.0), 0);
+        assert_eq!(r.binomial(100, 1.0), 100);
+    }
+
+    #[test]
+    fn binomial_mean_small_n() {
+        let mut r = DetRng::seed(2);
+        let trials = 20_000;
+        let total: u64 = (0..trials).map(|_| r.binomial(20, 0.3)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn binomial_mean_large_n_normal_path() {
+        let mut r = DetRng::seed(3);
+        let trials = 2_000;
+        let total: u64 = (0..trials).map(|_| r.binomial(1_000_000, 0.001)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 1000.0).abs() < 10.0, "mean={mean}");
+    }
+
+    #[test]
+    fn binomial_mean_geometric_path() {
+        // n in the hundreds with tiny p exercises the BG branch (var < 25).
+        let mut r = DetRng::seed(4);
+        let trials = 50_000;
+        let total: u64 = (0..trials).map(|_| r.binomial(500, 0.01)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn binomial_never_exceeds_n() {
+        let mut r = DetRng::seed(5);
+        for _ in 0..1000 {
+            assert!(r.binomial(80, 0.9) <= 80);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::seed(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut r = DetRng::seed(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.std_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Phase-structured workloads: the six NAS parallel benchmarks of the
+//! paper's evaluation (CG, FT, BT, LU, SP, MG) and a Nek5000-eddy
+//! mini-app, expressed as [`unimem::Workload`] phase scripts.
+//!
+//! Each workload reproduces, at class scale, the properties the paper's
+//! evaluation depends on:
+//!
+//! * the **target data objects** of Table 3, with sizes derived from the
+//!   NPB class geometries divided over ranks;
+//! * the **phase structure** of the main iteration (computation delineated
+//!   by MPI operations, Fig. 1);
+//! * the per-(phase, object) **access patterns** that make objects
+//!   bandwidth- or latency-sensitive (Observation 3): solver recurrences
+//!   chase pointers, sweeps stream, sparse matvecs gather;
+//! * the paper-relevant quirks: FT's arrays exceed DRAM (partitioning
+//!   pays off), MG's arrays hide behind aliases (partitioning blocked),
+//!   BT/SP sweep different directions with different working sets
+//!   (phase-local search pays off), Nek5000 drifts across iterations
+//!   (adaptivity pays off, offline profiling suffers).
+//!
+//! The numeric volumes are workload *models*: they come from the kernels'
+//! loop structure, with constants chosen so the NVM-only slowdowns land in
+//! the ranges Figures 2/3 report. `EXPERIMENTS.md` records paper-vs-
+//! measured for every figure.
+
+pub mod bt;
+pub mod cg;
+pub mod classes;
+pub mod ft;
+pub mod helpers;
+pub mod lu;
+pub mod mg;
+pub mod nek;
+pub mod sp;
+pub mod suite;
+
+pub use classes::Class;
+pub use suite::{all_npb, by_name, npb_and_nek};

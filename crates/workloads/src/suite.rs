@@ -1,0 +1,106 @@
+//! The benchmark suite as the harnesses consume it.
+
+use crate::bt::Bt;
+use crate::cg::Cg;
+use crate::classes::Class;
+use crate::ft::Ft;
+use crate::lu::Lu;
+use crate::mg::Mg;
+use crate::nek::Nek;
+use crate::sp::Sp;
+use unimem::exec::Workload;
+
+/// The six NPB benchmarks in the paper's figure order.
+pub fn all_npb(class: Class) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Cg::new(class)),
+        Box::new(Ft::new(class)),
+        Box::new(Bt::new(class)),
+        Box::new(Lu::new(class)),
+        Box::new(Sp::new(class)),
+        Box::new(Mg::new(class)),
+    ]
+}
+
+/// NPB plus Nek5000-eddy (the Fig. 9/10/11 and Table 4 set).
+pub fn npb_and_nek(class: Class) -> Vec<Box<dyn Workload>> {
+    let mut v = all_npb(class);
+    v.push(Box::new(Nek::new(class)));
+    v
+}
+
+/// Look a workload up by its short name ("CG", "FT", …, "Nek5000").
+pub fn by_name(name: &str, class: Class) -> Option<Box<dyn Workload>> {
+    match name.to_ascii_uppercase().as_str() {
+        "CG" => Some(Box::new(Cg::new(class))),
+        "FT" => Some(Box::new(Ft::new(class))),
+        "BT" => Some(Box::new(Bt::new(class))),
+        "LU" => Some(Box::new(Lu::new(class))),
+        "SP" => Some(Box::new(Sp::new(class))),
+        "MG" => Some(Box::new(Mg::new(class))),
+        "NEK" | "NEK5000" | "NEK5000-EDDY" => Some(Box::new(Nek::new(class))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_paper_order() {
+        let names: Vec<String> = all_npb(Class::C).iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["CG.C", "FT.C", "BT.C", "LU.C", "SP.C", "MG.C"]);
+        assert_eq!(npb_and_nek(Class::C).len(), 7);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("cg", Class::S).is_some());
+        assert!(by_name("Nek5000", Class::S).is_some());
+        assert!(by_name("EP", Class::S).is_none());
+    }
+
+    #[test]
+    fn every_workload_has_consistent_object_ids() {
+        // Descriptors must reference registered object ids only.
+        for w in npb_and_nek(Class::S) {
+            let n_objs = w.objects(0, 2).len() as u32;
+            for it in 0..2 {
+                for step in w.script(0, 2, it) {
+                    if let unimem::exec::StepSpec::Compute(c) = step {
+                        for acc in &c.accesses {
+                            assert!(
+                                acc.obj.0 < n_objs,
+                                "{}: access to unregistered obj {} (have {n_objs})",
+                                w.name(),
+                                acc.obj.0
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_workload_runs_under_every_basic_policy() {
+        use unimem::exec::{run_workload, Policy};
+        use unimem_cache::CacheModel;
+        use unimem_hms::MachineConfig;
+        let cache = CacheModel::new(unimem_sim::Bytes::kib(512));
+        let m = MachineConfig::nvm_bw_fraction(0.5)
+            .with_dram_capacity(unimem_sim::Bytes::mib(4));
+        for w in npb_and_nek(Class::S) {
+            for policy in [Policy::DramOnly, Policy::NvmOnly, Policy::unimem()] {
+                let rep = run_workload(w.as_ref(), &m, &cache, 2, &policy);
+                assert!(
+                    rep.time().secs() > 0.0,
+                    "{} under {:?} produced zero time",
+                    w.name(),
+                    rep.policy
+                );
+            }
+        }
+    }
+}

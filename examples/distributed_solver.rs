@@ -1,0 +1,92 @@
+//! A real distributed computation on the mini-MPI substrate: conjugate
+//! gradient on a 1-D Laplacian, partitioned across four ranks with real
+//! halo exchanges and bit-deterministic allreduces, while virtual clocks
+//! track the simulated time — the same machinery the Unimem driver runs
+//! the paper's workloads on.
+//!
+//! Run with: `cargo run --release --example distributed_solver`
+
+use unimem_repro::mpi::{CommWorld, NetParams};
+use unimem_repro::sim::Bytes;
+
+const N_PER_RANK: usize = 2048;
+const RANKS: usize = 4;
+
+/// y = A·x for the 1-D Laplacian [-1, 2, -1] with halo exchange.
+fn matvec(
+    ctx: &mut unimem_repro::mpi::RankCtx,
+    x: &[f64],
+    y: &mut [f64],
+    tag: u64,
+) {
+    let rank = ctx.rank();
+    let n = x.len();
+    let mut left_halo = 0.0;
+    let mut right_halo = 0.0;
+    // Exchange boundary elements with neighbours (real payloads).
+    if rank > 0 {
+        ctx.send(rank - 1, tag, Bytes(8), &[x[0]]);
+    }
+    if rank + 1 < ctx.nranks() {
+        ctx.send(rank + 1, tag + 1, Bytes(8), &[x[n - 1]]);
+    }
+    if rank + 1 < ctx.nranks() {
+        right_halo = ctx.recv(rank + 1, tag)[0];
+    }
+    if rank > 0 {
+        left_halo = ctx.recv(rank - 1, tag + 1)[0];
+    }
+    for i in 0..n {
+        let l = if i == 0 { left_halo } else { x[i - 1] };
+        let r = if i == n - 1 { right_halo } else { x[i + 1] };
+        y[i] = 2.0 * x[i] - l - r;
+    }
+}
+
+fn main() {
+    let results = CommWorld::run(RANKS, NetParams::default(), |ctx| {
+        // Solve A·u = b with b = 1 (the discrete Poisson problem).
+        let n = N_PER_RANK;
+        let b = vec![1.0f64; n];
+        let mut u = vec![0.0f64; n];
+        let mut r = b.clone();
+        let mut p = r.clone();
+        let mut q = vec![0.0f64; n];
+        let mut rho = ctx.allreduce_sum_scalar(r.iter().map(|x| x * x).sum());
+        let mut iters = 0u32;
+        for k in 0..2 * RANKS * N_PER_RANK {
+            matvec(ctx, &p, &mut q, 1000 + 4 * k as u64);
+            let pq = ctx.allreduce_sum_scalar(p.iter().zip(&q).map(|(a, b)| a * b).sum());
+            let alpha = rho / pq;
+            for i in 0..n {
+                u[i] += alpha * p[i];
+                r[i] -= alpha * q[i];
+            }
+            let rho_new = ctx.allreduce_sum_scalar(r.iter().map(|x| x * x).sum());
+            iters = k as u32 + 1;
+            if rho_new.sqrt() < 1e-8 {
+                break;
+            }
+            let beta = rho_new / rho;
+            rho = rho_new;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+        }
+        // Verify: residual of the final iterate.
+        matvec(ctx, &u, &mut q, 9_000_000);
+        let local_res: f64 = b.iter().zip(&q).map(|(b, q)| (b - q) * (b - q)).sum();
+        let res = ctx.allreduce_sum_scalar(local_res).sqrt();
+        (iters, res, ctx.now().secs())
+    });
+
+    let (iters, res, vtime) = results[0];
+    println!("distributed CG: {} ranks x {} unknowns", RANKS, N_PER_RANK);
+    println!("converged in {iters} iterations, residual {res:.3e}");
+    println!("virtual time on the simulated interconnect: {vtime:.4}s");
+    assert!(res < 1e-6, "CG must converge");
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.0, iters, "rank {i} disagrees on iteration count");
+    }
+    println!("all ranks agree bit-exactly — determinism OK");
+}

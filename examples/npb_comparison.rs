@@ -1,0 +1,44 @@
+//! Reproduce the paper's basic performance test for one benchmark:
+//! DRAM-only vs NVM-only vs X-Mem vs Unimem on the CLASS C setup
+//! (4 ranks, DRAM 256 MB, NVM 16 GB, NVM at 1/2 DRAM bandwidth).
+//!
+//! Run with: `cargo run --release --example npb_comparison [CG|FT|BT|LU|SP|MG|NEK]`
+
+use unimem_repro::cache::CacheModel;
+use unimem_repro::hms::MachineConfig;
+use unimem_repro::runtime::exec::{run_workload, Policy};
+use unimem_repro::workloads::{by_name, Class};
+use unimem_repro::xmem::xmem_policy;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "SP".to_string());
+    let w = by_name(&name, Class::C).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name}; use CG/FT/BT/LU/SP/MG/NEK");
+        std::process::exit(1);
+    });
+    let machine = MachineConfig::nvm_bw_fraction(0.5);
+    let cache = CacheModel::platform_a();
+    let nranks = 4;
+
+    println!("benchmark {} on {}", w.name(), machine.label);
+    let dram = run_workload(w.as_ref(), &machine, &cache, nranks, &Policy::DramOnly);
+    let base = dram.time().secs();
+    for policy in [
+        Policy::NvmOnly,
+        xmem_policy(w.as_ref(), &machine, &cache, nranks),
+        Policy::unimem(),
+    ] {
+        let rep = run_workload(w.as_ref(), &machine, &cache, nranks, &policy);
+        println!(
+            "{:10} {:>8.3}s  normalized {:>6.3}  migrations {:>4}  moved {:>10}  overlap {:>6.1}%  runtime-cost {:>5.2}%",
+            rep.policy,
+            rep.time().secs(),
+            rep.time().secs() / base,
+            rep.job.migration_count(),
+            format!("{}", rep.job.migrated_bytes()),
+            rep.job.overlap_pct(),
+            rep.job.pure_runtime_cost() * 100.0,
+        );
+    }
+    println!("{:10} {:>8.3}s  normalized  1.000", dram.policy, base);
+}

@@ -1,0 +1,54 @@
+//! Quickstart: the Unimem API (Table 2) over real memory, end to end.
+//!
+//! Allocates target data objects in the NVM pool, runs an iterative
+//! "application" that touches them unevenly, and watches the runtime move
+//! the hot objects into the small DRAM pool through the helper thread's
+//! FIFO queue — data intact, pointers (handles) still valid.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use unimem_repro::hms::tier::TierKind;
+use unimem_repro::runtime::Unimem;
+use unimem_repro::sim::Bytes;
+
+fn main() {
+    // unimem_init: a machine with 4 MiB of fast DRAM and unbounded NVM.
+    let rt = Unimem::init(Bytes::mib(4));
+
+    // unimem_malloc: three target data objects, all born in NVM.
+    let hot = rt.malloc("hot_field", Bytes::mib(2));
+    let warm = rt.malloc("warm_table", Bytes::mib(2));
+    let cold = rt.malloc("cold_archive", Bytes::mib(8));
+
+    // Fill them so we can verify migration preserves contents.
+    hot.with_write(|b| b.iter_mut().enumerate().for_each(|(i, x)| *x = (i % 251) as u8));
+
+    rt.start(); // unimem_start: main computation loop begins
+    for iter in 0..5 {
+        // The "application": sweeps the hot field every iteration, the
+        // warm table occasionally, the archive almost never.
+        let hot_sum: u64 = hot.with_read(|b| b.iter().map(|&x| x as u64).sum());
+        rt.record_access("hot_field", 4 * hot.len() as u64);
+        if iter % 2 == 0 {
+            rt.record_access("warm_table", warm.len() as u64 / 2);
+        }
+        rt.record_access("cold_archive", 64);
+        rt.end_iteration(); // placement decision + proactive migration
+        println!(
+            "iter {iter}: hot={:?} warm={:?} cold={:?} (hot checksum {hot_sum})",
+            rt.tier_of("hot_field").unwrap(),
+            rt.tier_of("warm_table").unwrap(),
+            rt.tier_of("cold_archive").unwrap(),
+        );
+    }
+    let (migrations, dram_used) = rt.end(); // unimem_end
+
+    println!("\nmigrations performed: {migrations}");
+    println!("DRAM in use: {dram_used}");
+    assert_eq!(hot.tier(), TierKind::Dram, "hot object should live in DRAM");
+    assert_eq!(cold.tier(), TierKind::Nvm, "cold object should stay in NVM");
+    hot.with_read(|b| {
+        assert!(b.iter().enumerate().all(|(i, &x)| x == (i % 251) as u8));
+    });
+    println!("data verified intact after migration — quickstart OK");
+}

@@ -1,0 +1,14 @@
+//! Workspace façade for the Unimem (SC'17) reproduction.
+//!
+//! Re-exports every crate under a single roof so examples and integration
+//! tests can `use unimem_repro::...`. See the README for a tour and
+//! DESIGN.md for the system inventory.
+
+pub use unimem as runtime;
+pub use unimem_cache as cache;
+pub use unimem_hms as hms;
+pub use unimem_mpi as mpi;
+pub use unimem_perf as perf;
+pub use unimem_sim as sim;
+pub use unimem_workloads as workloads;
+pub use unimem_xmem as xmem;

@@ -1,0 +1,127 @@
+//! Validate the analytic LLC miss model against the set-associative LRU
+//! trace simulator on miniature instances of every access pattern.
+//!
+//! The analytic model drives all class-scale experiments; these tests pin
+//! its error against a ground-truth simulator in the regimes the placement
+//! decisions depend on: fully-fitting (≈0 misses), fully-overflowing
+//! streaming (1 miss per line), and capacity-limited random access
+//! (miss ratio ≈ 1 − cache/working-set).
+
+use unimem_repro::cache::trace::generate;
+use unimem_repro::cache::{AccessPattern, CacheModel, ObjAccess, SetAssocCache};
+use unimem_repro::hms::object::ObjId;
+use unimem_repro::sim::{Bytes, DetRng};
+
+/// Measure steady-state miss count: one warm-up pass, then one measured
+/// replay of the same trace.
+fn simulate(pattern: AccessPattern, span: Bytes, n: usize, cache_bytes: Bytes, seed: u64) -> u64 {
+    let mut rng = DetRng::seed(seed);
+    let trace = generate(pattern, 0, span, n, &mut rng);
+    let mut sim = SetAssocCache::new(cache_bytes, Bytes(64), 8);
+    for &a in &trace {
+        sim.access(a);
+    }
+    sim.reset_stats();
+    for &a in &trace {
+        sim.access(a);
+    }
+    sim.misses()
+}
+
+fn analytic(pattern: AccessPattern, span: Bytes, n: usize, cache_bytes: Bytes) -> u64 {
+    let model = CacheModel::new(cache_bytes);
+    let acc = ObjAccess::new(ObjId(0), n as u64, span, pattern);
+    model.misses(&acc, span).misses
+}
+
+#[test]
+fn fitting_working_sets_agree_on_zero_steady_state() {
+    let cache = Bytes::kib(512);
+    let span = Bytes::kib(128);
+    for pattern in [
+        AccessPattern::Streaming { stride: Bytes(8) },
+        AccessPattern::Random,
+        AccessPattern::PointerChase,
+    ] {
+        let sim = simulate(pattern, span, 50_000, cache, 1);
+        let ana = analytic(pattern, span, 50_000, cache);
+        assert!(
+            sim <= 500,
+            "{}: simulator reports {sim} steady-state misses for a fitting set",
+            pattern.name()
+        );
+        assert_eq!(ana, 0, "{}: analytic model", pattern.name());
+    }
+}
+
+#[test]
+fn overflowing_stream_misses_once_per_line_in_both_models() {
+    let cache = Bytes::kib(64);
+    let span = Bytes::kib(1024); // 16x the cache
+    let n = 262_144; // two full traversals at 8-byte stride
+    let sim = simulate(AccessPattern::Streaming { stride: Bytes(8) }, span, n, cache, 2);
+    let ana = analytic(AccessPattern::Streaming { stride: Bytes(8) }, span, n, cache);
+    // Expected: one miss per 64-byte line per traversal = n/8.
+    let expected = (n / 8) as f64;
+    assert!(
+        (sim as f64 - expected).abs() / expected < 0.02,
+        "simulator {sim} vs expected {expected}"
+    );
+    assert!(
+        (ana as f64 - expected).abs() / expected < 0.02,
+        "analytic {ana} vs expected {expected}"
+    );
+}
+
+#[test]
+fn random_miss_ratio_tracks_capacity_fraction() {
+    let n = 200_000;
+    let span = Bytes::kib(1024);
+    for cache_kib in [128u64, 256, 512] {
+        let cache = Bytes::kib(cache_kib);
+        let sim = simulate(AccessPattern::Random, span, n, cache, 3) as f64 / n as f64;
+        let ana = analytic(AccessPattern::Random, span, n, cache) as f64 / n as f64;
+        // Both should approximate 1 − cache/span; agree within 10 points.
+        let expected = 1.0 - cache_kib as f64 / 1024.0;
+        assert!(
+            (sim - expected).abs() < 0.10,
+            "cache {cache_kib}K: simulator ratio {sim:.3} vs {expected:.3}"
+        );
+        assert!(
+            (ana - sim).abs() < 0.10,
+            "cache {cache_kib}K: analytic {ana:.3} vs simulator {sim:.3}"
+        );
+    }
+}
+
+#[test]
+fn pointer_chase_behaves_like_random_for_misses() {
+    // Same capacity-miss structure, different (serialized) timing — the
+    // miss model treats them alike; only MLP differs.
+    let n = 100_000;
+    let span = Bytes::kib(512);
+    let cache = Bytes::kib(128);
+    let chase = simulate(AccessPattern::PointerChase, span, n, cache, 4) as f64;
+    let random = simulate(AccessPattern::Random, span, n, cache, 4) as f64;
+    assert!(
+        (chase - random).abs() / random < 0.15,
+        "chase {chase} vs random {random}"
+    );
+}
+
+#[test]
+fn analytic_model_is_within_band_across_mixed_regimes() {
+    // Sweep span/cache ratios for random access; the analytic prediction
+    // must stay within 12 percentage points of the simulator everywhere.
+    let n = 120_000;
+    let cache = Bytes::kib(256);
+    for span_kib in [64u64, 256, 512, 1024, 2048] {
+        let span = Bytes::kib(span_kib);
+        let sim = simulate(AccessPattern::Random, span, n, cache, 5) as f64 / n as f64;
+        let ana = analytic(AccessPattern::Random, span, n, cache) as f64 / n as f64;
+        assert!(
+            (ana - sim).abs() < 0.12,
+            "span {span_kib}K: analytic {ana:.3} vs simulator {sim:.3}"
+        );
+    }
+}

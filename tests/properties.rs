@@ -1,0 +1,180 @@
+//! Property-based tests on the core invariants (proptest).
+
+use proptest::prelude::*;
+use unimem_repro::hms::alloc::SpaceAllocator;
+use unimem_repro::hms::migration::MigrationEngine;
+use unimem_repro::hms::object::{ObjId, UnitId};
+use unimem_repro::hms::tier::TierKind;
+use unimem_repro::runtime::knapsack::{solve, solve_exhaustive, Item};
+use unimem_repro::sim::{Bandwidth, Bytes, DetRng, VDur, VTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The DP knapsack matches exhaustive search on every small instance.
+    #[test]
+    fn knapsack_matches_exhaustive(
+        weights in prop::collection::vec(-5.0f64..10.0, 1..10),
+        sizes in prop::collection::vec(1u64..200, 1..10),
+        cap in 1u64..600,
+    ) {
+        let n = weights.len().min(sizes.len());
+        let items: Vec<Item> = (0..n)
+            .map(|i| Item { weight: weights[i], size: Bytes(sizes[i]) })
+            .collect();
+        let (chosen, w_dp) = solve(&items, Bytes(cap));
+        let (_, w_ex) = solve_exhaustive(&items, Bytes(cap));
+        prop_assert!((w_dp - w_ex).abs() < 1e-9, "dp {w_dp} vs exhaustive {w_ex}");
+        // Chosen set must fit and produce the reported weight.
+        let total: u64 = chosen.iter().map(|&i| items[i].size.get()).sum();
+        prop_assert!(total <= cap);
+        let sum: f64 = chosen.iter().map(|&i| items[i].weight).sum();
+        prop_assert!((sum - w_dp).abs() < 1e-9);
+    }
+
+    /// The allocator never overcommits, never hands out overlapping
+    /// regions, and free+coalesce restores a fully usable arena.
+    #[test]
+    fn allocator_invariants(ops in prop::collection::vec((1u64..64, any::<bool>()), 1..60)) {
+        let cap = 512u64;
+        let mut a = SpaceAllocator::new(Bytes(cap));
+        let mut live: Vec<unimem_repro::hms::alloc::Region> = Vec::new();
+        for (size, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let r = live.swap_remove(live.len() / 2);
+                a.free(r);
+            } else if let Some(r) = a.alloc(Bytes(size)) {
+                live.push(r);
+            }
+            // Invariants after every operation.
+            let used: u64 = live.iter().map(|r| r.len).sum();
+            prop_assert_eq!(a.allocated().get(), used);
+            prop_assert!(used <= cap);
+            let mut sorted = live.clone();
+            sorted.sort_by_key(|r| r.offset);
+            for w in sorted.windows(2) {
+                prop_assert!(w[0].offset + w[0].len <= w[1].offset, "overlap");
+            }
+        }
+        for r in live.drain(..) {
+            a.free(r);
+        }
+        prop_assert_eq!(a.allocated(), Bytes(0));
+        prop_assert_eq!(a.largest_free_run(), Bytes(cap));
+    }
+
+    /// Migration accounting conserves bytes and overlap+exposed equals the
+    /// total copy time, whatever the enqueue/require interleaving.
+    #[test]
+    fn migration_engine_conserves_time(
+        sizes in prop::collection::vec(1u64..(64 << 20), 1..20),
+        req_offsets in prop::collection::vec(0.0f64..0.2, 1..20),
+    ) {
+        let mut e = MigrationEngine::new(Bandwidth::gb_per_s(2.0));
+        let mut now = VTime::ZERO;
+        let n = sizes.len().min(req_offsets.len());
+        for i in 0..n {
+            let unit = UnitId::whole(ObjId(i as u32));
+            let dir = if i % 2 == 0 { TierKind::Dram } else { TierKind::Nvm };
+            e.enqueue(unit, dir, Bytes(sizes[i]), now);
+            now = now + VDur::from_secs(req_offsets[i]);
+            let _ = e.require(unit, now);
+        }
+        let stats = e.stats();
+        prop_assert_eq!(stats.bytes.get(), sizes[..n].iter().sum::<u64>());
+        let total_copy: f64 = sizes[..n].iter().map(|&s| s as f64 / 2e9).sum();
+        let accounted = stats.overlapped.secs() + stats.exposed.secs();
+        prop_assert!((accounted - total_copy).abs() < 1e-6,
+            "overlap {} + exposed {} != copies {}", stats.overlapped.secs(), stats.exposed.secs(), total_copy);
+    }
+
+    /// Binomial sampling never exceeds its population and is deterministic
+    /// per seed.
+    #[test]
+    fn binomial_bounds(n in 0u64..5_000_000, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut r1 = DetRng::seed(seed);
+        let mut r2 = DetRng::seed(seed);
+        let a = r1.binomial(n, p);
+        let b = r2.binomial(n, p);
+        prop_assert_eq!(a, b);
+        prop_assert!(a <= n);
+    }
+
+    /// Virtual time arithmetic is monotone: adding durations never moves a
+    /// clock backwards; `since` never goes negative.
+    #[test]
+    fn vtime_monotonicity(steps in prop::collection::vec(0.0f64..1e3, 1..50)) {
+        let mut t = VTime::ZERO;
+        let mut prev = t;
+        for s in steps {
+            t = t + VDur::from_secs(s);
+            prop_assert!(t.secs() >= prev.secs());
+            prop_assert!(t.since(prev).secs() >= 0.0);
+            prev = t;
+        }
+    }
+
+    /// The analytic cache model never reports more misses than accesses
+    /// and is monotone in cache size.
+    #[test]
+    fn cache_model_bounds(
+        accesses in 1u64..10_000_000,
+        touched_kib in 1u64..262_144,
+        cache_kib in 1u64..32_768,
+        pattern_sel in 0u8..5,
+    ) {
+        use unimem_repro::cache::{AccessPattern, CacheModel, ObjAccess};
+        let pattern = match pattern_sel {
+            0 => AccessPattern::Streaming { stride: Bytes(8) },
+            1 => AccessPattern::Random,
+            2 => AccessPattern::PointerChase,
+            3 => AccessPattern::Gather { index_span: Bytes::kib(touched_kib * 2) },
+            _ => AccessPattern::Stencil { reuse_bytes: Bytes::kib(touched_kib / 4) },
+        };
+        let acc = ObjAccess::new(ObjId(0), accesses, Bytes::kib(touched_kib), pattern);
+        let small = CacheModel::new(Bytes::kib(cache_kib));
+        let big = CacheModel::new(Bytes::kib(cache_kib * 4));
+        let m_small = small.misses(&acc, acc.touched);
+        let m_big = big.misses(&acc, acc.touched);
+        prop_assert!(m_small.misses <= accesses);
+        prop_assert!(m_big.misses <= m_small.misses,
+            "bigger cache produced more misses: {} vs {}", m_big.misses, m_small.misses);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Trigger windows are always dependency-safe: no phase inside the
+    /// window references the migrated unit.
+    #[test]
+    fn trigger_windows_respect_dependencies(
+        n_phases in 2usize..8,
+        ref_mask in prop::collection::vec(any::<bool>(), 2..8),
+    ) {
+        use unimem_repro::runtime::deps::PhaseRefTable;
+        use unimem_repro::mpi::PhaseId;
+        let n = n_phases.min(ref_mask.len());
+        let unit = UnitId::whole(ObjId(0));
+        let mut t = PhaseRefTable::new(n);
+        let mut any_ref = false;
+        for p in 0..n {
+            if ref_mask[p] {
+                t.add_ref(PhaseId(p as u32), unit);
+                any_ref = true;
+            }
+        }
+        prop_assume!(any_ref);
+        for p in 0..n {
+            if !ref_mask[p] { continue; }
+            let w = t.trigger_for(unit, PhaseId(p as u32));
+            // Every phase strictly inside (trigger .. use) must not
+            // reference the unit.
+            for k in 0..w.overlap_phases {
+                let q = ((w.trigger.0 + k) as usize) % n;
+                prop_assert!(!ref_mask[q],
+                    "phase {q} references unit inside window (use {p}, trigger {})", w.trigger.0);
+            }
+        }
+    }
+}
