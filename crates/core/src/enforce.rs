@@ -66,6 +66,9 @@ impl Enforcer {
     /// (with their service grants). `capacity` is this rank's DRAM share —
     /// admission triggers respect both data dependencies (Fig. 5) and the
     /// plan's space headroom at intermediate phases.
+    // One parameter per distinct piece of boundary state; bundling them
+    // into a struct would just move the argument list one hop away.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         plan: PlacementPlan,
         refs: &PhaseRefTable,
@@ -202,6 +205,9 @@ impl Enforcer {
     /// progressively by streaming phases, so the k-th chunk is only
     /// *needed* a fraction k/n into the phase — in-flight chunk copies
     /// beyond the first overlap with the phase itself.
+    // Mirrors the paper's phase-boundary inputs (Fig. 6); a parameter
+    // struct would obscure which runtime pieces the boundary consumes.
+    #[allow(clippy::too_many_arguments)]
     pub fn phase_begin(
         &mut self,
         phase: PhaseId,

@@ -246,7 +246,7 @@ impl RankCtx {
     /// `bytes` is the modeled per-pair message size.
     pub fn alltoall(&mut self, bytes: Bytes, blocks: Vec<f64>) -> Vec<f64> {
         assert!(
-            blocks.is_empty() || blocks.len() % self.nranks() == 0,
+            blocks.len().is_multiple_of(self.nranks()),
             "alltoall payload must split into nranks blocks"
         );
         self.collective(CollectiveKind::Alltoall, bytes, blocks, ReduceOp::AllToAll)

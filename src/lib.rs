@@ -5,6 +5,7 @@
 //! DESIGN.md for the system inventory.
 
 pub use unimem as runtime;
+pub use unimem_bench as bench;
 pub use unimem_cache as cache;
 pub use unimem_hms as hms;
 pub use unimem_mpi as mpi;

@@ -77,7 +77,7 @@ proptest! {
             let unit = UnitId::whole(ObjId(i as u32));
             let dir = if i % 2 == 0 { TierKind::Dram } else { TierKind::Nvm };
             e.enqueue(unit, dir, Bytes(sizes[i]), now);
-            now = now + VDur::from_secs(req_offsets[i]);
+            now += VDur::from_secs(req_offsets[i]);
             let _ = e.require(unit, now);
         }
         let stats = e.stats();
@@ -107,7 +107,7 @@ proptest! {
         let mut t = VTime::ZERO;
         let mut prev = t;
         for s in steps {
-            t = t + VDur::from_secs(s);
+            t += VDur::from_secs(s);
             prop_assert!(t.secs() >= prev.secs());
             prop_assert!(t.since(prev).secs() >= 0.0);
             prev = t;
@@ -158,8 +158,8 @@ proptest! {
         let unit = UnitId::whole(ObjId(0));
         let mut t = PhaseRefTable::new(n);
         let mut any_ref = false;
-        for p in 0..n {
-            if ref_mask[p] {
+        for (p, &referenced) in ref_mask.iter().enumerate().take(n) {
+            if referenced {
                 t.add_ref(PhaseId(p as u32), unit);
                 any_ref = true;
             }

@@ -1,0 +1,20 @@
+//! Offline stub of the `serde` façade.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names with blanket impls
+//! (every type trivially satisfies both) and re-exports the no-op derive
+//! macros. Sufficient for code that derives the traits and uses them as
+//! bounds; there is no actual serialization machinery behind it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization alias, matching serde's `de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}

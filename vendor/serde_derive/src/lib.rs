@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The sibling `serde` stub gives every type a blanket trait impl, so the
+//! derives only need to exist (and swallow `#[serde(...)]` helper
+//! attributes); they emit no code.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
