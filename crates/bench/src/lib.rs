@@ -12,6 +12,8 @@ use unimem_cache::CacheModel;
 use unimem_hms::MachineConfig;
 use unimem_workloads::Class;
 
+pub mod sweep;
+
 /// Canonical cache for all experiments (Platform A's Xeon E5-2630 LLC).
 pub fn cache() -> CacheModel {
     CacheModel::platform_a()

@@ -1,0 +1,335 @@
+//! Paper-claim conformance: the headline results of Figs. 9/10 and
+//! Table 4 as executable checks over a [`SweepReport`].
+//!
+//! Each check is scoped to the configurations where the paper actually
+//! makes the claim — a sweep cell outside that scope (e.g. ReRAM, whose
+//! 4.5 MB/s writes make any migration a loss) is reported but not judged.
+
+use crate::sweep::matrix::PolicyKind;
+use crate::sweep::runner::{SweepCell, SweepReport};
+use crate::sweep::SweepConfig;
+use std::fmt;
+
+/// Tolerances for the conformance checks, each mapped to the paper claim
+/// it encodes. Defaults carry headroom over the measured reproduction
+/// values (see `EXPERIMENTS`/README) so legitimate refactors don't trip
+/// them, while a regression of the claim itself still does.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// Figs. 9/10 / abstract: "performance comparable to the DRAM-only
+    /// system" (paper: at most 16% difference) on the emulation-anchor
+    /// profiles at the basic-setup scale (≥ 4 ranks). Checked as
+    /// `unimem ≤ dram-only × dram_tracking`. Reproduction worst case:
+    /// 1.171 (FT, bw-half, 4 ranks).
+    pub dram_tracking: f64,
+    /// Figs. 9/10: Unimem outperforms NVM-only everywhere. Checked as
+    /// `unimem ≤ nvm-only × nvm_win` on every cell; the 2% slack absorbs
+    /// cells where no placement helps and only runtime overhead remains.
+    /// Reproduction worst case: 1.015 (Nek5000, ReRAM, 1 rank).
+    pub nvm_win: f64,
+    /// Figs. 9/10 / §5: Unimem beats the X-Mem static placement on
+    /// Nek5000's drifting access pattern. Checked as
+    /// `unimem ≤ xmem × xmem_drift` on drift-capable profiles at ≥ 4
+    /// ranks. Reproduction worst case: 1.003 (bw-half, 8 ranks — a tie:
+    /// both policies reach DRAM-only time).
+    pub xmem_drift: f64,
+    /// Table 4: pure runtime cost (profiling + modeling + sync, excluding
+    /// data movement) stays bounded — the paper reports at most 3.1% of
+    /// run time. Checked on every Unimem cell. Reproduction worst case:
+    /// 0.09%.
+    pub max_runtime_cost: f64,
+    /// Rank count from which the scale-scoped checks apply (the paper's
+    /// basic tests use 4 nodes).
+    pub min_ranks: usize,
+}
+
+impl Default for Tolerances {
+    fn default() -> Tolerances {
+        Tolerances {
+            dram_tracking: 1.25,
+            nvm_win: 1.02,
+            xmem_drift: 1.01,
+            max_runtime_cost: 0.031,
+            min_ranks: 4,
+        }
+    }
+}
+
+/// One failed check.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which check fired ("dram-tracking", "nvm-win", "xmem-drift",
+    /// "runtime-cost", "determinism").
+    pub check: &'static str,
+    /// Cell coordinates ("CG/bw-half/r4/unimem").
+    pub cell: String,
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.check, self.cell, self.detail)
+    }
+}
+
+fn ratio_violation(
+    check: &'static str,
+    cell: &SweepCell,
+    baseline: &SweepCell,
+    limit: f64,
+) -> Option<Violation> {
+    let ratio = cell.time_s() / baseline.time_s();
+    (ratio > limit).then(|| Violation {
+        check,
+        cell: cell.coords(),
+        detail: format!(
+            "{:.4}s vs {} {:.4}s — ratio {ratio:.3} exceeds {limit:.3}",
+            cell.time_s(),
+            baseline.policy.name(),
+            baseline.time_s(),
+        ),
+    })
+}
+
+fn missing_baseline(check: &'static str, cell: &SweepCell, baseline: PolicyKind) -> Violation {
+    Violation {
+        check,
+        cell: cell.coords(),
+        detail: format!(
+            "required {} baseline cell missing from the matrix; claim not evaluated",
+            baseline.name()
+        ),
+    }
+}
+
+/// Run every in-scope check over the sweep. An empty result means the
+/// matrix conforms to the paper's claims at the given tolerances — and
+/// that every in-scope claim was actually evaluated: a matrix without
+/// Unimem cells, or missing a baseline an in-scope check needs, yields
+/// violations rather than a vacuous pass.
+pub fn check_report(report: &SweepReport, tol: &Tolerances) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if !report.cells.iter().any(|c| c.policy == PolicyKind::Unimem) {
+        violations.push(Violation {
+            check: "coverage",
+            cell: "(matrix)".into(),
+            detail: "matrix contains no unimem cells; no paper claim was evaluated".into(),
+        });
+        return violations;
+    }
+    for cell in &report.cells {
+        if cell.policy != PolicyKind::Unimem {
+            continue;
+        }
+        let at = |policy| report.get(&cell.workload, policy, cell.profile, cell.nranks);
+
+        // Table-4 runtime-cost bound applies to every Unimem cell.
+        let cost = cell.report.job.pure_runtime_cost();
+        if cost > tol.max_runtime_cost {
+            violations.push(Violation {
+                check: "runtime-cost",
+                cell: cell.coords(),
+                detail: format!(
+                    "pure runtime cost {:.4} exceeds {:.4}",
+                    cost, tol.max_runtime_cost
+                ),
+            });
+        }
+
+        // Unimem must win (within slack) against NVM-only everywhere.
+        match at(PolicyKind::NvmOnly) {
+            Some(nvm) => violations.extend(ratio_violation("nvm-win", cell, nvm, tol.nvm_win)),
+            None => violations.push(missing_baseline("nvm-win", cell, PolicyKind::NvmOnly)),
+        }
+
+        // The remaining claims are made at basic-setup scale.
+        if cell.nranks < tol.min_ranks {
+            continue;
+        }
+        if cell.profile.tracks_dram() {
+            match at(PolicyKind::DramOnly) {
+                Some(dram) => violations.extend(ratio_violation(
+                    "dram-tracking",
+                    cell,
+                    dram,
+                    tol.dram_tracking,
+                )),
+                None => {
+                    violations.push(missing_baseline("dram-tracking", cell, PolicyKind::DramOnly))
+                }
+            }
+        }
+        if cell.workload == "Nek5000" && cell.profile.supports_drift_win() {
+            match at(PolicyKind::Xmem) {
+                Some(xmem) => {
+                    violations.extend(ratio_violation("xmem-drift", cell, xmem, tol.xmem_drift))
+                }
+                None => violations.push(missing_baseline("xmem-drift", cell, PolicyKind::Xmem)),
+            }
+        }
+    }
+    violations
+}
+
+/// Determinism check: re-run a representative Unimem cell of each profile
+/// at the matrix's largest rank count and require byte-identical
+/// `RunReport` JSON. This guards the virtual-clock MPI layer against
+/// host-scheduling leaks — any nondeterminism in the multi-threaded rank
+/// execution shows up as differing serialized stats.
+pub fn check_determinism(cfg: &SweepConfig) -> Vec<Violation> {
+    use unimem::exec::{run_workload, Policy};
+    use unimem_cache::CacheModel;
+    use unimem_workloads::{canonical_name, select};
+
+    let Some(&nranks) = cfg.ranks.iter().max() else {
+        return Vec::new();
+    };
+    // Nek5000 exercises the most runtime machinery (drift → re-profiling
+    // → migration); fall back to the first workload if absent. Compare
+    // canonical names so aliases ("nek") still pick it.
+    let workload = cfg
+        .workloads
+        .iter()
+        .find(|w| canonical_name(w) == Some("Nek5000"))
+        .or_else(|| cfg.workloads.first());
+    let Some(workload) = workload else {
+        return Vec::new();
+    };
+    let Ok(selection) = select(&[workload.as_str()], cfg.class) else {
+        return Vec::new(); // unknown names are run_sweep's error to report
+    };
+    let (canon, w) = &selection[0];
+
+    let cache = CacheModel::platform_a();
+    let mut violations = Vec::new();
+    for &profile in &cfg.profiles {
+        let mut machine = profile.machine();
+        if let Some(cap) = cfg.dram_capacity {
+            machine = machine.with_dram_capacity(cap);
+        }
+        let run =
+            || run_workload(w.as_ref(), &machine, &cache, nranks, &Policy::unimem())
+                .to_json()
+                .to_pretty();
+        if run() != run() {
+            violations.push(Violation {
+                check: "determinism",
+                cell: format!("{canon}/{}/r{nranks}/unimem", profile.name()),
+                detail: "repeated runs produced different RunReport JSON bytes".into(),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::matrix::NvmProfile;
+    use crate::sweep::runner::run_sweep;
+    use unimem_workloads::Class;
+
+    fn small_matrix() -> SweepConfig {
+        SweepConfig {
+            class: Class::C,
+            workloads: vec!["CG".into(), "Nek5000".into()],
+            policies: PolicyKind::ALL.to_vec(),
+            profiles: vec![NvmProfile::BwHalf],
+            ranks: vec![4],
+            dram_capacity: None,
+        }
+    }
+
+    #[test]
+    fn small_matrix_conforms() {
+        let rep = run_sweep(&small_matrix()).unwrap();
+        let violations = check_report(&rep, &Tolerances::default());
+        assert!(
+            violations.is_empty(),
+            "unexpected violations: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn impossible_tolerances_fire_with_cell_coordinates() {
+        let rep = run_sweep(&small_matrix()).unwrap();
+        let strict = Tolerances {
+            dram_tracking: 0.5, // unimem can never halve DRAM-only time
+            max_runtime_cost: 0.0,
+            ..Tolerances::default()
+        };
+        let violations = check_report(&rep, &strict);
+        assert!(violations.iter().any(|v| v.check == "dram-tracking"));
+        assert!(violations.iter().any(|v| v.check == "runtime-cost"));
+        let msg = violations[0].to_string();
+        assert!(msg.contains("/r4/unimem"), "coords in message: {msg}");
+    }
+
+    #[test]
+    fn scale_scoped_checks_skip_single_rank_cells() {
+        let mut cfg = small_matrix();
+        cfg.ranks = vec![1];
+        let rep = run_sweep(&cfg).unwrap();
+        // 1-rank cells are out of scope for tracking/drift even with
+        // impossible tolerances; only the global checks may fire.
+        let strict = Tolerances {
+            dram_tracking: 0.0,
+            xmem_drift: 0.0,
+            ..Tolerances::default()
+        };
+        let violations = check_report(&rep, &strict);
+        assert!(violations
+            .iter()
+            .all(|v| v.check != "dram-tracking" && v.check != "xmem-drift"));
+    }
+
+    #[test]
+    fn matrix_without_unimem_is_a_coverage_violation() {
+        let mut cfg = small_matrix();
+        cfg.policies = vec![PolicyKind::DramOnly, PolicyKind::NvmOnly];
+        let rep = run_sweep(&cfg).unwrap();
+        let violations = check_report(&rep, &Tolerances::default());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].check, "coverage");
+    }
+
+    #[test]
+    fn missing_baselines_are_violations_not_silent_skips() {
+        let mut cfg = small_matrix();
+        cfg.policies = vec![PolicyKind::Unimem];
+        let rep = run_sweep(&cfg).unwrap();
+        let violations = check_report(&rep, &Tolerances::default());
+        for check in ["nvm-win", "dram-tracking", "xmem-drift"] {
+            assert!(
+                violations.iter().any(|v| v.check == check
+                    && v.detail.contains("missing from the matrix")),
+                "{check} skipped silently: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nek_alias_still_gets_the_drift_check() {
+        // User spells it "nek"; canonicalization must keep the Nek5000
+        // drift claim in scope.
+        let mut cfg = small_matrix();
+        cfg.workloads = vec!["nek".into()];
+        let rep = run_sweep(&cfg).unwrap();
+        assert_eq!(rep.config.workloads, ["Nek5000"]);
+        let strict = Tolerances {
+            xmem_drift: 0.0,
+            ..Tolerances::default()
+        };
+        let violations = check_report(&rep, &strict);
+        assert!(
+            violations.iter().any(|v| v.check == "xmem-drift"),
+            "drift check not evaluated for alias: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn determinism_probe_passes() {
+        let violations = check_determinism(&small_matrix());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -1,0 +1,31 @@
+//! The evaluation-matrix sweep: every workload × policy × NVM profile ×
+//! rank count in one run, one machine-readable report, and executable
+//! paper-claim conformance checks on top.
+//!
+//! The figure/table harnesses under `benches/` each reproduce one plot.
+//! This subsystem instead runs the *whole* evaluation matrix —
+//!
+//! * workloads: the 7-member suite (CG/FT/BT/LU/SP/MG + Nek5000-eddy),
+//! * policies: `unimem`, `xmem`, `dram-only`, `nvm-only`,
+//! * NVM profiles: the Fig. 9/10 emulation anchors (½ DRAM bandwidth,
+//!   4× DRAM latency) and the Table-1 technology rows (STT-RAM, PCRAM,
+//!   ReRAM),
+//! * rank counts: 1 / 4 / 8
+//!
+//! — and emits a single `BENCH_sweep.json` with per-cell run time,
+//! migration statistics, and pure runtime cost ([`report`]).
+//!
+//! The [`conformance`] layer encodes the paper's headline claims as
+//! executable checks with explicit tolerances (see [`conformance::Tolerances`]
+//! for the claim ↔ figure mapping), runnable both as a tier-1 test on the
+//! [`matrix::SweepConfig::reduced`] matrix and as a full-matrix CLI mode
+//! (`cargo run --release --example sweep -- --full --check`).
+
+pub mod conformance;
+pub mod matrix;
+pub mod report;
+pub mod runner;
+
+pub use conformance::{check_determinism, check_report, Tolerances, Violation};
+pub use matrix::{NvmProfile, PolicyKind, SweepConfig};
+pub use runner::{run_sweep, SweepCell, SweepReport};

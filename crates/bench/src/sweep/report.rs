@@ -1,0 +1,139 @@
+//! `BENCH_sweep.json` emission: a deterministic, machine-readable form of
+//! a [`SweepReport`].
+//!
+//! Schema (`unimem-bench-sweep/v1`):
+//!
+//! ```text
+//! {
+//!   "schema":    "unimem-bench-sweep/v1",
+//!   "class":     "C",
+//!   "workloads": ["CG", ...],
+//!   "policies":  ["unimem", ...],
+//!   "profiles":  ["bw-half", ...],
+//!   "ranks":     [4, ...],
+//!   "n_cells":   56,
+//!   "cells": [
+//!     {
+//!       "workload": "CG", "full_name": "CG.C",
+//!       "policy": "unimem", "profile": "bw-half", "nranks": 4,
+//!       "time_s": ..., "normalized_to_dram": ...,
+//!       "plan_kind": "global"|"local"|null,
+//!       "migration_count": ..., "migrated_bytes": ...,
+//!       "overlap_pct": ..., "pure_runtime_cost": ..., "reprofiles": ...,
+//!       "run": { <full RunReport: job + per-rank stats> }
+//!     }, ...
+//!   ]
+//! }
+//! ```
+//!
+//! Identical sweeps serialize to byte-identical text (insertion-ordered
+//! members, shortest-round-trip floats); the determinism conformance
+//! check compares these bytes across repeated multi-threaded runs.
+
+use crate::sweep::runner::{SweepCell, SweepReport};
+use std::io;
+use std::path::Path;
+use unimem_sim::Json;
+
+pub const SCHEMA: &str = "unimem-bench-sweep/v1";
+
+impl SweepCell {
+    pub fn to_json(&self) -> Json {
+        let job = &self.report.job;
+        let mut o = Json::obj();
+        o.push("workload", self.workload.as_str())
+            .push("full_name", self.full_name.as_str())
+            .push("policy", self.policy.name())
+            .push("profile", self.profile.name())
+            .push("nranks", self.nranks)
+            .push("time_s", self.time_s())
+            .push("normalized_to_dram", self.normalized_to_dram)
+            .push("plan_kind", self.report.plan_kind_json())
+            .push("migration_count", job.migration_count())
+            .push("migrated_bytes", job.migrated_bytes())
+            .push("overlap_pct", job.overlap_pct())
+            .push("pure_runtime_cost", job.pure_runtime_cost())
+            .push("reprofiles", job.reprofiles)
+            .push("run", self.report.to_json());
+        o
+    }
+}
+
+impl SweepReport {
+    pub fn to_json(&self) -> Json {
+        let cfg = &self.config;
+        let strings = |v: Vec<&str>| Json::Arr(v.into_iter().map(Json::from).collect());
+        let mut o = Json::obj();
+        o.push("schema", SCHEMA)
+            .push("class", cfg.class.name())
+            .push(
+                "workloads",
+                strings(cfg.workloads.iter().map(String::as_str).collect()),
+            )
+            .push(
+                "policies",
+                strings(cfg.policies.iter().map(|p| p.name()).collect()),
+            )
+            .push(
+                "profiles",
+                strings(cfg.profiles.iter().map(|p| p.name()).collect()),
+            )
+            .push(
+                "ranks",
+                Json::Arr(cfg.ranks.iter().map(|&r| Json::from(r)).collect()),
+            )
+            .push("n_cells", self.cells.len())
+            .push(
+                "cells",
+                Json::Arr(self.cells.iter().map(SweepCell::to_json).collect()),
+            );
+        o
+    }
+
+    /// Write the pretty JSON form to `path`.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::matrix::{NvmProfile, PolicyKind, SweepConfig};
+    use crate::sweep::runner::run_sweep;
+    use unimem_workloads::Class;
+
+    fn micro_report() -> SweepReport {
+        run_sweep(&SweepConfig {
+            class: Class::C,
+            workloads: vec!["LU".into()],
+            policies: vec![PolicyKind::DramOnly, PolicyKind::NvmOnly, PolicyKind::Unimem],
+            profiles: vec![NvmProfile::BwHalf],
+            ranks: vec![2],
+            dram_capacity: None,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn json_has_schema_axes_and_cells() {
+        let j = micro_report().to_json();
+        assert_eq!(j.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(j.get("class").and_then(Json::as_str), Some("C"));
+        assert_eq!(j.get("n_cells").and_then(Json::as_f64), Some(3.0));
+        let cells = j.get("cells").and_then(Json::as_arr).unwrap();
+        assert_eq!(cells.len(), 3);
+        for c in cells {
+            assert!(c.get("time_s").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(c.get("run").and_then(|r| r.get("job")).is_some());
+            assert!(c.get("normalized_to_dram").and_then(Json::as_f64).is_some());
+        }
+    }
+
+    #[test]
+    fn serialization_is_byte_identical_across_sweeps() {
+        let a = micro_report().to_json().to_pretty();
+        let b = micro_report().to_json().to_pretty();
+        assert_eq!(a, b);
+    }
+}

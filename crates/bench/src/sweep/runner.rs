@@ -1,0 +1,201 @@
+//! Executes a [`SweepConfig`]: one `run_workload` per matrix cell, with
+//! the DRAM-only baseline shared per (workload, profile, rank count) so
+//! normalization never re-runs it.
+
+use crate::sweep::matrix::{NvmProfile, PolicyKind, SweepConfig};
+use unimem::exec::{run_workload, Policy, RunReport};
+use unimem_cache::CacheModel;
+use unimem_workloads::select;
+use unimem_xmem::xmem_policy;
+
+/// One cell of the matrix: a (workload, policy, profile, ranks) run.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Suite short name ("CG", …, "Nek5000").
+    pub workload: String,
+    /// Full workload name including the class ("CG.C").
+    pub full_name: String,
+    pub policy: PolicyKind,
+    pub profile: NvmProfile,
+    pub nranks: usize,
+    /// Run time normalized to the DRAM-only baseline of the same
+    /// (workload, profile, ranks) — the paper's y-axis.
+    pub normalized_to_dram: f64,
+    pub report: RunReport,
+}
+
+impl SweepCell {
+    /// Job completion time in virtual seconds.
+    pub fn time_s(&self) -> f64 {
+        self.report.time().secs()
+    }
+
+    /// Human-readable cell coordinates for messages.
+    pub fn coords(&self) -> String {
+        format!(
+            "{}/{}/r{}/{}",
+            self.workload,
+            self.profile.name(),
+            self.nranks,
+            self.policy.name()
+        )
+    }
+}
+
+/// The result of a sweep: the configuration it ran and every cell, in
+/// deterministic (profile, ranks, workload, policy) order.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    pub config: SweepConfig,
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// Cell lookup by coordinates.
+    pub fn get(
+        &self,
+        workload: &str,
+        policy: PolicyKind,
+        profile: NvmProfile,
+        nranks: usize,
+    ) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            c.workload == workload
+                && c.policy == policy
+                && c.profile == profile
+                && c.nranks == nranks
+        })
+    }
+}
+
+/// Run the whole matrix. Fails (rather than silently skipping) when the
+/// config names an unknown workload. Axes are canonicalized and
+/// deduplicated; the returned report's `config` reflects what actually
+/// ran.
+pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
+    if cfg.ranks.contains(&0) {
+        return Err("rank counts must be positive".into());
+    }
+    let cache = CacheModel::platform_a();
+    let names: Vec<&str> = cfg.workloads.iter().map(String::as_str).collect();
+    // Resolve up front: an unknown name errors even when another axis is
+    // empty, and the workload models build once, not once per machine.
+    let selection = select(&names, cfg.class)?;
+    // The report carries canonical, duplicate-free axes throughout:
+    // consumers (the Nek5000-scoped conformance checks in particular)
+    // never see aliases, and a duplicated axis value cannot double-count
+    // cells in averages or n_cells.
+    let mut cfg = cfg.clone();
+    cfg.workloads = selection.iter().map(|(n, _)| n.clone()).collect();
+    cfg.normalize_axes();
+    let mut cells = Vec::with_capacity(cfg.n_cells());
+
+    for &profile in &cfg.profiles {
+        let mut machine = profile.machine();
+        if let Some(cap) = cfg.dram_capacity {
+            machine = machine.with_dram_capacity(cap);
+        }
+        for &nranks in &cfg.ranks {
+            for (short, workload) in &selection {
+                let w = workload.as_ref();
+                // Baseline shared by every policy cell of this row.
+                let dram = run_workload(w, &machine, &cache, nranks, &Policy::DramOnly);
+                let dram_secs = dram.time().secs();
+                for &policy in &cfg.policies {
+                    let report = match policy {
+                        PolicyKind::DramOnly => dram.clone(),
+                        PolicyKind::NvmOnly => {
+                            run_workload(w, &machine, &cache, nranks, &Policy::NvmOnly)
+                        }
+                        PolicyKind::Xmem => {
+                            let p = xmem_policy(w, &machine, &cache, nranks);
+                            run_workload(w, &machine, &cache, nranks, &p)
+                        }
+                        PolicyKind::Unimem => {
+                            run_workload(w, &machine, &cache, nranks, &Policy::unimem())
+                        }
+                    };
+                    cells.push(SweepCell {
+                        workload: short.clone(),
+                        full_name: w.name(),
+                        policy,
+                        profile,
+                        nranks,
+                        normalized_to_dram: report.time().secs() / dram_secs,
+                        report,
+                    });
+                }
+            }
+        }
+    }
+    Ok(SweepReport { config: cfg, cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unimem_workloads::Class;
+
+    /// A two-cell micro matrix exercises the runner end to end without
+    /// the cost of the reduced matrix (which tests/conformance.rs runs).
+    fn micro() -> SweepConfig {
+        SweepConfig {
+            class: Class::C,
+            workloads: vec!["CG".into()],
+            policies: vec![PolicyKind::DramOnly, PolicyKind::Unimem],
+            profiles: vec![NvmProfile::BwHalf],
+            ranks: vec![2],
+            dram_capacity: None,
+        }
+    }
+
+    #[test]
+    fn runner_fills_every_cell_in_order() {
+        let rep = run_sweep(&micro()).expect("micro matrix runs");
+        assert_eq!(rep.cells.len(), 2);
+        assert_eq!(rep.cells[0].policy, PolicyKind::DramOnly);
+        assert_eq!(rep.cells[1].policy, PolicyKind::Unimem);
+        assert_eq!(rep.cells[0].full_name, "CG.C");
+        assert!((rep.cells[0].normalized_to_dram - 1.0).abs() < 1e-12);
+        assert!(rep.cells[1].time_s() > 0.0);
+    }
+
+    #[test]
+    fn lookup_by_coordinates() {
+        let rep = run_sweep(&micro()).unwrap();
+        assert!(rep
+            .get("CG", PolicyKind::Unimem, NvmProfile::BwHalf, 2)
+            .is_some());
+        assert!(rep
+            .get("CG", PolicyKind::Unimem, NvmProfile::Lat4x, 2)
+            .is_none());
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let mut cfg = micro();
+        cfg.workloads.push("EP".into());
+        assert!(run_sweep(&cfg).is_err());
+        // Even when another axis is empty and no cell would ever run.
+        cfg.profiles.clear();
+        assert!(run_sweep(&cfg).is_err());
+    }
+
+    #[test]
+    fn zero_ranks_is_an_error() {
+        let mut cfg = micro();
+        cfg.ranks = vec![0];
+        assert!(run_sweep(&cfg).is_err());
+    }
+
+    #[test]
+    fn duplicate_axis_values_collapse() {
+        let mut cfg = micro();
+        cfg.ranks = vec![2, 2];
+        cfg.profiles = vec![NvmProfile::BwHalf, NvmProfile::BwHalf];
+        let rep = run_sweep(&cfg).unwrap();
+        assert_eq!(rep.cells.len(), 2, "duplicates must not double-count cells");
+        assert_eq!(rep.config.ranks, [2]);
+        assert_eq!(rep.config.profiles, [NvmProfile::BwHalf]);
+    }
+}

@@ -163,6 +163,35 @@ impl RunReport {
     pub fn time(&self) -> VDur {
         self.job.total_time
     }
+
+    /// The winning plan kind as JSON (`"global"`/`"local"`/`null`), the
+    /// one convention every report serializer shares.
+    pub fn plan_kind_json(&self) -> unimem_sim::Json {
+        match self.plan_kind {
+            Some(k) => unimem_sim::Json::from(k.name()),
+            None => unimem_sim::Json::Null,
+        }
+    }
+
+    /// Deterministic JSON form of the whole report: workload, policy, the
+    /// winning plan kind, the job-level merge, and every rank's stats in
+    /// rank order. Equal reports serialize to byte-identical text — the
+    /// determinism regression tests compare these bytes across repeated
+    /// multi-threaded runs.
+    pub fn to_json(&self) -> unimem_sim::Json {
+        use unimem_sim::Json;
+        let mut o = Json::obj();
+        o.push("workload", self.workload.as_str())
+            .push("policy", self.policy.as_str())
+            .push("plan_kind", self.plan_kind_json())
+            .push("time_s", self.time())
+            .push("job", self.job.to_json())
+            .push(
+                "per_rank",
+                Json::Arr(self.per_rank.iter().map(RunStats::to_json).collect()),
+            );
+        o
+    }
 }
 
 /// Per-rank placement state.
@@ -690,6 +719,22 @@ mod tests {
         let b = run_workload(&w, &m, &c, 4, &Policy::unimem());
         assert_eq!(a.time().secs(), b.time().secs());
         assert_eq!(a.job.migrations, b.job.migrations);
+    }
+
+    #[test]
+    fn report_json_names_workload_policy_and_ranks() {
+        let w = Synth { iters: 3 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let rep = run_workload(&w, &m, &c, 2, &Policy::unimem());
+        let j = rep.to_json();
+        assert_eq!(j.get("workload").and_then(|v| v.as_str()), Some("synth"));
+        assert_eq!(j.get("policy").and_then(|v| v.as_str()), Some("Unimem"));
+        assert!(j.get("plan_kind").and_then(|v| v.as_str()).is_some());
+        assert_eq!(
+            j.get("per_rank").and_then(|v| v.as_arr()).map(<[_]>::len),
+            Some(2)
+        );
     }
 
     #[test]

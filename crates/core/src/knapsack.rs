@@ -22,7 +22,15 @@ pub struct Item {
 }
 
 /// Maximum number of capacity granules the DP table uses.
-const MAX_GRANULES: usize = 4096;
+pub const MAX_GRANULES: usize = 4096;
+
+/// The granule [`solve`] quantizes at for a given capacity: item sizes
+/// round up to multiples of this, capacity rounds down. Exposed so tests
+/// can state the DP's optimality contract at granule resolution without
+/// duplicating the formula.
+pub fn granule_for(capacity: Bytes) -> u64 {
+    capacity.get().div_ceil(MAX_GRANULES as u64).max(1)
+}
 
 /// Solve the 0-1 knapsack: choose a subset of `items` with total size ≤
 /// `capacity` maximizing total weight. Returns the chosen indices (sorted)
@@ -39,7 +47,7 @@ pub fn solve(items: &[Item], capacity: Bytes) -> (Vec<usize>, f64) {
     }
 
     // Granule: smallest power-of-two-free unit keeping the table bounded.
-    let granule = (capacity.get().div_ceil(MAX_GRANULES as u64)).max(1);
+    let granule = granule_for(capacity);
     let cap_g = (capacity.get() / granule) as usize;
     // Size in granules, rounded up so a selection never exceeds capacity.
     let size_g: Vec<usize> = viable

@@ -31,6 +31,16 @@ pub enum SearchKind {
     Local,
 }
 
+impl SearchKind {
+    /// Stable lower-case name used in machine-readable reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchKind::Global => "global",
+            SearchKind::Local => "local",
+        }
+    }
+}
+
 /// A cyclic placement plan: desired DRAM contents per phase.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlacementPlan {

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use unimem_hms::MigrationStats;
-use unimem_sim::{Bytes, VDur};
+use unimem_sim::{Bytes, Json, VDur};
 
 /// Statistics of one rank's run under one policy.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -54,6 +54,28 @@ impl RunStats {
         self.migrations.bytes
     }
 
+    /// Deterministic JSON form: every timing in seconds, counters as
+    /// integers, plus the derived Table-4 figures. Member order is fixed,
+    /// so equal stats serialize to byte-identical text.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.push("total_time_s", self.total_time)
+            .push("app_time_s", self.app_time)
+            .push("profiling_overhead_s", self.profiling_overhead)
+            .push("modeling_overhead_s", self.modeling_overhead)
+            .push("sync_overhead_s", self.sync_overhead)
+            .push("migration_stall_s", self.migration_stall)
+            .push("migration_count", self.migrations.count)
+            .push("migrated_bytes", self.migrations.bytes)
+            .push("migrations_to_dram", self.migrations.to_dram_count)
+            .push("migrations_to_nvm", self.migrations.to_nvm_count)
+            .push("overlap_pct", self.overlap_pct())
+            .push("pure_runtime_cost", self.pure_runtime_cost())
+            .push("reprofiles", self.reprofiles)
+            .push("iterations", self.iterations);
+        o
+    }
+
     /// Merge a peer rank's stats (for job-wide maxima/sums the harnesses
     /// print). Times take the max (job finishes with the slowest rank),
     /// counters sum.
@@ -91,6 +113,28 @@ mod tests {
         let s = RunStats::default();
         assert_eq!(s.pure_runtime_cost(), 0.0);
         assert_eq!(s.overlap_pct(), 100.0);
+    }
+
+    #[test]
+    fn json_form_is_stable_and_complete() {
+        let mut s = RunStats {
+            total_time: VDur::from_secs(10.0),
+            profiling_overhead: VDur::from_millis(100.0),
+            reprofiles: 2,
+            iterations: 6,
+            ..RunStats::default()
+        };
+        s.migrations.count = 3;
+        s.migrations.bytes = Bytes::mib(7);
+        let j = s.to_json();
+        assert_eq!(j.get("migration_count").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(
+            j.get("migrated_bytes").and_then(|v| v.as_f64()),
+            Some((7u64 << 20) as f64)
+        );
+        assert_eq!(j.get("iterations").and_then(|v| v.as_f64()), Some(6.0));
+        // Byte-identical across repeated serialization of equal values.
+        assert_eq!(s.to_json().to_compact(), s.clone().to_json().to_compact());
     }
 
     #[test]

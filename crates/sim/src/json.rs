@@ -1,0 +1,311 @@
+//! Minimal deterministic JSON document builder.
+//!
+//! The vendored `serde` is a trait-only stub (see `vendor/README.md`), so
+//! machine-readable reports are built through this hand-rolled value tree
+//! instead. Two properties matter more than generality:
+//!
+//! * **Determinism** — object members keep insertion order, floats render
+//!   with Rust's shortest round-trip formatting, and nothing consults
+//!   locale, hashing, or the host clock. Identical values serialize to
+//!   byte-identical text, which the determinism regression tests rely on.
+//! * **Self-containment** — no dependency beyond `std`, so every crate in
+//!   the workspace (and the sweep harness in particular) can emit reports.
+//!
+//! Non-finite floats have no JSON representation and render as `null`,
+//! matching what `serde_json` does with `arbitrary_precision` disabled.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order (no hashing) so the
+/// serialized form is a pure function of construction order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integers (counters, byte sizes) keep full u64 precision.
+    UInt(u64),
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Empty object, to be filled with [`Json::push`].
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a member to an object. Panics on non-objects: that is a
+    /// construction bug, not a data error.
+    pub fn push(&mut self, key: &str, value: impl Into<Json>) -> &mut Json {
+        match self {
+            Json::Obj(members) => members.push((key.to_string(), value.into())),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Member lookup (first match), for tests and report post-processing.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as f64, when it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(u) => Some(*u as f64),
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line serialization.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0).expect("fmt to String cannot fail");
+        out
+    }
+
+    /// Pretty serialization with two-space indentation and a trailing
+    /// newline (the on-disk `BENCH_*.json` format).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0).expect("fmt to String cannot fail");
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) -> fmt::Result {
+        use fmt::Write;
+        match self {
+            Json::Null => out.write_str("null"),
+            Json::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => write!(out, "{u}"),
+            Json::Int(i) => write!(out, "{i}"),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Shortest round-trip form; deterministic across runs
+                    // and hosts for identical bit patterns.
+                    write!(out, "{n}")
+                } else {
+                    out.write_str("null")
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, items.len(), '[', ']', |o, i| {
+                items[i].write(o, indent, depth + 1)
+            }),
+            Json::Obj(members) => {
+                write_seq(out, indent, depth, members.len(), '{', '}', |o, i| {
+                    let (k, v) = &members[i];
+                    write_escaped(o, k)?;
+                    o.write_str(if indent.is_some() { ": " } else { ":" })?;
+                    v.write(o, indent, depth + 1)
+                })
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize) -> fmt::Result,
+) -> fmt::Result {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return Ok(());
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i)?;
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+    Ok(())
+}
+
+fn write_escaped(out: &mut String, s: &str) -> fmt::Result {
+    use fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    Ok(())
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::UInt(u)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::UInt(u as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+impl From<crate::units::Bytes> for Json {
+    fn from(b: crate::units::Bytes) -> Json {
+        Json::UInt(b.get())
+    }
+}
+
+impl From<crate::time::VDur> for Json {
+    fn from(d: crate::time::VDur) -> Json {
+        Json::Num(d.secs())
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Json {
+        let mut o = Json::obj();
+        o.push("name", "CG.C")
+            .push("time", 1.5)
+            .push("count", 42u64)
+            .push("ok", true)
+            .push("none", Json::Null)
+            .push("tags", Json::Arr(vec![Json::from("a"), Json::from("b")]));
+        o
+    }
+
+    #[test]
+    fn compact_form_is_exact() {
+        assert_eq!(
+            sample().to_compact(),
+            r#"{"name":"CG.C","time":1.5,"count":42,"ok":true,"none":null,"tags":["a","b"]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_round_trips_member_order() {
+        let p = sample().to_pretty();
+        assert!(p.starts_with("{\n  \"name\": \"CG.C\",\n  \"time\": 1.5"));
+        assert!(p.ends_with("}\n"));
+        let name_at = p.find("\"name\"").unwrap();
+        let count_at = p.find("\"count\"").unwrap();
+        assert!(name_at < count_at, "insertion order preserved");
+    }
+
+    #[test]
+    fn escaping() {
+        let j = Json::from("a\"b\\c\nd\u{1}");
+        assert_eq!(j.to_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(sample().to_compact(), sample().to_compact());
+        assert_eq!(sample().to_pretty(), sample().to_pretty());
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample();
+        assert_eq!(s.get("count").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(s.get("name").and_then(Json::as_str), Some("CG.C"));
+        assert_eq!(s.get("tags").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert!(s.get("missing").is_none());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::obj().to_compact(), "{}");
+        assert_eq!(Json::Arr(vec![]).to_pretty(), "[]\n");
+    }
+}

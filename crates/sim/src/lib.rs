@@ -13,17 +13,22 @@
 //!   phase-variation detector and by the benchmark harnesses.
 //! * [`events`] — a lightweight trace log used by tests to assert on
 //!   migration/overlap timing.
+//! * [`json`] — a deterministic JSON document builder used for the
+//!   machine-readable run/sweep reports (the vendored `serde` is a
+//!   trait-only stub, so serialization is hand-rolled here).
 //!
 //! Everything is deterministic: identical inputs yield bit-identical outputs
 //! regardless of host scheduling, which the integration tests assert.
 
 pub mod events;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
 
 pub use events::{Event, EventKind, TraceLog};
+pub use json::Json;
 pub use rng::DetRng;
 pub use stats::{OnlineStats, Summary};
 pub use time::{VDur, VTime};

@@ -35,4 +35,6 @@ pub mod sp;
 pub mod suite;
 
 pub use classes::Class;
-pub use suite::{all_npb, by_name, npb_and_nek};
+pub use suite::{
+    all_npb, by_name, canonical_name, canonicalize_names, npb_and_nek, select, SUITE_NAMES,
+};

@@ -29,6 +29,59 @@ pub fn npb_and_nek(class: Class) -> Vec<Box<dyn Workload>> {
     v
 }
 
+/// Canonical short names of the full evaluation suite, in the paper's
+/// figure order. The sweep harness iterates this list; `by_name` accepts
+/// every entry. Nek5000 is last (the drifting-pattern case study).
+pub const SUITE_NAMES: [&str; 7] = ["CG", "FT", "BT", "LU", "SP", "MG", "Nek5000"];
+
+/// A suite member paired with its canonical short name.
+pub type NamedWorkload = (String, Box<dyn Workload>);
+
+/// The canonical `SUITE_NAMES` spelling for any alias `by_name` accepts
+/// ("nek" → "Nek5000", "cg" → "CG"); `None` for unknown names.
+pub fn canonical_name(name: &str) -> Option<&'static str> {
+    match name.to_ascii_uppercase().as_str() {
+        "CG" => Some("CG"),
+        "FT" => Some("FT"),
+        "BT" => Some("BT"),
+        "LU" => Some("LU"),
+        "SP" => Some("SP"),
+        "MG" => Some("MG"),
+        "NEK" | "NEK5000" | "NEK5000-EDDY" => Some("Nek5000"),
+        _ => None,
+    }
+}
+
+/// Canonicalize a list of suite names to their `SUITE_NAMES` spellings,
+/// collapsing duplicates (including alias duplicates like
+/// "nek,Nek5000") to one entry, first occurrence wins. Unknown names
+/// are errors rather than silent drops — a sweep that quietly skips a
+/// workload would still claim full matrix coverage.
+pub fn canonicalize_names(names: &[&str]) -> Result<Vec<String>, String> {
+    let mut out: Vec<String> = Vec::with_capacity(names.len());
+    for n in names {
+        let canon = canonical_name(n)
+            .ok_or_else(|| format!("unknown workload {n:?}; known: {SUITE_NAMES:?}"))?;
+        if !out.iter().any(|have| have == canon) {
+            out.push(canon.to_string());
+        }
+    }
+    Ok(out)
+}
+
+/// Enumerate `(short name, workload)` pairs for a selection of suite
+/// members, with [`canonicalize_names`]'s canonicalization/dedup/error
+/// semantics.
+pub fn select(names: &[&str], class: Class) -> Result<Vec<NamedWorkload>, String> {
+    Ok(canonicalize_names(names)?
+        .into_iter()
+        .map(|canon| {
+            let w = by_name(&canon, class).expect("canonical names resolve");
+            (canon, w)
+        })
+        .collect())
+}
+
 /// Look a workload up by its short name ("CG", "FT", …, "Nek5000").
 pub fn by_name(name: &str, class: Class) -> Option<Box<dyn Workload>> {
     match name.to_ascii_uppercase().as_str() {
@@ -59,6 +112,23 @@ mod tests {
         assert!(by_name("cg", Class::S).is_some());
         assert!(by_name("Nek5000", Class::S).is_some());
         assert!(by_name("EP", Class::S).is_none());
+    }
+
+    #[test]
+    fn suite_names_cover_the_whole_suite() {
+        let sel = select(&SUITE_NAMES, Class::S).expect("all canonical names resolve");
+        assert_eq!(sel.len(), 7);
+        let names: Vec<&str> = sel.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, SUITE_NAMES);
+        assert!(select(&["CG", "EP"], Class::S).is_err(), "unknown name is an error");
+    }
+
+    #[test]
+    fn select_canonicalizes_and_dedups_aliases() {
+        let sel = select(&["nek", "cg", "NEK5000-EDDY", "CG"], Class::S).unwrap();
+        let names: Vec<&str> = sel.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["Nek5000", "CG"], "alias duplicates collapse");
+        assert_eq!(canonical_name("EP"), None);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use unimem_repro::hms::alloc::SpaceAllocator;
 use unimem_repro::hms::migration::MigrationEngine;
 use unimem_repro::hms::object::{ObjId, UnitId};
 use unimem_repro::hms::tier::TierKind;
-use unimem_repro::runtime::knapsack::{solve, solve_exhaustive, Item};
+use unimem_repro::runtime::knapsack::{granule_for, solve, solve_exhaustive, Item};
 use unimem_repro::sim::{Bandwidth, Bytes, DetRng, VDur, VTime};
 
 proptest! {
@@ -139,6 +139,59 @@ proptest! {
         prop_assert!(m_small.misses <= accesses);
         prop_assert!(m_big.misses <= m_small.misses,
             "bigger cache produced more misses: {} vs {}", m_big.misses, m_small.misses);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The DP knapsack agrees with brute-force enumeration on every
+    /// instance of up to 12 items, with sizes spanning byte, KiB and MiB
+    /// magnitudes in one instance (the `prop_oneof!` union) so granule
+    /// rounding, zero-weight filtering and the empty instance all get
+    /// exercised. Complements `knapsack_matches_exhaustive` above, which
+    /// stays within one narrow size magnitude.
+    #[test]
+    fn knapsack_dp_matches_bruteforce_upto_12_items(
+        spec in prop::collection::vec(
+            (
+                -4.0f64..8.0,
+                prop_oneof![1u64..64, 1024u64..65_536, 1_048_576u64..16_777_216],
+            ),
+            0..13,
+        ),
+        cap_sel in prop_oneof![1u64..256, 4096u64..262_144, 1_048_576u64..67_108_864],
+    ) {
+        let items: Vec<Item> = spec
+            .iter()
+            .map(|&(weight, size)| Item { weight, size: Bytes(size) })
+            .collect();
+        let cap = Bytes(cap_sel);
+        let (chosen, w_dp) = solve(&items, cap);
+        // The DP quantizes capacity into granules, rounding item sizes
+        // *up* (never overcommitting): it solves the instance whose sizes
+        // are ceil(size/granule) against capacity floor(cap/granule), and
+        // must be exactly optimal there. For granule == 1 this is the
+        // original instance.
+        let granule = granule_for(cap);
+        let rounded: Vec<Item> = items
+            .iter()
+            .map(|i| Item { weight: i.weight, size: Bytes(i.size.get().div_ceil(granule)) })
+            .collect();
+        let (_, w_gr) = solve_exhaustive(&rounded, Bytes(cap.get() / granule));
+        prop_assert!(
+            (w_dp - w_gr).abs() < 1e-9,
+            "dp {w_dp} vs granule-exact exhaustive {w_gr} (granule {granule})"
+        );
+        // And it never beats the unquantized optimum.
+        let (_, w_ex) = solve_exhaustive(&items, cap);
+        prop_assert!(w_dp <= w_ex + 1e-9, "dp {w_dp} beats exhaustive {w_ex}?");
+        // Whatever the DP chose must genuinely fit and add up.
+        let total: u64 = chosen.iter().map(|&i| items[i].size.get()).sum();
+        prop_assert!(total <= cap.get(), "overcommitted {total} > {}", cap.get());
+        let sum: f64 = chosen.iter().map(|&i| items[i].weight).sum();
+        prop_assert!((sum - w_dp).abs() < 1e-9);
+        prop_assert!(chosen.iter().all(|&i| items[i].weight > 0.0));
     }
 }
 

@@ -1,0 +1,138 @@
+//! Differential tests of the two placement philosophies (X-Mem vs Unimem).
+//!
+//! X-Mem (Dulloor et al., EuroSys'16) decides once from an offline
+//! training profile and never moves data; Unimem re-plans online whenever
+//! a phase deviates more than 10% from its running mean (§3.2). These
+//! tests pin the *behavioural* contract each side must keep:
+//!
+//! * X-Mem's static placement never exceeds the per-rank DRAM capacity,
+//!   on any workload, machine, or capacity;
+//! * a static placement is frozen — zero migrations, zero re-profiles,
+//!   however many iterations run;
+//! * Unimem's variation monitor re-triggers profiling on Nek5000's drift
+//!   (and does not when adaptation is disabled).
+
+use unimem_repro::cache::CacheModel;
+use unimem_repro::hms::MachineConfig;
+use unimem_repro::runtime::exec::{run_workload, Policy, UnimemConfig};
+use unimem_repro::sim::Bytes;
+use unimem_repro::workloads::{select, Class, SUITE_NAMES};
+use unimem_repro::xmem::{offline_profile, place, xmem_policy};
+
+fn machines() -> Vec<MachineConfig> {
+    vec![
+        MachineConfig::nvm_bw_fraction(0.5),
+        MachineConfig::nvm_lat_multiple(4.0),
+    ]
+}
+
+/// X-Mem's greedy fill must respect capacity for every workload on every
+/// machine, including capacities far below the default 256 MB and the
+/// Fig. 13 sweep points.
+#[test]
+fn xmem_placement_never_exceeds_dram_capacity() {
+    let cache = CacheModel::platform_a();
+    let nranks = 4;
+    for machine in machines() {
+        for (name, w) in select(&SUITE_NAMES, Class::C).unwrap() {
+            let profiles = offline_profile(w.as_ref(), &cache, nranks);
+            for cap_mib in [16u64, 64, 128, 256, 512] {
+                let cap = Bytes::mib(cap_mib);
+                let chosen = place(&profiles, &machine, cap);
+                let total: u64 = chosen
+                    .iter()
+                    .map(|n| {
+                        profiles
+                            .iter()
+                            .find(|p| &p.name == n)
+                            .unwrap_or_else(|| panic!("{name}: placed unknown object {n:?}"))
+                            .size
+                            .get()
+                    })
+                    .sum();
+                assert!(
+                    total <= cap.get(),
+                    "{name} at {cap_mib} MiB: placement {total} bytes overcommits"
+                );
+            }
+        }
+    }
+}
+
+/// A static placement is frozen: the run performs no migrations and never
+/// re-profiles, across every iteration of every workload.
+#[test]
+fn xmem_placement_is_frozen_across_iterations() {
+    let cache = CacheModel::platform_a();
+    let machine = MachineConfig::nvm_bw_fraction(0.5);
+    let nranks = 4;
+    for (name, w) in select(&SUITE_NAMES, Class::C).unwrap() {
+        let policy = xmem_policy(w.as_ref(), &machine, &cache, nranks);
+        let rep = run_workload(w.as_ref(), &machine, &cache, nranks, &policy);
+        assert!(rep.job.iterations > 1, "{name}: needs iterations to freeze over");
+        assert_eq!(
+            rep.job.migration_count(),
+            0,
+            "{name}: static placement migrated data"
+        );
+        assert_eq!(
+            rep.job.migrated_bytes(),
+            Bytes::ZERO,
+            "{name}: static placement moved bytes"
+        );
+        assert_eq!(rep.job.reprofiles, 0, "{name}: static placement re-profiled");
+        assert!(rep.plan_kind.is_none(), "{name}: static run reported a plan");
+    }
+}
+
+/// Unimem re-plans when phase times deviate by more than 10%: Nek5000's
+/// drifting access pattern must trigger re-profiling (once per drift
+/// step on every rank), and turning `adaptation` off must silence it —
+/// leaving X-Mem's frozen-placement deficiency as the only difference.
+#[test]
+fn unimem_reprofiles_on_nek_drift_only_with_adaptation() {
+    let cache = CacheModel::platform_a();
+    let machine = MachineConfig::nvm_bw_fraction(0.5);
+    let nranks = 4;
+    let nek = unimem_repro::workloads::by_name("Nek5000", Class::C).unwrap();
+
+    let adaptive = run_workload(nek.as_ref(), &machine, &cache, nranks, &Policy::unimem());
+    assert!(
+        adaptive.job.reprofiles > 0,
+        "drift produced no re-profiling with adaptation on"
+    );
+
+    let frozen_cfg = UnimemConfig {
+        adaptation: false,
+        ..UnimemConfig::default()
+    };
+    let frozen = run_workload(
+        nek.as_ref(),
+        &machine,
+        &cache,
+        nranks,
+        &Policy::Unimem(frozen_cfg),
+    );
+    assert_eq!(
+        frozen.job.reprofiles, 0,
+        "re-profiling fired with adaptation disabled"
+    );
+    // Adaptation must pay for itself on the drifting pattern.
+    assert!(
+        adaptive.time().secs() <= frozen.time().secs(),
+        "adaptive {:.4}s slower than frozen {:.4}s on Nek5000",
+        adaptive.time().secs(),
+        frozen.time().secs()
+    );
+}
+
+/// A stable workload must not spuriously trigger the 10% monitor: CG's
+/// phase times repeat, so adaptation stays quiet there.
+#[test]
+fn stable_workload_does_not_reprofile() {
+    let cache = CacheModel::platform_a();
+    let machine = MachineConfig::nvm_bw_fraction(0.5);
+    let cg = unimem_repro::workloads::by_name("CG", Class::C).unwrap();
+    let rep = run_workload(cg.as_ref(), &machine, &cache, 4, &Policy::unimem());
+    assert_eq!(rep.job.reprofiles, 0, "CG is steady; monitor must not fire");
+}

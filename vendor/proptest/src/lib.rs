@@ -140,6 +140,42 @@ pub mod strategy {
         }
     }
 
+    /// A constant strategy: always yields a clone of the value
+    /// (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    /// Divergence from proptest: all arms must be the *same* strategy
+    /// type (upstream boxes heterogeneous arms) and weights are not
+    /// supported — enough for unioning ranges of one numeric type.
+    #[derive(Debug, Clone)]
+    pub struct Union<S> {
+        arms: Vec<S>,
+    }
+
+    impl<S: Strategy> Union<S> {
+        pub fn new(arms: Vec<S>) -> Union<S> {
+            assert!(!arms.is_empty(), "empty union strategy");
+            Union { arms }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            let k = rng.below(self.arms.len() as u64) as usize;
+            self.arms[k].sample(rng)
+        }
+    }
+
     macro_rules! impl_tuple_strategy {
         ($($name:ident),+) => {
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
@@ -241,9 +277,9 @@ pub mod arbitrary {
 
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
 
     /// Namespace mirror of `proptest::prelude::prop`.
     pub mod prop {
@@ -279,6 +315,15 @@ macro_rules! prop_assert_ne {
     };
     ($a:expr, $b:expr, $($fmt:tt)+) => {
         assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Uniform choice between same-typed alternative strategies (see
+/// [`strategy::Union`] for the divergences from upstream).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($arm),+])
     };
 }
 
@@ -355,6 +400,37 @@ mod tests {
             prop_assume!(a != b);
             prop_assert_ne!(a, b);
         }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn oneof_samples_every_arm(x in prop_oneof![0u64..10, 100u64..110]) {
+            prop_assert!(x < 10 || (100..110).contains(&x));
+        }
+
+        #[test]
+        fn just_is_constant(x in Just(7u32)) {
+            prop_assert_eq!(x, 7);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms_over_many_samples() {
+        use crate::strategy::{Strategy, Union};
+        let mut rng = crate::test_runner::TestRng::from_name("arms");
+        let u = Union::new(vec![0u64..1, 10u64..11, 20u64..21]);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            match u.sample(&mut rng) {
+                0 => seen[0] = true,
+                10 => seen[1] = true,
+                20 => seen[2] = true,
+                other => panic!("out-of-arm sample {other}"),
+            }
+        }
+        assert_eq!(seen, [true; 3]);
     }
 
     #[test]
