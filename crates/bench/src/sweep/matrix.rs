@@ -6,7 +6,7 @@ use unimem_workloads::{Class, SUITE_NAMES};
 
 /// Placement policy axis. `Xmem` is materialized per (workload, machine)
 /// by the offline training profile; the others are workload-independent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     Unimem,
     Xmem,
@@ -39,7 +39,7 @@ impl PolicyKind {
 
 /// NVM profile axis: the paper's two emulation anchors plus the Table-1
 /// technology rows paired with the simulation DRAM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NvmProfile {
     /// NVM at ½ DRAM bandwidth, same latency (Fig. 2/9 configuration).
     BwHalf,

@@ -15,6 +15,11 @@
 //! — and emits a single `BENCH_sweep.json` with per-cell run time,
 //! migration statistics, and pure runtime cost ([`report`]).
 //!
+//! Cells execute on a deterministic worker pool ([`jobs`]): baselines
+//! first, then the remaining policy cells, reassembled in canonical order
+//! so the report bytes never depend on the worker count (`--jobs N` on
+//! the CLI; [`runner::run_sweep_jobs`] in code).
+//!
 //! The [`conformance`] layer encodes the paper's headline claims as
 //! executable checks with explicit tolerances (see [`conformance::Tolerances`]
 //! for the claim ↔ figure mapping), runnable both as a tier-1 test on the
@@ -22,10 +27,12 @@
 //! (`cargo run --release --example sweep -- --full --check`).
 
 pub mod conformance;
+pub mod jobs;
 pub mod matrix;
 pub mod report;
 pub mod runner;
 
 pub use conformance::{check_determinism, check_report, Tolerances, Violation};
+pub use jobs::{default_workers, run_pool};
 pub use matrix::{NvmProfile, PolicyKind, SweepConfig};
-pub use runner::{run_sweep, SweepCell, SweepReport};
+pub use runner::{run_sweep, run_sweep_jobs, SweepCell, SweepReport};

@@ -1,8 +1,19 @@
 //! Executes a [`SweepConfig`]: one `run_workload` per matrix cell, with
 //! the DRAM-only baseline shared per (workload, profile, rank count) so
 //! normalization never re-runs it.
+//!
+//! Execution is parallel (see [`crate::sweep::jobs`]): stage 1 runs every
+//! row's DRAM-only baseline across a worker pool, stage 2 fans out the
+//! remaining policy cells. Cells are reassembled in canonical (profile,
+//! ranks, workload, policy) order by job index, so the report — and its
+//! serialized JSON — is byte-identical for any worker count, including
+//! the serial `n_workers = 1` path.
 
+use crate::sweep::jobs::{
+    default_workers, enumerate_cells, enumerate_rows, run_pool, with_label, CellJob,
+};
 use crate::sweep::matrix::{NvmProfile, PolicyKind, SweepConfig};
+use std::collections::HashMap;
 use unimem::exec::{run_workload, Policy, RunReport};
 use unimem_cache::CacheModel;
 use unimem_workloads::select;
@@ -48,10 +59,44 @@ impl SweepCell {
 pub struct SweepReport {
     pub config: SweepConfig,
     pub cells: Vec<SweepCell>,
+    /// Coordinate index over `cells`, built once at construction.
+    /// Workload names map to a dense id first so lookups allocate nothing.
+    index: CellIndex,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CellIndex {
+    workloads: HashMap<String, u32>,
+    cells: HashMap<(u32, PolicyKind, NvmProfile, usize), usize>,
+}
+
+impl CellIndex {
+    fn build(cells: &[SweepCell]) -> CellIndex {
+        let mut idx = CellIndex::default();
+        for (i, c) in cells.iter().enumerate() {
+            let next = idx.workloads.len() as u32;
+            let w = *idx.workloads.entry(c.workload.clone()).or_insert(next);
+            idx.cells.insert((w, c.policy, c.profile, c.nranks), i);
+        }
+        idx
+    }
 }
 
 impl SweepReport {
-    /// Cell lookup by coordinates.
+    /// Assemble a report, building the coordinate index. `cells` is public
+    /// for read access; constructing through `new` keeps the index in sync.
+    pub fn new(config: SweepConfig, cells: Vec<SweepCell>) -> SweepReport {
+        let index = CellIndex::build(&cells);
+        SweepReport {
+            config,
+            cells,
+            index,
+        }
+    }
+
+    /// Cell lookup by coordinates. O(1): conformance calls this once per
+    /// (cell, baseline) pair, which was quadratic in matrix size when this
+    /// was a linear scan.
     pub fn get(
         &self,
         workload: &str,
@@ -59,20 +104,26 @@ impl SweepReport {
         profile: NvmProfile,
         nranks: usize,
     ) -> Option<&SweepCell> {
-        self.cells.iter().find(|c| {
-            c.workload == workload
-                && c.policy == policy
-                && c.profile == profile
-                && c.nranks == nranks
-        })
+        let &w = self.index.workloads.get(workload)?;
+        self.index
+            .cells
+            .get(&(w, policy, profile, nranks))
+            .map(|&i| &self.cells[i])
     }
 }
 
-/// Run the whole matrix. Fails (rather than silently skipping) when the
-/// config names an unknown workload. Axes are canonicalized and
-/// deduplicated; the returned report's `config` reflects what actually
-/// ran.
+/// Run the whole matrix on the default worker count (the host's available
+/// parallelism). Fails (rather than silently skipping) when the config
+/// names an unknown workload. Axes are canonicalized and deduplicated; the
+/// returned report's `config` reflects what actually ran.
 pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
+    run_sweep_jobs(cfg, default_workers())
+}
+
+/// [`run_sweep`] with an explicit worker count. `n_workers = 1` runs every
+/// cell in order on the calling thread; any count produces byte-identical
+/// reports.
+pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport, String> {
     if cfg.ranks.contains(&0) {
         return Err("rank counts must be positive".into());
     }
@@ -88,47 +139,96 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
     let mut cfg = cfg.clone();
     cfg.workloads = selection.iter().map(|(n, _)| n.clone()).collect();
     cfg.normalize_axes();
-    let mut cells = Vec::with_capacity(cfg.n_cells());
 
-    for &profile in &cfg.profiles {
-        let mut machine = profile.machine();
+    let machine = |profile: NvmProfile| {
+        let mut m = profile.machine();
         if let Some(cap) = cfg.dram_capacity {
-            machine = machine.with_dram_capacity(cap);
+            m = m.with_dram_capacity(cap);
         }
-        for &nranks in &cfg.ranks {
-            for (short, workload) in &selection {
+        m
+    };
+
+    // Stage 1: every row's DRAM-only baseline, in parallel. Failures
+    // (including panics) carry the row's matrix coordinates.
+    let rows = enumerate_rows(&cfg, selection.len());
+    let baselines = run_pool(rows.clone(), n_workers, |row| {
+        let (short, workload) = &selection[row.workload];
+        with_label(
+            || format!("{short}/{}/r{}/dram-only", row.profile.name(), row.nranks),
+            || {
+                Ok(run_workload(
+                    workload.as_ref(),
+                    &machine(row.profile),
+                    &cache,
+                    row.nranks,
+                    &Policy::DramOnly,
+                ))
+            },
+        )
+    })
+    .map_err(|e| format!("sweep baseline failed: {e}"))?;
+
+    // Stage 2: every matrix cell, each normalized against its row's
+    // shared baseline (DRAM-only cells reuse the baseline run directly).
+    let cell_jobs = enumerate_cells(&cfg, &rows);
+    let cells = run_pool(cell_jobs, n_workers, |job: &CellJob| {
+        let (short, workload) = &selection[job.row.workload];
+        let nranks = job.row.nranks;
+        with_label(
+            || {
+                format!(
+                    "{short}/{}/r{nranks}/{}",
+                    job.row.profile.name(),
+                    job.policy.name()
+                )
+            },
+            || {
                 let w = workload.as_ref();
-                // Baseline shared by every policy cell of this row.
-                let dram = run_workload(w, &machine, &cache, nranks, &Policy::DramOnly);
-                let dram_secs = dram.time().secs();
-                for &policy in &cfg.policies {
-                    let report = match policy {
-                        PolicyKind::DramOnly => dram.clone(),
-                        PolicyKind::NvmOnly => {
-                            run_workload(w, &machine, &cache, nranks, &Policy::NvmOnly)
-                        }
-                        PolicyKind::Xmem => {
-                            let p = xmem_policy(w, &machine, &cache, nranks);
-                            run_workload(w, &machine, &cache, nranks, &p)
-                        }
-                        PolicyKind::Unimem => {
-                            run_workload(w, &machine, &cache, nranks, &Policy::unimem())
-                        }
-                    };
-                    cells.push(SweepCell {
-                        workload: short.clone(),
-                        full_name: w.name(),
-                        policy,
-                        profile,
-                        nranks,
-                        normalized_to_dram: report.time().secs() / dram_secs,
-                        report,
-                    });
-                }
-            }
-        }
+                let m = machine(job.row.profile);
+                let dram = &baselines[job.baseline];
+                let report = match job.policy {
+                    PolicyKind::DramOnly => dram.clone(),
+                    PolicyKind::NvmOnly => run_workload(w, &m, &cache, nranks, &Policy::NvmOnly),
+                    PolicyKind::Xmem => {
+                        let p = xmem_policy(w, &m, &cache, nranks);
+                        run_workload(w, &m, &cache, nranks, &p)
+                    }
+                    PolicyKind::Unimem => run_workload(w, &m, &cache, nranks, &Policy::unimem()),
+                };
+                Ok(SweepCell {
+                    workload: short.clone(),
+                    full_name: w.name(),
+                    policy: job.policy,
+                    profile: job.row.profile,
+                    nranks,
+                    normalized_to_dram: normalized_to_dram(
+                        report.time().secs(),
+                        dram.time().secs(),
+                    )?,
+                    report,
+                })
+            },
+        )
+    })
+    .map_err(|e| format!("sweep cell failed: {e}"))?;
+
+    Ok(SweepReport::new(cfg, cells))
+}
+
+/// Normalize a cell's run time against its row's DRAM-only baseline,
+/// rejecting non-finite results: a zero or non-finite baseline would
+/// serialize as JSON `null` (non-finite floats have no JSON form), which
+/// conformance cannot judge — poisoning the report silently.
+fn normalized_to_dram(cell_secs: f64, dram_secs: f64) -> Result<f64, String> {
+    let r = cell_secs / dram_secs;
+    if r.is_finite() {
+        Ok(r)
+    } else {
+        Err(format!(
+            "normalized_to_dram is {r} (cell {cell_secs}s / dram-only {dram_secs}s); \
+             a zero or non-finite baseline cannot be judged"
+        ))
     }
-    Ok(SweepReport { config: cfg, cells })
 }
 
 #[cfg(test)]
@@ -169,6 +269,23 @@ mod tests {
         assert!(rep
             .get("CG", PolicyKind::Unimem, NvmProfile::Lat4x, 2)
             .is_none());
+        assert!(rep
+            .get("FT", PolicyKind::Unimem, NvmProfile::BwHalf, 2)
+            .is_none());
+    }
+
+    #[test]
+    fn index_agrees_with_linear_scan() {
+        let mut cfg = micro();
+        cfg.workloads = vec!["CG".into(), "LU".into()];
+        cfg.policies = PolicyKind::ALL.to_vec();
+        let rep = run_sweep(&cfg).unwrap();
+        for c in &rep.cells {
+            let found = rep
+                .get(&c.workload, c.policy, c.profile, c.nranks)
+                .expect("indexed lookup finds every cell");
+            assert!(std::ptr::eq(found, c), "index points at the wrong cell");
+        }
     }
 
     #[test]
@@ -197,5 +314,41 @@ mod tests {
         assert_eq!(rep.cells.len(), 2, "duplicates must not double-count cells");
         assert_eq!(rep.config.ranks, [2]);
         assert_eq!(rep.config.profiles, [NvmProfile::BwHalf]);
+    }
+
+    #[test]
+    fn worker_counts_produce_identical_reports() {
+        let mut cfg = micro();
+        cfg.policies = PolicyKind::ALL.to_vec();
+        let serial = run_sweep_jobs(&cfg, 1).unwrap();
+        let parallel = run_sweep_jobs(&cfg, 8).unwrap();
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.coords(), b.coords(), "cell order must not depend on workers");
+            assert_eq!(a.time_s(), b.time_s());
+            assert_eq!(a.normalized_to_dram, b.normalized_to_dram);
+        }
+    }
+
+    #[test]
+    fn non_finite_normalization_is_an_error() {
+        assert!((normalized_to_dram(2.0, 1.0).unwrap() - 2.0).abs() < 1e-12);
+        for (cell, dram) in [(1.0, 0.0), (0.0, 0.0), (f64::NAN, 1.0), (1.0, f64::NAN)] {
+            let err = normalized_to_dram(cell, dram).unwrap_err();
+            assert!(err.contains("cannot be judged"), "{err}");
+        }
+    }
+
+    /// The parallel executor shares workload models, the cache model, and
+    /// machine configs by reference across worker threads; this is the
+    /// compile-time proof they stay `Sync`-shareable.
+    #[test]
+    fn shared_run_inputs_are_sync() {
+        fn assert_sync<T: Sync + ?Sized>() {}
+        assert_sync::<dyn unimem::exec::Workload>();
+        assert_sync::<Box<dyn unimem::exec::Workload>>();
+        assert_sync::<CacheModel>();
+        assert_sync::<unimem_hms::MachineConfig>();
+        assert_sync::<Policy>();
     }
 }

@@ -93,7 +93,13 @@ impl Unimem {
                 objects.get(n).map(|o| (n, t as f64 / o.len().max(1) as f64))
             })
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("densities finite"));
+        // total_cmp instead of partial_cmp().expect(): a NaN density is
+        // impossible today (counts are integers, sizes clamped ≥ 1), and
+        // if one ever appeared it must not panic the runtime. Note
+        // total_cmp orders +NaN above +inf, so such a value would rank
+        // *first* (hottest) — harmless, since migrating it is merely
+        // wasteful, but don't rely on it being ignored.
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
         let cap = self.hms.accounts().dram_capacity().get();
         let mut planned = self.hms.accounts().dram_used().get();

@@ -20,12 +20,10 @@ pub fn initial_placement(registry: &ObjectRegistry, capacity: Bytes) -> BTreeSet
         .iter()
         .filter(|o| o.est_refs > 0.0)
         .collect();
-    objs.sort_by(|a, b| {
-        b.est_refs
-            .partial_cmp(&a.est_refs)
-            .expect("estimates are finite")
-            .then(a.size.cmp(&b.size))
-    });
+    // total_cmp instead of partial_cmp().expect(): registration rejects
+    // non-finite estimates, but placement must not be able to panic on a
+    // registry it did not build.
+    objs.sort_by(|a, b| b.est_refs.total_cmp(&a.est_refs).then(a.size.cmp(&b.size)));
     let mut chosen = BTreeSet::new();
     let mut used = Bytes::ZERO;
     for o in objs {

@@ -77,10 +77,13 @@ pub fn solve(items: &[Item], capacity: Bytes) -> (Vec<usize>, f64) {
         }
     }
 
+    // total_cmp: the table only ever holds sums of finite positive weights
+    // (NaN weights fail the `> 0.0` viability filter above), but the solver
+    // must not be able to panic on adversarial input.
     let (mut c, _) = best
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty table");
     let achieved = best[c];
     let mut chosen = Vec::new();
@@ -207,6 +210,16 @@ mod tests {
                 "trial {trial}: dp={w_dp} exhaustive={w_ex} items={items:?} cap={cap:?}"
             );
         }
+    }
+
+    #[test]
+    fn nan_weights_are_filtered_not_fatal() {
+        // NaN fails the `weight > 0.0` viability filter; the solver must
+        // neither panic nor select the item.
+        let items = [it(f64::NAN, 10), it(1.0, 10)];
+        let (chosen, w) = solve(&items, Bytes(100));
+        assert_eq!(chosen, vec![1]);
+        assert!((w - 1.0).abs() < 1e-12);
     }
 
     #[test]

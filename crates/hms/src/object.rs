@@ -142,14 +142,27 @@ impl ObjectRegistry {
         ObjectRegistry::default()
     }
 
-    /// Register a new object. Panics on duplicate names (they identify
-    /// objects in workload descriptors and harness output).
+    /// Register a new object. Panics on invalid specs — see
+    /// [`ObjectRegistry::try_register`] for the fallible form; workload
+    /// definitions are code, so a bad spec is a bug, not a data error.
     pub fn register(&mut self, spec: ObjectSpec) -> ObjId {
-        assert!(
-            !self.by_name.contains_key(&spec.name),
-            "duplicate data object name: {}",
-            spec.name
-        );
+        self.try_register(spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Register a new object, rejecting invalid specs with an error:
+    /// duplicate names (they identify objects in workload descriptors and
+    /// harness output) and non-finite `est_refs` (a NaN estimate would
+    /// poison every placement comparison downstream).
+    pub fn try_register(&mut self, spec: ObjectSpec) -> Result<ObjId, String> {
+        if self.by_name.contains_key(&spec.name) {
+            return Err(format!("duplicate data object name: {}", spec.name));
+        }
+        if !spec.est_refs.is_finite() {
+            return Err(format!(
+                "object {}: est_refs must be finite, got {}",
+                spec.name, spec.est_refs
+            ));
+        }
         let id = ObjId(self.objects.len() as u32);
         self.by_name.insert(spec.name.clone(), id);
         self.objects.push(DataObject {
@@ -161,7 +174,7 @@ impl ObjectRegistry {
             est_refs: spec.est_refs,
             chunks: 1,
         });
-        id
+        Ok(id)
     }
 
     pub fn get(&self, id: ObjId) -> &DataObject {
@@ -298,6 +311,32 @@ mod tests {
         let mut r = ObjectRegistry::new();
         r.register(ObjectSpec::new("a", Bytes(1)));
         r.register(ObjectSpec::new("a", Bytes(2)));
+    }
+
+    #[test]
+    fn try_register_rejects_duplicates_and_non_finite_estimates() {
+        let mut r = ObjectRegistry::new();
+        assert!(r.try_register(ObjectSpec::new("a", Bytes(1))).is_ok());
+        let dup = r.try_register(ObjectSpec::new("a", Bytes(2)));
+        assert!(dup.unwrap_err().contains("duplicate"));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = r
+                .try_register(ObjectSpec::new("b", Bytes(1)).est_refs(bad))
+                .unwrap_err();
+            assert!(err.contains("est_refs must be finite"), "{err}");
+        }
+        // The rejected spec must not have consumed the name or an id.
+        assert!(r
+            .try_register(ObjectSpec::new("b", Bytes(1)).est_refs(7.0))
+            .is_ok());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "est_refs must be finite")]
+    fn register_panics_on_nan_estimate() {
+        let mut r = ObjectRegistry::new();
+        r.register(ObjectSpec::new("x", Bytes(1)).est_refs(f64::NAN));
     }
 
     #[test]

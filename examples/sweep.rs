@@ -9,7 +9,12 @@
 //! cargo run --release --example sweep -- --out MY.json
 //! cargo run --release --example sweep -- --workloads CG,Nek5000 \
 //!     --profiles bw-half,pcram --ranks 1,4 --class C
+//! cargo run --release --example sweep -- --full --jobs 8   # worker pool
 //! ```
+//!
+//! `--jobs N` sets the worker-pool width (default: the host's available
+//! parallelism). The report is byte-identical for every N — `--jobs 1`
+//! reproduces the serial path bit-for-bit.
 //!
 //! `--check` exits non-zero when any conformance check fails, so the CI
 //! job can gate on it. See the README's "Evaluation-matrix sweep" section
@@ -18,13 +23,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use unimem_repro::bench::sweep::{
-    check_determinism, check_report, run_sweep, NvmProfile, PolicyKind, SweepConfig, Tolerances,
+    check_determinism, check_report, default_workers, run_sweep_jobs, NvmProfile, PolicyKind,
+    SweepConfig, Tolerances,
 };
 use unimem_repro::workloads::Class;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep [--full] [--check] [--out PATH] [--class S|C|D]\n\
+        "usage: sweep [--full] [--check] [--out PATH] [--class S|C|D] [--jobs N]\n\
          \x20            [--workloads CSV] [--policies CSV] [--profiles CSV] [--ranks CSV]"
     );
     std::process::exit(2)
@@ -46,6 +52,7 @@ fn main() -> ExitCode {
     let mut out = PathBuf::from("BENCH_sweep.json");
     let mut check = false;
     let mut full = false;
+    let mut jobs = default_workers();
     let (mut explicit_profiles, mut explicit_ranks) = (false, false);
 
     let mut args = std::env::args().skip(1);
@@ -60,6 +67,15 @@ fn main() -> ExitCode {
             "--full" => full = true,
             "--check" => check = true,
             "--out" => out = PathBuf::from(value("--out")),
+            "--jobs" => {
+                jobs = match value("--jobs").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--jobs needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--class" => {
                 cfg.class = match value("--class").to_ascii_uppercase().as_str() {
                     "S" => Class::S,
@@ -121,7 +137,8 @@ fn main() -> ExitCode {
     cfg.normalize_axes();
 
     println!(
-        "sweep: {} workloads x {} policies x {} profiles x {} rank counts = {} cells (CLASS {})",
+        "sweep: {} workloads x {} policies x {} profiles x {} rank counts = {} cells \
+         (CLASS {}, {jobs} jobs)",
         cfg.workloads.len(),
         cfg.policies.len(),
         cfg.profiles.len(),
@@ -131,7 +148,7 @@ fn main() -> ExitCode {
     );
 
     let t0 = std::time::Instant::now();
-    let report = match run_sweep(&cfg) {
+    let report = match run_sweep_jobs(&cfg, jobs) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sweep failed: {e}");

@@ -1,32 +1,77 @@
 //! Offline stub of `crossbeam`: the `channel` module the workspace uses,
-//! implemented over `std::sync::mpsc`. Receivers are wrapped in a mutex so
-//! they are `Sync`+`Clone` like crossbeam's (all clones drain one queue).
+//! implemented as a real MPMC queue (`Mutex<VecDeque>` + `Condvar`) rather
+//! than a wrapper over `std::sync::mpsc`. Any number of `Sender` and
+//! `Receiver` clones share one FIFO queue; disconnection semantics match
+//! upstream crossbeam: `send` fails once every receiver is gone, `recv`
+//! fails once the queue is empty and every sender is gone.
 
 pub mod channel {
+    use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{mpsc, Arc, Mutex, PoisonError};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signaled on every push and on the last sender's drop.
+        items: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            // A consumer panicking while holding the lock leaves the queue
+            // itself consistent (push/pop are atomic under the guard), so
+            // poisoning carries no information here.
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
 
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        shared: Arc<Shared<T>>,
     }
 
     pub struct Receiver<T> {
-        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+        shared: Arc<Shared<T>>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
+            self.shared.lock().senders += 1;
             Sender {
-                inner: self.inner.clone(),
+                shared: Arc::clone(&self.shared),
             }
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Receiver<T> {
+            self.shared.lock().receivers += 1;
             Receiver {
-                inner: Arc::clone(&self.inner),
+                shared: Arc::clone(&self.shared),
             }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Receivers parked in recv() must observe the disconnect.
+                drop(st);
+                self.shared.items.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.lock().receivers -= 1;
         }
     }
 
@@ -62,44 +107,81 @@ pub mod channel {
     }
 
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            items: Condvar::new(),
+        });
         (
-            Sender { inner: tx },
-            Receiver {
-                inner: Arc::new(Mutex::new(rx)),
+            Sender {
+                shared: Arc::clone(&shared),
             },
+            Receiver { shared },
         )
     }
 
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            let mut st = self.shared.lock();
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.items.notify_one();
+            Ok(())
         }
     }
 
     impl<T> Receiver<T> {
+        /// Block until an item is available (any clone may win the race for
+        /// it) or every sender has disconnected and the queue drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .recv()
-                .map_err(|_| RecvError)
+            let mut st = self.shared.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .shared
+                    .items
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
         }
 
-        /// Non-blocking poll. Divergence from crossbeam: if another clone of
-        /// this receiver is parked inside `recv()` (holding the queue
-        /// mutex), this returns `Empty` instead of waiting — spuriously
-        /// empty, but never blocking.
+        /// Non-blocking poll.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let guard = match self.inner.try_lock() {
-                Ok(g) => g,
-                Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
-                Err(std::sync::TryLockError::WouldBlock) => return Err(TryRecvError::Empty),
-            };
-            guard.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut st = self.shared.lock();
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking iterator over received items; ends on disconnect. The
+        /// natural worker-pool consumption loop (`for job in rx.iter()`).
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
         }
     }
 
@@ -119,6 +201,7 @@ pub mod channel {
             assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
             drop(tx);
             assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
         }
 
         #[test]
@@ -135,6 +218,64 @@ pub mod channel {
             }
             h.join().unwrap();
             assert_eq!(sum, 4950);
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            drop(rx);
+            tx.send(1).unwrap();
+            drop(rx2);
+            assert_eq!(tx.send(2), Err(SendError(2)));
+        }
+
+        #[test]
+        fn mpmc_consumers_share_one_queue_without_loss() {
+            const N: u64 = 1000;
+            const WORKERS: usize = 4;
+            let (tx, rx) = unbounded();
+            for i in 0..N {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let sums: Vec<(u64, u64)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..WORKERS)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        s.spawn(move || {
+                            let mut sum = 0;
+                            let mut count = 0;
+                            for v in rx.iter() {
+                                sum += v;
+                                count += 1;
+                            }
+                            (sum, count)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let total: u64 = sums.iter().map(|(s, _)| s).sum();
+            let count: u64 = sums.iter().map(|(_, c)| c).sum();
+            assert_eq!(count, N, "every item consumed exactly once");
+            assert_eq!(total, N * (N - 1) / 2);
+        }
+
+        #[test]
+        fn blocked_receivers_wake_on_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || rx.recv())
+                })
+                .collect();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(tx);
+            for h in handles {
+                assert_eq!(h.join().unwrap(), Err(RecvError));
+            }
         }
     }
 }
