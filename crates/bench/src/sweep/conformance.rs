@@ -5,8 +5,8 @@
 //! makes the claim — a sweep cell outside that scope (e.g. ReRAM, whose
 //! 4.5 MB/s writes make any migration a loss) is reported but not judged.
 
-use crate::sweep::matrix::PolicyKind;
-use crate::sweep::runner::{SweepCell, SweepReport};
+use crate::sweep::matrix::{ArbiterPolicy, PolicyKind};
+use crate::sweep::runner::{CorunCell, SweepCell, SweepReport};
 use crate::sweep::SweepConfig;
 use std::fmt;
 
@@ -38,6 +38,19 @@ pub struct Tolerances {
     /// run time. Checked on every Unimem cell. Reproduction worst case:
     /// 0.09%.
     pub max_runtime_cost: f64,
+    /// Co-run QoS (arbitration claim, RIMMS/Olson-style): under the
+    /// `priority` arbitration policy, a weighted-priority tenant never
+    /// degrades more than a best-effort (weight-1) tenant of the same
+    /// mix. Checked per (mix, profile) priority co-run as
+    /// `slowdown(priority) ≤ slowdown(best-effort) × tenant_qos`.
+    /// Reproduction worst case: 1.000 (the priority tenant is strictly
+    /// better or tied in every measured mix).
+    pub tenant_qos: f64,
+    /// Co-run sanity: a tenant's arbitrated run is never *faster* than
+    /// its solo run beyond numeric slack — a slowdown well below 1.0
+    /// means the solo baseline or the lease plumbing is broken. Checked
+    /// as `slowdown ≥ corun_sanity` on every co-run cell.
+    pub corun_sanity: f64,
     /// Rank count from which the scale-scoped checks apply (the paper's
     /// basic tests use 4 nodes).
     pub min_ranks: usize,
@@ -50,6 +63,8 @@ impl Default for Tolerances {
             nvm_win: 1.02,
             xmem_drift: 1.01,
             max_runtime_cost: 0.031,
+            tenant_qos: 1.02,
+            corun_sanity: 0.98,
             min_ranks: 4,
         }
     }
@@ -59,10 +74,11 @@ impl Default for Tolerances {
 #[derive(Debug, Clone)]
 pub struct Violation {
     /// Which check fired ("dram-tracking", "nvm-win", "xmem-drift",
-    /// "runtime-cost", "determinism").
+    /// "runtime-cost", "determinism", "corun-sanity", "tenant-qos").
     pub check: &'static str,
     /// Cell coordinates ("CG/bw-half/r4/unimem").
     pub cell: String,
+    /// Human-readable explanation with the measured values.
     pub detail: String,
 }
 
@@ -168,6 +184,87 @@ pub fn check_report(report: &SweepReport, tol: &Tolerances) -> Vec<Violation> {
             }
         }
     }
+    violations.extend(check_coruns(report, tol));
+    violations
+}
+
+/// The co-run checks: per-cell sanity (no tenant beats its solo run
+/// beyond numeric slack) and the tenant-QoS claim (under `priority`
+/// arbitration, every weighted tenant's slowdown stays within
+/// `tenant_qos` of every best-effort tenant's in the same co-run). A
+/// config that asks for mixes but produced no priority cells — or a
+/// priority co-run without both tenant classes — is a coverage violation,
+/// not a silent pass.
+fn check_coruns(report: &SweepReport, tol: &Tolerances) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if report.config.coruns.is_empty() {
+        return violations;
+    }
+    for cell in &report.corun_cells {
+        if cell.slowdown < tol.corun_sanity {
+            violations.push(Violation {
+                check: "corun-sanity",
+                cell: cell.coords(),
+                detail: format!(
+                    "slowdown {:.4} below {:.3}: arbitrated run beats the solo baseline",
+                    cell.slowdown, tol.corun_sanity
+                ),
+            });
+        }
+    }
+    let priority: Vec<&CorunCell> = report
+        .corun_cells
+        .iter()
+        .filter(|c| c.arbiter == ArbiterPolicy::Priority)
+        .collect();
+    if priority.is_empty() {
+        violations.push(Violation {
+            check: "tenant-qos",
+            cell: "(corun matrix)".into(),
+            detail: "no priority-arbitration co-run cells; the QoS claim was not evaluated"
+                .into(),
+        });
+        return violations;
+    }
+    // Group by (mix, profile, nranks) — one priority co-run each.
+    let mut groups: Vec<(&CorunCell, Vec<&CorunCell>)> = Vec::new();
+    for c in priority {
+        match groups.iter_mut().find(|(k, _)| {
+            k.mix == c.mix && k.profile == c.profile && k.nranks == c.nranks
+        }) {
+            Some((_, v)) => v.push(c),
+            None => groups.push((c, vec![c])),
+        }
+    }
+    for (key, cells) in groups {
+        let weighted: Vec<&&CorunCell> = cells.iter().filter(|c| c.weight > 1).collect();
+        let best_effort: Vec<&&CorunCell> = cells.iter().filter(|c| c.weight == 1).collect();
+        if weighted.is_empty() || best_effort.is_empty() {
+            violations.push(Violation {
+                check: "tenant-qos",
+                cell: format!("{}/{}/r{}", key.mix, key.profile.name(), key.nranks),
+                detail: "priority co-run lacks a weighted or a best-effort tenant; \
+                         claim not evaluated"
+                    .into(),
+            });
+            continue;
+        }
+        for hi in &weighted {
+            for lo in &best_effort {
+                if hi.slowdown > lo.slowdown * tol.tenant_qos {
+                    violations.push(Violation {
+                        check: "tenant-qos",
+                        cell: hi.coords(),
+                        detail: format!(
+                            "priority tenant slowdown {:.4} exceeds best-effort tenant {} \
+                             ({:.4}) × {:.3}",
+                            hi.slowdown, lo.tenant, lo.slowdown, tol.tenant_qos
+                        ),
+                    });
+                }
+            }
+        }
+    }
     violations
 }
 
@@ -237,6 +334,8 @@ mod tests {
             profiles: vec![NvmProfile::BwHalf],
             ranks: vec![4],
             dram_capacity: None,
+            coruns: vec![],
+            arbiters: vec![],
         }
     }
 
@@ -331,5 +430,53 @@ mod tests {
     fn determinism_probe_passes() {
         let violations = check_determinism(&small_matrix());
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    fn corun_matrix() -> SweepConfig {
+        let mut cfg = small_matrix();
+        cfg.coruns = unimem_workloads::parse_mixes(&["LU+MG"]).unwrap();
+        cfg.arbiters = ArbiterPolicy::ALL.to_vec();
+        cfg
+    }
+
+    #[test]
+    fn corun_checks_pass_on_a_contended_mix() {
+        let rep = run_sweep(&corun_matrix()).unwrap();
+        assert_eq!(rep.corun_cells.len(), 2 * 3);
+        let violations = check_report(&rep, &Tolerances::default());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn impossible_corun_tolerances_fire_with_coordinates() {
+        let rep = run_sweep(&corun_matrix()).unwrap();
+        let strict = Tolerances {
+            corun_sanity: 2.0, // no tenant doubles its solo time here
+            tenant_qos: 0.0,   // no slowdown can be ≤ 0
+            ..Tolerances::default()
+        };
+        let violations = check_report(&rep, &strict);
+        for check in ["corun-sanity", "tenant-qos"] {
+            assert!(
+                violations
+                    .iter()
+                    .any(|v| v.check == check && v.cell.contains("LU+MG")),
+                "{check} did not fire: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corun_matrix_without_priority_cells_is_a_coverage_violation() {
+        let mut cfg = corun_matrix();
+        cfg.arbiters = vec![ArbiterPolicy::FairShare];
+        let rep = run_sweep(&cfg).unwrap();
+        let violations = check_report(&rep, &Tolerances::default());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.check == "tenant-qos" && v.detail.contains("not evaluated")),
+            "missing priority cells passed silently: {violations:?}"
+        );
     }
 }

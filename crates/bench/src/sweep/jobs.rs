@@ -28,7 +28,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// and the runner's workload selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RowJob {
+    /// NVM profile (machine) of the row.
     pub profile: NvmProfile,
+    /// Rank count of the row.
     pub nranks: usize,
     /// Index into the runner's `select()`-resolved workload list.
     pub workload: usize,
@@ -38,9 +40,11 @@ pub struct RowJob {
 /// row's baseline in the stage-1 result vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CellJob {
+    /// The (profile, ranks, workload) row this cell belongs to.
     pub row: RowJob,
     /// Index of this cell's row in [`enumerate_rows`]'s output.
     pub baseline: usize,
+    /// The placement policy to run.
     pub policy: PolicyKind,
 }
 
@@ -76,6 +80,43 @@ pub fn enumerate_cells(cfg: &SweepConfig, rows: &[RowJob]) -> Vec<CellJob> {
         }
     }
     cells
+}
+
+/// One co-run job: a mix on a profile, executed under *every* configured
+/// arbitration policy (stage 3; independent of the single-tenant
+/// stages). The arbitration policies share a job because each tenant's
+/// solo baseline is policy-independent: one job computes the solos once
+/// and reuses them across policies. Expands into one report cell per
+/// (arbiter, tenant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorunJob {
+    /// The NVM profile (machine) the co-run executes on.
+    pub profile: NvmProfile,
+    /// Rank count ([`SweepConfig::corun_ranks`]).
+    pub nranks: usize,
+    /// Index into the config's `coruns` axis.
+    pub mix: usize,
+}
+
+/// Stage-3 job vector: co-runs in canonical (profile, mix) order.
+pub fn enumerate_coruns(cfg: &SweepConfig) -> Vec<CorunJob> {
+    let Some(nranks) = cfg.corun_ranks() else {
+        return Vec::new();
+    };
+    if cfg.arbiters.is_empty() {
+        return Vec::new();
+    }
+    let mut jobs = Vec::with_capacity(cfg.profiles.len() * cfg.coruns.len());
+    for &profile in &cfg.profiles {
+        for mix in 0..cfg.coruns.len() {
+            jobs.push(CorunJob {
+                profile,
+                nranks,
+                mix,
+            });
+        }
+    }
+    jobs
 }
 
 /// Run `f` over every job on a pool of `workers` threads and return the
@@ -196,6 +237,8 @@ mod tests {
             profiles: vec![NvmProfile::BwHalf, NvmProfile::Lat4x],
             ranks: vec![1, 4],
             dram_capacity: None,
+            coruns: vec![],
+            arbiters: vec![],
         }
     }
 

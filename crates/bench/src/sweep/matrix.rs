@@ -1,20 +1,29 @@
-//! The sweep's axes: policies, NVM profiles, and the matrix configuration.
+//! The sweep's axes: policies, NVM profiles, co-run mixes, arbitration
+//! policies, and the matrix configuration.
+
+pub use unimem_hms::arbiter::ArbiterPolicy;
 
 use unimem_hms::{profiles, MachineConfig};
 use unimem_sim::Bytes;
-use unimem_workloads::{Class, SUITE_NAMES};
+use unimem_workloads::corun::CorunMix;
+use unimem_workloads::{corun, Class, SUITE_NAMES};
 
 /// Placement policy axis. `Xmem` is materialized per (workload, machine)
 /// by the offline training profile; the others are workload-independent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
+    /// The full Unimem runtime (default configuration).
     Unimem,
+    /// The X-Mem offline-profiled static baseline.
     Xmem,
+    /// Unlimited DRAM (the normalization baseline).
     DramOnly,
+    /// Everything in NVM.
     NvmOnly,
 }
 
 impl PolicyKind {
+    /// Every policy, in report order.
     pub const ALL: [PolicyKind; 4] = [
         PolicyKind::Unimem,
         PolicyKind::Xmem,
@@ -32,6 +41,7 @@ impl PolicyKind {
         }
     }
 
+    /// Inverse of [`PolicyKind::name`] (case-insensitive).
     pub fn parse(s: &str) -> Option<PolicyKind> {
         Self::ALL.into_iter().find(|p| p.name() == s.to_ascii_lowercase())
     }
@@ -54,6 +64,7 @@ pub enum NvmProfile {
 }
 
 impl NvmProfile {
+    /// Every profile, in report order.
     pub const ALL: [NvmProfile; 5] = [
         NvmProfile::BwHalf,
         NvmProfile::Lat4x,
@@ -73,6 +84,7 @@ impl NvmProfile {
         }
     }
 
+    /// Inverse of [`NvmProfile::name`] (case-insensitive).
     pub fn parse(s: &str) -> Option<NvmProfile> {
         Self::ALL.into_iter().find(|p| p.name() == s.to_ascii_lowercase())
     }
@@ -113,16 +125,55 @@ impl NvmProfile {
 }
 
 /// The matrix to sweep. Axes multiply: every workload runs under every
-/// policy on every (profile, rank count) machine.
+/// policy on every (profile, rank count) machine. The co-run axes
+/// multiply separately: every mix runs under every arbitration policy on
+/// every profile, at the matrix's largest rank count (see
+/// [`SweepConfig::corun_ranks`]).
+///
+/// # Example — a miniature custom slice
+///
+/// ```
+/// use unimem_bench::sweep::{run_sweep, NvmProfile, PolicyKind, SweepConfig};
+/// use unimem_workloads::Class;
+///
+/// let cfg = SweepConfig {
+///     class: Class::S, // miniature inputs: the slice runs in milliseconds
+///     workloads: vec!["CG".into()],
+///     policies: vec![PolicyKind::DramOnly, PolicyKind::NvmOnly],
+///     profiles: vec![NvmProfile::BwHalf],
+///     ranks: vec![2],
+///     dram_capacity: None,
+///     coruns: vec![],
+///     arbiters: vec![],
+/// };
+/// assert_eq!(cfg.n_cells(), 2);
+/// let report = run_sweep(&cfg).unwrap();
+/// assert_eq!(report.cells.len(), 2);
+/// // Cells come back in canonical order, normalized to the row's
+/// // DRAM-only baseline. (At CLASS S the arrays fit the LLC, so
+/// // NVM-only merely ties rather than losing.)
+/// assert_eq!(report.cells[0].policy, PolicyKind::DramOnly);
+/// assert!(report.cells[1].normalized_to_dram >= 1.0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
+    /// NPB problem class every cell runs at.
     pub class: Class,
+    /// Suite member names (canonicalized by the runner).
     pub workloads: Vec<String>,
+    /// Placement policies to run per workload.
     pub policies: Vec<PolicyKind>,
+    /// NVM profiles (machines) to run on.
     pub profiles: Vec<NvmProfile>,
+    /// MPI rank counts to run at.
     pub ranks: Vec<usize>,
     /// Override the per-node DRAM capacity (None = profile default 256 MB).
     pub dram_capacity: Option<Bytes>,
+    /// Co-run mixes for the multi-tenant arbitration cells (empty = no
+    /// co-run cells).
+    pub coruns: Vec<CorunMix>,
+    /// DRAM arbitration policies each mix runs under.
+    pub arbiters: Vec<ArbiterPolicy>,
 }
 
 impl SweepConfig {
@@ -137,22 +188,41 @@ impl SweepConfig {
             profiles: vec![NvmProfile::BwHalf, NvmProfile::Lat4x],
             ranks: vec![4],
             dram_capacity: None,
+            coruns: corun::reduced_mixes(),
+            arbiters: ArbiterPolicy::ALL.to_vec(),
         }
     }
 
     /// The full matrix: all 7 workloads × 4 policies × 5 NVM profiles ×
-    /// rank counts {1, 4, 8}.
+    /// rank counts {1, 4, 8}, plus the standard co-run mixes.
     pub fn full() -> SweepConfig {
         SweepConfig {
             profiles: NvmProfile::ALL.to_vec(),
             ranks: vec![1, 4, 8],
+            coruns: corun::standard_mixes(),
             ..SweepConfig::reduced()
         }
     }
 
-    /// Number of cells this matrix produces.
+    /// Number of single-tenant cells this matrix produces.
     pub fn n_cells(&self) -> usize {
         self.workloads.len() * self.policies.len() * self.profiles.len() * self.ranks.len()
+    }
+
+    /// The rank count the co-run cells execute at: the matrix's largest
+    /// (co-runs model the contended production node, so they take the
+    /// biggest configured job size). `None` when the ranks axis is empty.
+    pub fn corun_ranks(&self) -> Option<usize> {
+        self.ranks.iter().copied().max()
+    }
+
+    /// Number of per-tenant co-run cells this matrix produces.
+    pub fn n_corun_cells(&self) -> usize {
+        if self.corun_ranks().is_none() {
+            return 0;
+        }
+        let tenants: usize = self.coruns.iter().map(|m| m.members.len()).sum();
+        tenants * self.arbiters.len() * self.profiles.len()
     }
 
     /// Collapse duplicate policy/profile/rank values in place
@@ -172,6 +242,8 @@ impl SweepConfig {
         dedup(&mut self.policies);
         dedup(&mut self.profiles);
         dedup(&mut self.ranks);
+        dedup(&mut self.arbiters);
+        self.coruns = corun::dedup_mixes(std::mem::take(&mut self.coruns));
     }
 }
 
@@ -195,6 +267,29 @@ mod tests {
     fn matrix_sizes() {
         assert_eq!(SweepConfig::reduced().n_cells(), 7 * 4 * 2);
         assert_eq!(SweepConfig::full().n_cells(), 7 * 4 * 5 * 3);
+        // Co-run cells: tenants × arbitration policies × profiles.
+        assert_eq!(SweepConfig::reduced().n_corun_cells(), 2 * 3 * 2);
+        assert_eq!(SweepConfig::full().n_corun_cells(), (2 + 2 + 3) * 3 * 5);
+    }
+
+    #[test]
+    fn corun_runs_at_the_largest_rank_count() {
+        assert_eq!(SweepConfig::reduced().corun_ranks(), Some(4));
+        assert_eq!(SweepConfig::full().corun_ranks(), Some(8));
+        let mut cfg = SweepConfig::reduced();
+        cfg.ranks.clear();
+        assert_eq!(cfg.corun_ranks(), None);
+        assert_eq!(cfg.n_corun_cells(), 0);
+    }
+
+    #[test]
+    fn normalize_axes_dedups_coruns_and_arbiters() {
+        let mut cfg = SweepConfig::reduced();
+        cfg.coruns.extend(cfg.coruns.clone());
+        cfg.arbiters.push(ArbiterPolicy::FairShare);
+        cfg.normalize_axes();
+        assert_eq!(cfg.coruns.len(), 1);
+        assert_eq!(cfg.arbiters.len(), 3);
     }
 
     #[test]

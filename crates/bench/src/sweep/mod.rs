@@ -20,9 +20,18 @@
 //! so the report bytes never depend on the worker count (`--jobs N` on
 //! the CLI; [`runner::run_sweep_jobs`] in code).
 //!
+//! Beyond the paper's single-application evaluation, the sweep carries a
+//! **co-run matrix** (stage 3): multi-tenant mixes
+//! (`unimem_workloads::corun`) execute under the DRAM arbiter
+//! (`unimem_hms::arbiter`) with each of the {fair-share, priority,
+//! best-effort} policies, and the report gains per-tenant cells measuring
+//! slowdown against the tenant's solo run — the production-node question
+//! the paper never asks.
+//!
 //! The [`conformance`] layer encodes the paper's headline claims as
 //! executable checks with explicit tolerances (see [`conformance::Tolerances`]
-//! for the claim ↔ figure mapping), runnable both as a tier-1 test on the
+//! for the claim ↔ figure mapping; `docs/CONFORMANCE.md` documents each
+//! check's provenance), runnable both as a tier-1 test on the
 //! [`matrix::SweepConfig::reduced`] matrix and as a full-matrix CLI mode
 //! (`cargo run --release --example sweep -- --full --check`).
 
@@ -34,5 +43,5 @@ pub mod runner;
 
 pub use conformance::{check_determinism, check_report, Tolerances, Violation};
 pub use jobs::{default_workers, run_pool};
-pub use matrix::{NvmProfile, PolicyKind, SweepConfig};
-pub use runner::{run_sweep, run_sweep_jobs, SweepCell, SweepReport};
+pub use matrix::{ArbiterPolicy, NvmProfile, PolicyKind, SweepConfig};
+pub use runner::{run_sweep, run_sweep_jobs, CorunCell, SweepCell, SweepReport};

@@ -1,17 +1,20 @@
 //! `BENCH_sweep.json` emission: a deterministic, machine-readable form of
 //! a [`SweepReport`].
 //!
-//! Schema (`unimem-bench-sweep/v1`):
+//! Schema (`unimem-bench-sweep/v2`):
 //!
 //! ```text
 //! {
-//!   "schema":    "unimem-bench-sweep/v1",
+//!   "schema":    "unimem-bench-sweep/v2",
 //!   "class":     "C",
 //!   "workloads": ["CG", ...],
 //!   "policies":  ["unimem", ...],
 //!   "profiles":  ["bw-half", ...],
 //!   "ranks":     [4, ...],
+//!   "mixes":     ["CG+FT", ...],
+//!   "arbiters":  ["fair-share", ...],
 //!   "n_cells":   56,
+//!   "n_corun_cells": 6,
 //!   "cells": [
 //!     {
 //!       "workload": "CG", "full_name": "CG.C",
@@ -22,22 +25,38 @@
 //!       "overlap_pct": ..., "pure_runtime_cost": ..., "reprofiles": ...,
 //!       "run": { <full RunReport: job + per-rank stats> }
 //!     }, ...
+//!   ],
+//!   "corun_cells": [
+//!     {
+//!       "mix": "CG+FT", "workload": "CG", "tenant": "CG",
+//!       "weight": 4, "start_epoch": 0,
+//!       "arbiter": "priority", "profile": "bw-half", "nranks": 4,
+//!       "time_s": ..., "solo_time_s": ..., "slowdown": ...,
+//!       "lease_min": ..., "lease_max": ..., "lease_replans": ...,
+//!       "run": { <full co-run RunReport> }
+//!     }, ...
 //!   ]
 //! }
 //! ```
+//!
+//! v2 adds the multi-tenant co-run section (`mixes`, `arbiters`,
+//! `n_corun_cells`, `corun_cells[]`): per-tenant slowdown vs. solo under
+//! each arbitration policy, with the lease range the arbiter granted.
 //!
 //! Identical sweeps serialize to byte-identical text (insertion-ordered
 //! members, shortest-round-trip floats); the determinism conformance
 //! check compares these bytes across repeated multi-threaded runs.
 
-use crate::sweep::runner::{SweepCell, SweepReport};
+use crate::sweep::runner::{CorunCell, SweepCell, SweepReport};
 use std::io;
 use std::path::Path;
 use unimem_sim::Json;
 
-pub const SCHEMA: &str = "unimem-bench-sweep/v1";
+/// The schema tag written to `BENCH_sweep.json`.
+pub const SCHEMA: &str = "unimem-bench-sweep/v2";
 
 impl SweepCell {
+    /// Deterministic JSON form of one single-tenant cell.
     pub fn to_json(&self) -> Json {
         let job = &self.report.job;
         let mut o = Json::obj();
@@ -59,7 +78,32 @@ impl SweepCell {
     }
 }
 
+impl CorunCell {
+    /// Deterministic JSON form of one per-tenant co-run cell.
+    pub fn to_json(&self) -> Json {
+        let job = &self.report.job;
+        let mut o = Json::obj();
+        o.push("mix", self.mix.as_str())
+            .push("workload", self.workload.as_str())
+            .push("tenant", self.tenant.as_str())
+            .push("weight", u64::from(self.weight))
+            .push("start_epoch", self.start_epoch)
+            .push("arbiter", self.arbiter.name())
+            .push("profile", self.profile.name())
+            .push("nranks", self.nranks)
+            .push("time_s", self.time_s())
+            .push("solo_time_s", self.solo_time_s)
+            .push("slowdown", self.slowdown)
+            .push("lease_min", self.lease_min)
+            .push("lease_max", self.lease_max)
+            .push("lease_replans", job.lease_replans)
+            .push("run", self.report.to_json());
+        o
+    }
+}
+
 impl SweepReport {
+    /// Deterministic JSON form of the whole sweep (schema above).
     pub fn to_json(&self) -> Json {
         let cfg = &self.config;
         let strings = |v: Vec<&str>| Json::Arr(v.into_iter().map(Json::from).collect());
@@ -82,10 +126,23 @@ impl SweepReport {
                 "ranks",
                 Json::Arr(cfg.ranks.iter().map(|&r| Json::from(r)).collect()),
             )
+            .push(
+                "mixes",
+                Json::Arr(cfg.coruns.iter().map(|m| Json::from(m.label())).collect()),
+            )
+            .push(
+                "arbiters",
+                strings(cfg.arbiters.iter().map(|a| a.name()).collect()),
+            )
             .push("n_cells", self.cells.len())
+            .push("n_corun_cells", self.corun_cells.len())
             .push(
                 "cells",
                 Json::Arr(self.cells.iter().map(SweepCell::to_json).collect()),
+            )
+            .push(
+                "corun_cells",
+                Json::Arr(self.corun_cells.iter().map(CorunCell::to_json).collect()),
             );
         o
     }
@@ -111,6 +168,8 @@ mod tests {
             profiles: vec![NvmProfile::BwHalf],
             ranks: vec![2],
             dram_capacity: None,
+            coruns: vec![],
+            arbiters: vec![],
         })
         .unwrap()
     }

@@ -10,12 +10,16 @@
 //! the serial `n_workers = 1` path.
 
 use crate::sweep::jobs::{
-    default_workers, enumerate_cells, enumerate_rows, run_pool, with_label, CellJob,
+    default_workers, enumerate_cells, enumerate_coruns, enumerate_rows, run_pool, with_label,
+    CellJob, CorunJob,
 };
 use crate::sweep::matrix::{NvmProfile, PolicyKind, SweepConfig};
 use std::collections::HashMap;
 use unimem::exec::{run_workload, Policy, RunReport};
+use unimem::tenancy::{run_corun_with_solos, CorunTenant};
 use unimem_cache::CacheModel;
+use unimem_hms::arbiter::ArbiterPolicy;
+use unimem_sim::Bytes;
 use unimem_workloads::select;
 use unimem_xmem::xmem_policy;
 
@@ -26,12 +30,16 @@ pub struct SweepCell {
     pub workload: String,
     /// Full workload name including the class ("CG.C").
     pub full_name: String,
+    /// Placement policy of the run.
     pub policy: PolicyKind,
+    /// NVM profile (machine) of the run.
     pub profile: NvmProfile,
+    /// Rank count of the run.
     pub nranks: usize,
     /// Run time normalized to the DRAM-only baseline of the same
     /// (workload, profile, ranks) — the paper's y-axis.
     pub normalized_to_dram: f64,
+    /// The run's full report.
     pub report: RunReport,
 }
 
@@ -53,12 +61,70 @@ impl SweepCell {
     }
 }
 
+/// One per-tenant cell of a co-run execution: how much a tenant slowed
+/// down relative to its solo run (full node DRAM) under a mix and an
+/// arbitration policy.
+#[derive(Debug, Clone)]
+pub struct CorunCell {
+    /// Mix label ("CG+FT").
+    pub mix: String,
+    /// Canonical suite name of this tenant's workload ("CG").
+    pub workload: String,
+    /// Unique tenant name within the mix ("CG", "CG#2").
+    pub tenant: String,
+    /// The tenant's arbitration priority weight.
+    pub weight: u32,
+    /// The tenant's phase-clock offset (epochs).
+    pub start_epoch: usize,
+    /// Arbitration policy the co-run executed under.
+    pub arbiter: ArbiterPolicy,
+    /// NVM profile (machine) of the run.
+    pub profile: NvmProfile,
+    /// Rank count of the run.
+    pub nranks: usize,
+    /// Solo (whole-node-DRAM) job completion time, virtual seconds.
+    pub solo_time_s: f64,
+    /// Per-tenant slowdown: co-run time / solo time — the co-run sweep's
+    /// y-axis.
+    pub slowdown: f64,
+    /// Smallest per-epoch DRAM lease the tenant held.
+    pub lease_min: Bytes,
+    /// Largest per-epoch DRAM lease the tenant held.
+    pub lease_max: Bytes,
+    /// The co-run execution's full report.
+    pub report: RunReport,
+}
+
+impl CorunCell {
+    /// Co-run job completion time in virtual seconds.
+    pub fn time_s(&self) -> f64 {
+        self.report.time().secs()
+    }
+
+    /// Human-readable cell coordinates for messages.
+    pub fn coords(&self) -> String {
+        format!(
+            "{}[{}]/{}/r{}/{}",
+            self.mix,
+            self.tenant,
+            self.profile.name(),
+            self.nranks,
+            self.arbiter.name()
+        )
+    }
+}
+
 /// The result of a sweep: the configuration it ran and every cell, in
-/// deterministic (profile, ranks, workload, policy) order.
+/// deterministic (profile, ranks, workload, policy) order, plus the
+/// per-tenant co-run cells in (profile, mix, arbiter, tenant) order.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
+    /// The canonicalized configuration that actually ran.
     pub config: SweepConfig,
+    /// Every single-tenant cell, in canonical order.
     pub cells: Vec<SweepCell>,
+    /// Per-tenant co-run cells (empty when the config has no mixes).
+    pub corun_cells: Vec<CorunCell>,
     /// Coordinate index over `cells`, built once at construction.
     /// Workload names map to a dense id first so lookups allocate nothing.
     index: CellIndex,
@@ -85,11 +151,16 @@ impl CellIndex {
 impl SweepReport {
     /// Assemble a report, building the coordinate index. `cells` is public
     /// for read access; constructing through `new` keeps the index in sync.
-    pub fn new(config: SweepConfig, cells: Vec<SweepCell>) -> SweepReport {
+    pub fn new(
+        config: SweepConfig,
+        cells: Vec<SweepCell>,
+        corun_cells: Vec<CorunCell>,
+    ) -> SweepReport {
         let index = CellIndex::build(&cells);
         SweepReport {
             config,
             cells,
+            corun_cells,
             index,
         }
     }
@@ -212,7 +283,62 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
     })
     .map_err(|e| format!("sweep cell failed: {e}"))?;
 
-    Ok(SweepReport::new(cfg, cells))
+    // Stage 3: the co-run matrix — every mix on every profile, at the
+    // largest rank count. One job covers all arbitration policies of a
+    // (profile, mix) pair so each tenant's policy-independent solo
+    // baseline runs once; cells flatten in canonical (profile, mix,
+    // arbiter, tenant) order.
+    let corun_jobs = enumerate_coruns(&cfg);
+    let corun_groups = run_pool(corun_jobs, n_workers, |job: &CorunJob| {
+        let mix = &cfg.coruns[job.mix];
+        with_label(
+            || format!("{}/{}/r{}", mix.label(), job.profile.name(), job.nranks),
+            || {
+                let m = machine(job.profile);
+                let members = mix.instantiate(cfg.class);
+                let tenants: Vec<CorunTenant<'_>> = members
+                    .iter()
+                    .map(|(slot, w)| {
+                        CorunTenant::new(slot.tenant.clone(), w.as_ref())
+                            .weight(slot.weight)
+                            .start_epoch(slot.start_epoch)
+                    })
+                    .collect();
+                let solos: Vec<RunReport> = tenants
+                    .iter()
+                    .map(|t| run_workload(t.workload, &m, &cache, job.nranks, &Policy::unimem()))
+                    .collect();
+                let mut group = Vec::with_capacity(cfg.arbiters.len() * tenants.len());
+                for &arbiter in &cfg.arbiters {
+                    let outcomes =
+                        run_corun_with_solos(&tenants, &m, &cache, job.nranks, arbiter, &solos)?;
+                    group.extend(members.iter().zip(outcomes).map(|((slot, _), o)| {
+                        let (lease_min, lease_max) = (o.lease_min(), o.lease_max());
+                        CorunCell {
+                            mix: mix.label(),
+                            workload: slot.workload.clone(),
+                            tenant: o.name,
+                            weight: o.weight,
+                            start_epoch: o.start_epoch,
+                            arbiter,
+                            profile: job.profile,
+                            nranks: job.nranks,
+                            solo_time_s: o.solo.time().secs(),
+                            slowdown: o.slowdown,
+                            lease_min,
+                            lease_max,
+                            report: o.corun,
+                        }
+                    }));
+                }
+                Ok(group)
+            },
+        )
+    })
+    .map_err(|e| format!("sweep co-run failed: {e}"))?;
+    let corun_cells = corun_groups.into_iter().flatten().collect();
+
+    Ok(SweepReport::new(cfg, cells, corun_cells))
 }
 
 /// Normalize a cell's run time against its row's DRAM-only baseline,
@@ -246,6 +372,8 @@ mod tests {
             profiles: vec![NvmProfile::BwHalf],
             ranks: vec![2],
             dram_capacity: None,
+            coruns: vec![],
+            arbiters: vec![],
         }
     }
 
@@ -337,6 +465,37 @@ mod tests {
             let err = normalized_to_dram(cell, dram).unwrap_err();
             assert!(err.contains("cannot be judged"), "{err}");
         }
+    }
+
+    #[test]
+    fn corun_stage_produces_per_tenant_cells_in_canonical_order() {
+        let mut cfg = micro();
+        cfg.coruns = unimem_workloads::parse_mixes(&["CG+LU"]).unwrap();
+        cfg.arbiters = vec![ArbiterPolicy::FairShare, ArbiterPolicy::Priority];
+        let rep = run_sweep(&cfg).unwrap();
+        assert_eq!(rep.corun_cells.len(), 2 * 2, "2 tenants x 2 arbiters");
+        // Canonical (profile, mix, arbiter, tenant) order.
+        let coords: Vec<String> = rep.corun_cells.iter().map(CorunCell::coords).collect();
+        assert_eq!(
+            coords,
+            [
+                "CG+LU[CG]/bw-half/r2/fair-share",
+                "CG+LU[LU]/bw-half/r2/fair-share",
+                "CG+LU[CG]/bw-half/r2/priority",
+                "CG+LU[LU]/bw-half/r2/priority",
+            ]
+        );
+        for c in &rep.corun_cells {
+            assert!(c.slowdown.is_finite() && c.slowdown > 0.0);
+            assert!(c.solo_time_s > 0.0);
+            assert_eq!(c.weight, if c.tenant == "CG" { 4 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn empty_corun_axes_produce_no_corun_cells() {
+        let rep = run_sweep(&micro()).unwrap();
+        assert!(rep.corun_cells.is_empty());
     }
 
     /// The parallel executor shares workload models, the cache model, and

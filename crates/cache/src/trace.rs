@@ -1,7 +1,7 @@
 //! Address-stream generators for the access-pattern vocabulary.
 //!
 //! These produce miniature traces matching each [`AccessPattern`] so tests
-//! can replay them through the [`SetAssocCache`] and check the analytic
+//! can replay them through the [`SetAssocCache`](crate::SetAssocCache) and check the analytic
 //! model's predictions. Streams are deterministic given the RNG seed.
 
 use crate::pattern::AccessPattern;

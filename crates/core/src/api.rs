@@ -25,6 +25,24 @@ use unimem_hms::tier::TierKind;
 use unimem_sim::Bytes;
 
 /// Real-mode Unimem runtime handle (Table 2's API).
+///
+/// # Example — the five calls end to end
+///
+/// ```
+/// use unimem::Unimem;
+/// use unimem_sim::Bytes;
+///
+/// let rt = Unimem::init(Bytes::mib(1));        // unimem_init
+/// let field = rt.malloc("field", Bytes::kib(64)); // unimem_malloc (starts in NVM)
+/// rt.start();                                  // unimem_start
+/// rt.record_access("field", 1_000_000);        // hot: >1 touch per byte
+/// rt.end_iteration();                          // decide + enqueue moves
+/// let (migrations, dram_used) = rt.end();      // unimem_end (quiesces)
+/// assert_eq!(migrations, 1, "the hot object moved to DRAM");
+/// assert_eq!(dram_used, Bytes::kib(64));
+/// assert_eq!(field.tier(), unimem_hms::TierKind::Dram);
+/// rt.free("field");                            // unimem_free
+/// ```
 pub struct Unimem {
     hms: RealHms,
     helper: HelperThread,

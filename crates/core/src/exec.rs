@@ -36,6 +36,7 @@ use unimem_sim::{Bytes, VDur};
 /// A computation phase of the script.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComputeSpec {
+    /// Phase label (the paper's kernel names: "sweep", "pressure-solve").
     pub label: &'static str,
     /// Pure CPU time, independent of data placement.
     pub cpu: VDur,
@@ -47,17 +48,37 @@ pub struct ComputeSpec {
 /// (computation, or a blocking communication operation).
 #[derive(Debug, Clone, PartialEq)]
 pub enum StepSpec {
+    /// A computation phase with per-object access descriptors.
     Compute(ComputeSpec),
+    /// `MPI_Barrier`.
     Barrier,
-    AllreduceSum { bytes: Bytes },
-    Bcast { bytes: Bytes },
-    Alltoall { bytes: Bytes },
+    /// `MPI_Allreduce` (sum) of `bytes` per rank.
+    AllreduceSum {
+        /// Payload contributed by each rank.
+        bytes: Bytes,
+    },
+    /// `MPI_Bcast` of `bytes` from rank 0.
+    Bcast {
+        /// Broadcast payload.
+        bytes: Bytes,
+    },
+    /// `MPI_Alltoall` with `bytes` per pair.
+    Alltoall {
+        /// Per-pair payload.
+        bytes: Bytes,
+    },
     /// Nearest-neighbour exchange: eager sends then waits (one phase).
-    Halo { neighbors: Vec<usize>, bytes: Bytes },
+    Halo {
+        /// Peer ranks exchanged with.
+        neighbors: Vec<usize>,
+        /// Per-neighbour payload.
+        bytes: Bytes,
+    },
 }
 
 /// A phase-structured iterative application.
 pub trait Workload: Sync {
+    /// Display name, including the class ("CG.C").
     fn name(&self) -> String;
     /// Target data objects of one rank (Table 3), in registration order —
     /// `ObjId(k)` is the k-th spec returned here.
@@ -65,6 +86,7 @@ pub trait Workload: Sync {
     /// The per-iteration phase script. The *structure* (step kinds and
     /// order) must not vary across iterations; access volumes may.
     fn script(&self, rank: usize, nranks: usize, iter: usize) -> Vec<StepSpec>;
+    /// Main-loop iterations to simulate.
     fn iterations(&self) -> usize;
 }
 
@@ -72,17 +94,25 @@ pub trait Workload: Sync {
 /// matching Fig. 11's four techniques.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UnimemConfig {
+    /// Enable the cross-phase global search.
     pub use_global: bool,
+    /// Enable the phase-local search.
     pub use_local: bool,
+    /// Enable large-object partitioning (§3.2).
     pub partitioning: bool,
+    /// Enable estimate-driven initial placement (§3.2).
     pub initial_placement: bool,
+    /// Enable re-profiling on workload variation (§3.2).
     pub adaptation: bool,
+    /// Hardware-counter sampling configuration.
     pub sampler: SamplerConfig,
+    /// Seed for the sampler's deterministic thinning.
     pub seed: u64,
     /// Cost charged per placement decision (model + knapsack solve).
     pub modeling_cost: VDur,
     /// Cost charged per phase boundary (helper-queue status check).
     pub sync_cost: VDur,
+    /// How large objects split into chunks (§3.2).
     pub partition_policy: PartitionPolicy,
 }
 
@@ -127,11 +157,18 @@ pub enum Policy {
     NvmOnly,
     /// Named objects pinned in DRAM for the whole run (Fig. 4 and the
     /// X-Mem baseline feed this).
-    Static { in_dram: Vec<String>, label: String },
+    Static {
+        /// Object names pinned in DRAM for the whole run.
+        in_dram: Vec<String>,
+        /// Display label for reports.
+        label: String,
+    },
+    /// The paper's runtime, with its ablation/config toggles.
     Unimem(UnimemConfig),
 }
 
 impl Policy {
+    /// Display label used in reports.
     pub fn label(&self) -> String {
         match self {
             Policy::DramOnly => "DRAM-only".into(),
@@ -141,16 +178,92 @@ impl Policy {
         }
     }
 
+    /// The full Unimem runtime at its default configuration.
     pub fn unimem() -> Policy {
         Policy::Unimem(UnimemConfig::default())
+    }
+}
+
+/// Per-iteration DRAM lease for one run: the *node* byte budget the
+/// placement pipeline may use during each iteration.
+///
+/// The capacity a Unimem instance hands its knapsack was historically a
+/// constant read off the machine config. Under multi-tenant arbitration
+/// (see [`crate::tenancy`] and `unimem_hms::arbiter`) it is a *leased*
+/// quantity that moves at iteration boundaries: when the arbiter revokes
+/// budget the runtime must re-run placement and evict, and when budget
+/// arrives it may re-plan to use it. Iterations beyond the last entry
+/// hold the final value, so a schedule is also the natural encoding of
+/// "co-runner finished, keep the reclaimed DRAM".
+///
+/// ```
+/// use unimem::exec::CapacitySchedule;
+/// use unimem_sim::Bytes;
+///
+/// let lease = CapacitySchedule::from_epochs(vec![
+///     Bytes::mib(128), // co-runner active: half the node
+///     Bytes::mib(128),
+///     Bytes::mib(256), // co-runner finished: full node from iter 2 on
+/// ])
+/// .unwrap();
+/// assert_eq!(lease.at(1), Bytes::mib(128));
+/// assert_eq!(lease.at(10), Bytes::mib(256));
+/// assert_eq!(lease.peak(), Bytes::mib(256));
+/// assert!(!lease.is_constant());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacitySchedule {
+    per_iter: Vec<Bytes>,
+}
+
+impl CapacitySchedule {
+    /// The classic single-tenant lease: the whole budget, every iteration.
+    pub fn constant(budget: Bytes) -> CapacitySchedule {
+        CapacitySchedule {
+            per_iter: vec![budget],
+        }
+    }
+
+    /// A lease that changes at iteration boundaries; the last entry
+    /// extends to every later iteration. Errors on an empty schedule.
+    pub fn from_epochs(per_iter: Vec<Bytes>) -> Result<CapacitySchedule, String> {
+        if per_iter.is_empty() {
+            return Err("capacity schedule must cover at least one iteration".into());
+        }
+        Ok(CapacitySchedule { per_iter })
+    }
+
+    /// The node budget leased during iteration `it`.
+    pub fn at(&self, it: usize) -> Bytes {
+        self.per_iter[it.min(self.per_iter.len() - 1)]
+    }
+
+    /// The largest budget the schedule ever grants (sizes the DRAM
+    /// service and the partitioner's chunk bound).
+    pub fn peak(&self) -> Bytes {
+        self.per_iter.iter().copied().max().unwrap_or(Bytes::ZERO)
+    }
+
+    /// True when every iteration holds the same budget (the
+    /// single-tenant fast path: no lease re-plans can ever fire).
+    pub fn is_constant(&self) -> bool {
+        self.per_iter.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The raw per-epoch entries (reports serialize these).
+    pub fn epochs(&self) -> &[Bytes] {
+        &self.per_iter
     }
 }
 
 /// Result of one job run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
+    /// Workload display name ("CG.C").
     pub workload: String,
+    /// Policy label ("Unimem", "DRAM-only", ...).
     pub policy: String,
+    /// Per-rank statistics, in rank order.
     pub per_rank: Vec<RunStats>,
     /// Job-level merge: max times, summed counters.
     pub job: RunStats,
@@ -230,7 +343,9 @@ impl UnimemState {
     }
 }
 
-/// Run `workload` on `nranks` ranks of the machine under `policy`.
+/// Run `workload` on `nranks` ranks of the machine under `policy`, with
+/// the machine's whole DRAM leased for the whole run (the single-tenant
+/// case every paper experiment uses).
 pub fn run_workload(
     workload: &dyn Workload,
     machine: &MachineConfig,
@@ -238,8 +353,45 @@ pub fn run_workload(
     nranks: usize,
     policy: &Policy,
 ) -> RunReport {
-    let service = DramService::new(nranks, machine.ranks_per_node, machine.dram_capacity);
-    let cap_per_rank = Bytes(machine.dram_capacity.get() / machine.ranks_per_node as u64);
+    run_workload_leased(
+        workload,
+        machine,
+        cache,
+        nranks,
+        policy,
+        &CapacitySchedule::constant(machine.dram_capacity),
+    )
+}
+
+/// [`run_workload`] with an explicit DRAM lease: the placement pipeline's
+/// capacity input follows `lease` instead of the machine constant. A
+/// lease change at an iteration boundary re-runs the placement decision
+/// (counted in [`RunStats::lease_replans`]) so revoked budget is evicted
+/// and granted budget is used. The multi-tenant co-run driver
+/// ([`crate::tenancy::run_corun`]) is the main caller.
+///
+/// Only the Unimem policy *manages* placement, so only it can honour a
+/// moving lease; the fixed policies (DRAM-only, NVM-only, static pins)
+/// have nothing to evict with. Passing a non-constant lease with a fixed
+/// policy panics rather than silently reporting full-budget performance
+/// under a schedule that claims the budget was revoked.
+pub fn run_workload_leased(
+    workload: &dyn Workload,
+    machine: &MachineConfig,
+    cache: &CacheModel,
+    nranks: usize,
+    policy: &Policy,
+    lease: &CapacitySchedule,
+) -> RunReport {
+    assert!(
+        lease.is_constant() || matches!(policy, Policy::Unimem(_)),
+        "a moving DRAM lease requires the Unimem policy ({} cannot evict)",
+        policy.label()
+    );
+    // The service is sized for the lease's peak: grants beyond the
+    // *current* lease are prevented by the knapsack capacity, and a
+    // shrinking lease evicts through the re-plan at the boundary.
+    let service = DramService::new(nranks, machine.ranks_per_node, lease.peak());
     // Offline calibration happens once per platform, outside the job.
     let cal = match policy {
         Policy::Unimem(cfg) => Some(calibrate(machine, cache, cfg.sampler, cfg.seed)),
@@ -254,7 +406,7 @@ pub fn run_workload(
             cache,
             policy,
             &service,
-            cap_per_rank,
+            lease,
             cal,
         )
     });
@@ -286,11 +438,12 @@ fn run_rank(
     cache: &CacheModel,
     policy: &Policy,
     service: &DramService,
-    cap_per_rank: Bytes,
+    lease: &CapacitySchedule,
     cal: Option<unimem_perf::Calibration>,
 ) -> (RunStats, Option<SearchKind>) {
     let rank = ctx.rank();
     let nranks = ctx.nranks();
+    let per_rank = |node_budget: Bytes| Bytes(node_budget.get() / machine.ranks_per_node as u64);
 
     // Register target data objects (unimem_malloc).
     let mut registry = ObjectRegistry::new();
@@ -321,7 +474,10 @@ fn run_rank(
         }
         Policy::Unimem(cfg) => {
             if cfg.partitioning {
-                partition_large_objects(&mut registry, cap_per_rank, cfg.partition_policy);
+                // Chunks are sized against the lease's peak: a chunk that
+                // fits DRAM at the high-water lease simply stays in NVM
+                // while the lease is lower.
+                partition_large_objects(&mut registry, per_rank(lease.peak()), cfg.partition_policy);
             }
             let model = ModelParams::new(
                 machine.dram,
@@ -332,7 +488,7 @@ fn run_rank(
             let mut committed = BTreeSet::new();
             let mut grants = HashMap::new();
             if cfg.initial_placement {
-                for u in initial_placement(&registry, cap_per_rank) {
+                for u in initial_placement(&registry, per_rank(lease.at(0))) {
                     if let Some(g) = service.reserve(rank, registry.unit_size(u)) {
                         committed.insert(u);
                         grants.insert(u, g);
@@ -349,7 +505,7 @@ fn run_rank(
                 committed,
                 grants,
                 profiling: true,
-                cap_per_rank,
+                cap_per_rank: per_rank(lease.at(0)),
                 model,
                 cfg: cfg.clone(),
             }))
@@ -369,6 +525,30 @@ fn run_rank(
         if let RankPolicy::Unimem(st) = &mut rp {
             if st.refs.is_none() {
                 st.refs = Some(build_refs(&steps, &registry));
+            }
+
+            // Lease boundary: the arbiter may have granted or revoked
+            // DRAM since the previous iteration. The knapsack capacity
+            // follows the lease; with a complete profile in hand the
+            // placement re-runs immediately, evicting revoked budget
+            // (the new plan fits the new capacity) or putting granted
+            // budget to use.
+            let cap_now = per_rank(lease.at(it));
+            if cap_now != st.cap_per_rank {
+                st.cap_per_rank = cap_now;
+                if !st.profiling && st.profile.len() == steps.len() {
+                    replace_plan(
+                        st,
+                        &registry,
+                        service,
+                        ctx,
+                        &mut stats,
+                        rank,
+                        steps.len(),
+                        (iterations - it).max(1) as u64,
+                    );
+                    stats.lease_replans += 1;
+                }
             }
         }
 
@@ -451,43 +631,16 @@ fn run_rank(
         // End of a profiled iteration: build models, decide, enforce.
         if let RankPolicy::Unimem(st) = &mut rp {
             if st.profiling && st.profile.len() == steps.len() {
-                ctx.advance(st.cfg.modeling_cost);
-                stats.modeling_overhead += st.cfg.modeling_cost;
-                let refs = st.refs.as_ref().expect("refs built in first iteration");
-                let (committed, grants) = match st.enforcer.take() {
-                    Some(e) => e.into_state(),
-                    None => (
-                        std::mem::take(&mut st.committed),
-                        std::mem::take(&mut st.grants),
-                    ),
-                };
-                let input = SearchInput {
-                    registry: &registry,
-                    profile: &st.profile,
-                    refs,
-                    model: &st.model,
-                    capacity: st.cap_per_rank,
-                    profiled_dram: &committed,
-                    remaining_iters: (iterations - it).max(1) as u64,
-                };
-                let plan = best_plan(&input, st.cfg.use_global, st.cfg.use_local);
-                let mut enf = Enforcer::new(
-                    plan,
-                    refs,
+                replace_plan(
+                    st,
                     &registry,
-                    st.cap_per_rank,
-                    committed,
-                    grants,
+                    service,
+                    ctx,
+                    &mut stats,
                     rank,
-                    st.cfg.sync_cost,
+                    steps.len(),
+                    (iterations - it).max(1) as u64,
                 );
-                enf.enter_plan(ctx.now(), refs, &registry, &mut st.engine, service);
-                st.enforcer = Some(enf);
-                // Fresh baseline: the new placement legitimately changes
-                // phase times; the monitor must not mistake that for
-                // workload variation.
-                st.monitor = Some(VariationMonitor::paper_default(steps.len()));
-                st.profiling = false;
             }
         }
     }
@@ -502,6 +655,59 @@ fn run_rank(
         _ => None,
     };
     (stats, plan_kind)
+}
+
+/// The placement decision step, shared by the end-of-profiling path and
+/// lease re-plans: charge the modeling cost, solve for the best plan at
+/// the *current* capacity (`st.cap_per_rank`), and swap in a fresh
+/// enforcer that transitions from the current DRAM contents. Resets the
+/// variation monitor — the new placement legitimately changes phase
+/// times, which must not read as workload variation.
+#[allow(clippy::too_many_arguments)]
+fn replace_plan(
+    st: &mut UnimemState,
+    registry: &ObjectRegistry,
+    service: &DramService,
+    ctx: &mut RankCtx,
+    stats: &mut RunStats,
+    rank: usize,
+    steps_len: usize,
+    remaining_iters: u64,
+) {
+    ctx.advance(st.cfg.modeling_cost);
+    stats.modeling_overhead += st.cfg.modeling_cost;
+    let refs = st.refs.as_ref().expect("refs built in first iteration");
+    let (committed, grants) = match st.enforcer.take() {
+        Some(e) => e.into_state(),
+        None => (
+            std::mem::take(&mut st.committed),
+            std::mem::take(&mut st.grants),
+        ),
+    };
+    let input = SearchInput {
+        registry,
+        profile: &st.profile,
+        refs,
+        model: &st.model,
+        capacity: st.cap_per_rank,
+        profiled_dram: &committed,
+        remaining_iters,
+    };
+    let plan = best_plan(&input, st.cfg.use_global, st.cfg.use_local);
+    let mut enf = Enforcer::new(
+        plan,
+        refs,
+        registry,
+        st.cap_per_rank,
+        committed,
+        grants,
+        rank,
+        st.cfg.sync_cost,
+    );
+    enf.enter_plan(ctx.now(), refs, registry, &mut st.engine, service);
+    st.enforcer = Some(enf);
+    st.monitor = Some(VariationMonitor::paper_default(steps_len));
+    st.profiling = false;
 }
 
 /// Compute ground-truth phase time and per-unit sampler inputs for a

@@ -2,7 +2,7 @@
 //!
 //! "Given the DRAM size limitation, our data placement problem is to
 //! maximize total weights of data objects in DRAM while satisfying the DRAM
-//! size constraint. This is a 0-1 knapsack problem [solved] by dynamic
+//! size constraint. This is a 0-1 knapsack problem \[solved\] by dynamic
 //! programming in pseudo-polynomial time." (§3.1.3)
 //!
 //! Sizes are bytes (up to hundreds of MiB), so the DP quantizes capacity

@@ -29,6 +29,9 @@
 //! * [`stats`] — run statistics: Table 4 counters and "pure runtime cost".
 //! * [`exec`] — the driver: runs a [`exec::Workload`] under a
 //!   [`exec::Policy`] on a machine model and reports times + stats.
+//! * [`tenancy`] — multi-tenant co-runs: N independent Unimem instances
+//!   whose knapsack capacities are leased from the
+//!   `unimem_hms::arbiter` broker and re-planned when leases move.
 
 pub mod adapt;
 pub mod api;
@@ -42,8 +45,13 @@ pub mod partition;
 pub mod profile;
 pub mod search;
 pub mod stats;
+pub mod tenancy;
 
 pub use api::Unimem;
-pub use exec::{run_workload, Policy, RunReport, StepSpec, UnimemConfig, Workload};
+pub use exec::{
+    run_workload, run_workload_leased, CapacitySchedule, Policy, RunReport, StepSpec,
+    UnimemConfig, Workload,
+};
+pub use tenancy::{run_corun, run_corun_with_solos, CorunTenant, TenantOutcome};
 pub use model::{ModelParams, Sensitivity};
 pub use stats::RunStats;

@@ -24,6 +24,9 @@ pub struct RunStats {
     pub migrations: MigrationStats,
     /// Times the variation monitor re-triggered profiling.
     pub reprofiles: u64,
+    /// Times a DRAM-lease change (arbiter grant or revocation) forced a
+    /// placement re-run at an iteration boundary.
+    pub lease_replans: u64,
     /// Iterations executed.
     pub iterations: u64,
 }
@@ -72,6 +75,7 @@ impl RunStats {
             .push("overlap_pct", self.overlap_pct())
             .push("pure_runtime_cost", self.pure_runtime_cost())
             .push("reprofiles", self.reprofiles)
+            .push("lease_replans", self.lease_replans)
             .push("iterations", self.iterations);
         o
     }
@@ -88,6 +92,7 @@ impl RunStats {
         self.migration_stall = self.migration_stall.max(other.migration_stall);
         self.migrations.merge(&other.migrations);
         self.reprofiles += other.reprofiles;
+        self.lease_replans += other.lease_replans;
         self.iterations = self.iterations.max(other.iterations);
     }
 }

@@ -1,0 +1,429 @@
+//! Multi-tenant co-run execution: N independent Unimem instances under
+//! one DRAM arbiter.
+//!
+//! The paper's runtime is single-application; a production node serves
+//! several applications contending for the same scarce DRAM tier. This
+//! layer wraps N independent Unimem runs, intercepts each one's knapsack
+//! capacity input, and drives it from the `unimem_hms::arbiter` broker
+//! instead of the machine constant:
+//!
+//! 1. each tenant's **demand** is its per-node data footprint (capped at
+//!    the node budget);
+//! 2. the co-run timeline is divided into **epochs** — one per main-loop
+//!    iteration, with tenants' phase clocks staggered by their
+//!    `start_epoch` — and the arbiter rebalances at every epoch boundary
+//!    where the active tenant set changes (a tenant arriving revokes
+//!    budget from the incumbents; a tenant finishing returns its lease to
+//!    the pool);
+//! 3. each tenant then executes with its per-epoch lease as a
+//!    [`CapacitySchedule`]: the runtime re-runs placement at the
+//!    boundaries where its lease moved
+//!    ([`RunStats::lease_replans`](crate::stats::RunStats) counts these)
+//!    — evicting on revocation, expanding on grant.
+//!
+//! Per-tenant **slowdown** (co-run time / solo time at the full node
+//! budget) is the quality metric the sweep's co-run cells report: an
+//! arbitration policy earns its keep when the tenants it protects stay
+//! near 1.0 under contention.
+//!
+//! Everything is virtual-time deterministic: the lease schedules are a
+//! pure function of (budget, policy, mix), and each tenant's run is the
+//! same deterministic simulation the single-tenant paths use.
+
+use crate::exec::{
+    run_workload, run_workload_leased, CapacitySchedule, Policy, RunReport, Workload,
+};
+use unimem_cache::CacheModel;
+use unimem_hms::arbiter::{ArbiterPolicy, DramArbiter, TenantSpec};
+use unimem_hms::MachineConfig;
+use unimem_sim::Bytes;
+
+/// One member of a co-run: a workload plus its arbitration contract.
+pub struct CorunTenant<'a> {
+    /// Name carried into reports (unique within the co-run).
+    pub name: String,
+    /// The phase-structured application this tenant runs.
+    pub workload: &'a dyn Workload,
+    /// Priority weight (≥ 1); read by [`ArbiterPolicy::Priority`].
+    pub weight: u32,
+    /// Guaranteed per-node DRAM floor.
+    pub reservation: Bytes,
+    /// Staggered phase clock: the epoch (global iteration index) at which
+    /// this tenant's main loop begins.
+    pub start_epoch: usize,
+}
+
+impl<'a> CorunTenant<'a> {
+    /// A weight-1, reservation-free tenant starting at epoch 0.
+    pub fn new(name: impl Into<String>, workload: &'a dyn Workload) -> CorunTenant<'a> {
+        CorunTenant {
+            name: name.into(),
+            workload,
+            weight: 1,
+            reservation: Bytes::ZERO,
+            start_epoch: 0,
+        }
+    }
+
+    /// Set the priority weight.
+    pub fn weight(mut self, w: u32) -> CorunTenant<'a> {
+        self.weight = w;
+        self
+    }
+
+    /// Set the guaranteed per-node DRAM floor.
+    pub fn reservation(mut self, r: Bytes) -> CorunTenant<'a> {
+        self.reservation = r;
+        self
+    }
+
+    /// Stagger this tenant's phase clock by `e` epochs.
+    pub fn start_epoch(mut self, e: usize) -> CorunTenant<'a> {
+        self.start_epoch = e;
+        self
+    }
+}
+
+/// What happened to one tenant of a co-run.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// The tenant's name.
+    pub name: String,
+    /// Its priority weight.
+    pub weight: u32,
+    /// Its phase-clock offset.
+    pub start_epoch: usize,
+    /// The solo baseline: the same workload with the whole node budget.
+    pub solo: RunReport,
+    /// The co-run execution under the arbiter's lease.
+    pub corun: RunReport,
+    /// Co-run time / solo time (≥ ~1.0; the paper-style y-axis of the
+    /// co-run sweep cells).
+    pub slowdown: f64,
+    /// The per-epoch lease the arbiter granted (in the tenant's own
+    /// iteration index space).
+    pub lease: CapacitySchedule,
+}
+
+impl TenantOutcome {
+    /// The smallest per-epoch lease the tenant ever held.
+    pub fn lease_min(&self) -> Bytes {
+        self.lease.epochs().iter().copied().min().unwrap_or(Bytes::ZERO)
+    }
+
+    /// The largest per-epoch lease the tenant ever held.
+    pub fn lease_max(&self) -> Bytes {
+        self.lease.peak()
+    }
+}
+
+/// Run a co-run mix: compute every tenant's lease schedule from the
+/// arbiter, execute each tenant (solo baseline + leased co-run), and
+/// report per-tenant slowdowns. Errors on an empty mix, infeasible
+/// reservations, or a degenerate (zero/non-finite) solo baseline.
+pub fn run_corun(
+    tenants: &[CorunTenant<'_>],
+    machine: &MachineConfig,
+    cache: &CacheModel,
+    nranks: usize,
+    policy: ArbiterPolicy,
+) -> Result<Vec<TenantOutcome>, String> {
+    let solos: Vec<RunReport> = tenants
+        .iter()
+        .map(|t| run_workload(t.workload, machine, cache, nranks, &Policy::unimem()))
+        .collect();
+    run_corun_with_solos(tenants, machine, cache, nranks, policy, &solos)
+}
+
+/// [`run_corun`] with precomputed solo baselines (one per tenant, same
+/// order). The solo run is a pure function of (workload, machine,
+/// nranks) — independent of the arbitration policy — so a caller
+/// sweeping several policies over one mix (the bench runner's stage 3)
+/// computes the solos once and reuses them across policies.
+pub fn run_corun_with_solos(
+    tenants: &[CorunTenant<'_>],
+    machine: &MachineConfig,
+    cache: &CacheModel,
+    nranks: usize,
+    policy: ArbiterPolicy,
+    solos: &[RunReport],
+) -> Result<Vec<TenantOutcome>, String> {
+    if tenants.is_empty() {
+        return Err("co-run needs at least one tenant".into());
+    }
+    if solos.len() != tenants.len() {
+        return Err(format!(
+            "{} solo baselines for {} tenants",
+            solos.len(),
+            tenants.len()
+        ));
+    }
+    let budget = machine.dram_capacity;
+    let rpn = machine.ranks_per_node as u64;
+
+    // Demands: per-node data footprint, capped at the node budget (a
+    // tenant cannot use more DRAM than the node has).
+    let demands: Vec<Bytes> = tenants
+        .iter()
+        .map(|t| {
+            let per_rank: Bytes = t.workload.objects(0, nranks).iter().map(|o| o.size).sum();
+            Bytes((per_rank.get() * rpn).min(budget.get()))
+        })
+        .collect();
+    let iters: Vec<usize> = tenants.iter().map(|t| t.workload.iterations()).collect();
+
+    let mut arb = DramArbiter::new(budget, policy);
+    let mut ids = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        let id = arb.register(
+            TenantSpec::new(t.name.clone())
+                .weight(t.weight)
+                .reservation(t.reservation),
+        )?;
+        // Tenants whose phase clock starts later join at their epoch.
+        if t.start_epoch > 0 {
+            arb.deactivate(id);
+        }
+        ids.push(id);
+    }
+
+    // Walk the global epoch timeline; the arbiter rebalances wherever the
+    // active set or demands change, and each active tenant logs its lease.
+    let total_epochs = tenants
+        .iter()
+        .zip(&iters)
+        .map(|(t, &n)| t.start_epoch + n.max(1))
+        .max()
+        .expect("non-empty mix");
+    let mut leases: Vec<Vec<Bytes>> = vec![Vec::new(); tenants.len()];
+    for epoch in 0..total_epochs {
+        for (i, t) in tenants.iter().enumerate() {
+            let active = epoch >= t.start_epoch && epoch < t.start_epoch + iters[i].max(1);
+            if active {
+                arb.activate(ids[i])?;
+                arb.set_demand(ids[i], demands[i]);
+            } else {
+                arb.deactivate(ids[i]);
+            }
+        }
+        arb.rebalance();
+        for (i, t) in tenants.iter().enumerate() {
+            if epoch >= t.start_epoch && epoch < t.start_epoch + iters[i].max(1) {
+                leases[i].push(arb.grant(ids[i]));
+            }
+        }
+    }
+
+    // Execute the leased co-runs against the provided solo baselines.
+    let policy = Policy::unimem();
+    let mut outcomes = Vec::with_capacity(tenants.len());
+    for (i, t) in tenants.iter().enumerate() {
+        let solo = solos[i].clone();
+        let lease = CapacitySchedule::from_epochs(leases[i].clone())?;
+        let corun = run_workload_leased(t.workload, machine, cache, nranks, &policy, &lease);
+        let slowdown = corun.time().secs() / solo.time().secs();
+        if !slowdown.is_finite() {
+            return Err(format!(
+                "tenant {}: non-finite slowdown (corun {}s / solo {}s)",
+                t.name,
+                corun.time().secs(),
+                solo.time().secs()
+            ));
+        }
+        outcomes.push(TenantOutcome {
+            name: t.name.clone(),
+            weight: t.weight,
+            start_epoch: t.start_epoch,
+            solo,
+            corun,
+            slowdown,
+            lease,
+        });
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ComputeSpec, StepSpec};
+    use unimem_cache::{AccessPattern, ObjAccess};
+    use unimem_hms::object::{ObjId, ObjectSpec};
+    use unimem_sim::VDur;
+
+    /// One hot streaming object per tenant; DRAM residency matters.
+    struct Synth {
+        tag: &'static str,
+        iters: usize,
+    }
+
+    impl Workload for Synth {
+        fn name(&self) -> String {
+            format!("synth-{}", self.tag)
+        }
+
+        fn objects(&self, _rank: usize, _nranks: usize) -> Vec<ObjectSpec> {
+            vec![
+                ObjectSpec::new("hot", Bytes::mib(100)).est_refs(1e9),
+                ObjectSpec::new("cold", Bytes::mib(100)).est_refs(1e6),
+            ]
+        }
+
+        fn script(&self, _rank: usize, _nranks: usize, _iter: usize) -> Vec<StepSpec> {
+            vec![
+                StepSpec::Compute(ComputeSpec {
+                    label: "sweep",
+                    cpu: VDur::from_millis(5.0),
+                    accesses: vec![
+                        ObjAccess::new(
+                            ObjId(0),
+                            40_000_000,
+                            Bytes::mib(100),
+                            AccessPattern::Streaming { stride: Bytes(8) },
+                        ),
+                        ObjAccess::new(ObjId(1), 400_000, Bytes::mib(100), AccessPattern::Random),
+                    ],
+                }),
+                StepSpec::AllreduceSum { bytes: Bytes(64) },
+            ]
+        }
+
+        fn iterations(&self) -> usize {
+            self.iters
+        }
+    }
+
+    fn machine() -> MachineConfig {
+        // Node DRAM fits one tenant's hot object, not two.
+        MachineConfig::nvm_bw_fraction(0.5).with_dram_capacity(Bytes::mib(128))
+    }
+
+    #[test]
+    fn empty_mix_is_an_error() {
+        let m = machine();
+        let c = CacheModel::platform_a();
+        assert!(run_corun(&[], &m, &c, 1, ArbiterPolicy::FairShare).is_err());
+    }
+
+    #[test]
+    fn solo_tenant_matches_single_tenant_run() {
+        let w = Synth { tag: "a", iters: 6 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let out = run_corun(
+            &[CorunTenant::new("a", &w)],
+            &m,
+            &c,
+            1,
+            ArbiterPolicy::FairShare,
+        )
+        .unwrap();
+        // Alone, the arbiter grants the whole budget: no contention, no
+        // lease movement, identical to the classic run.
+        assert_eq!(out[0].corun.time().secs(), out[0].solo.time().secs());
+        assert!((out[0].slowdown - 1.0).abs() < 1e-12);
+        assert_eq!(out[0].corun.job.lease_replans, 0);
+    }
+
+    #[test]
+    fn contended_tenants_slow_down_but_stay_finite() {
+        let wa = Synth { tag: "a", iters: 6 };
+        let wb = Synth { tag: "b", iters: 6 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let out = run_corun(
+            &[CorunTenant::new("a", &wa), CorunTenant::new("b", &wb)],
+            &m,
+            &c,
+            1,
+            ArbiterPolicy::FairShare,
+        )
+        .unwrap();
+        for o in &out {
+            assert!(o.slowdown >= 0.99, "{}: {}", o.name, o.slowdown);
+            assert!(o.lease_max() <= Bytes::mib(128));
+        }
+        // Fair share of 128 MiB cannot hold either 100 MiB hot object;
+        // both tenants lose DRAM relative to solo.
+        assert!(out.iter().any(|o| o.slowdown > 1.0));
+    }
+
+    #[test]
+    fn priority_tenant_degrades_no_more_than_best_effort_peer() {
+        let wa = Synth { tag: "a", iters: 6 };
+        let wb = Synth { tag: "b", iters: 6 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let out = run_corun(
+            &[
+                CorunTenant::new("hi", &wa).weight(4),
+                CorunTenant::new("lo", &wb),
+            ],
+            &m,
+            &c,
+            1,
+            ArbiterPolicy::Priority,
+        )
+        .unwrap();
+        assert!(
+            out[0].slowdown <= out[1].slowdown + 1e-9,
+            "hi={} lo={}",
+            out[0].slowdown,
+            out[1].slowdown
+        );
+        assert!(out[0].lease_min() >= out[1].lease_min());
+    }
+
+    #[test]
+    fn staggered_tenant_changes_the_incumbents_lease() {
+        let wa = Synth { tag: "a", iters: 8 };
+        let wb = Synth { tag: "b", iters: 4 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let out = run_corun(
+            &[
+                CorunTenant::new("incumbent", &wa),
+                CorunTenant::new("late", &wb).start_epoch(2),
+            ],
+            &m,
+            &c,
+            1,
+            ArbiterPolicy::FairShare,
+        )
+        .unwrap();
+        let inc = &out[0];
+        // Epochs 0-1 alone (full budget), 2-5 contended, 6-7 alone again.
+        let epochs = inc.lease.epochs();
+        assert_eq!(epochs.len(), 8);
+        assert_eq!(epochs[0], Bytes::mib(128));
+        assert!(epochs[3] < Bytes::mib(128));
+        assert_eq!(epochs[7], Bytes::mib(128));
+        // The lease moved at least twice; each move re-ran placement.
+        assert!(inc.corun.job.lease_replans >= 2, "{}", inc.corun.job.lease_replans);
+    }
+
+    #[test]
+    fn corun_is_deterministic() {
+        let wa = Synth { tag: "a", iters: 5 };
+        let wb = Synth { tag: "b", iters: 5 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let run = || {
+            run_corun(
+                &[
+                    CorunTenant::new("a", &wa).weight(2),
+                    CorunTenant::new("b", &wb).start_epoch(1),
+                ],
+                &m,
+                &c,
+                2,
+                ArbiterPolicy::Priority,
+            )
+            .unwrap()
+            .iter()
+            .map(|o| o.corun.to_json().to_pretty())
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -19,8 +19,12 @@
 //! * [`pools`] — a *real* two-pool backing store plus a *real* helper thread
 //!   with a FIFO queue, used by wall-clock benches and examples so the
 //!   concurrency machinery is exercised for real, not only in virtual time.
+//! * [`arbiter`] — the multi-tenant DRAM budget broker: per-tenant
+//!   reservations, priority weights, and deterministic lease
+//!   rebalancing/revocation for co-running applications.
 
 pub mod alloc;
+pub mod arbiter;
 pub mod dram_service;
 pub mod migration;
 pub mod object;
@@ -29,6 +33,7 @@ pub mod profiles;
 pub mod tier;
 
 pub use alloc::SpaceAllocator;
+pub use arbiter::{ArbiterPolicy, DramArbiter, LeaseChange, TenantId, TenantSpec};
 pub use dram_service::DramService;
 pub use migration::{MigrationEngine, MigrationStats};
 pub use object::{DataObject, ObjId, ObjectRegistry, Placement};

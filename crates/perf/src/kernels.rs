@@ -3,7 +3,7 @@
 //! These run on the host for the wall-clock path (criterion benches, the
 //! quickstart example): STREAM saturates bandwidth with independent
 //! unit-stride traffic, the pointer chase serializes dependent loads. They
-//! are the physical counterparts of the descriptors in [`crate::calibrate`].
+//! are the physical counterparts of the descriptors in [`mod@crate::calibrate`].
 
 use unimem_sim::DetRng;
 

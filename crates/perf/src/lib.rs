@@ -15,7 +15,7 @@
 //!   access), plus the profiling overhead charged to the runtime.
 //! * [`eq1`] — Equation 1 of the paper: estimated bandwidth consumption of
 //!   a data object from sampled quantities.
-//! * [`calibrate`] — the offline step: run STREAM (bandwidth-bound) and
+//! * [`mod@calibrate`] — the offline step: run STREAM (bandwidth-bound) and
 //!   pointer-chasing (latency-bound) through the same machinery to obtain
 //!   `CF_bw`, `CF_lat` and the sampled `BW_peak` of NVM.
 //! * [`kernels`] — *real* STREAM-triad and pointer-chase kernels used by

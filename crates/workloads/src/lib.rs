@@ -22,10 +22,15 @@
 //! loop structure, with constants chosen so the NVM-only slowdowns land in
 //! the ranges Figures 2/3 report. `EXPERIMENTS.md` records paper-vs-
 //! measured for every figure.
+//!
+//! Beyond the paper's single-application evaluation, [`corun`] composes
+//! suite members into multi-tenant mixes (pairs/triples with staggered
+//! phase clocks) for the DRAM-arbitration co-run sweep.
 
 pub mod bt;
 pub mod cg;
 pub mod classes;
+pub mod corun;
 pub mod ft;
 pub mod helpers;
 pub mod lu;
@@ -35,6 +40,9 @@ pub mod sp;
 pub mod suite;
 
 pub use classes::Class;
+pub use corun::{
+    dedup_mixes, parse_mixes, reduced_mixes, standard_mixes, CorunMember, CorunMix,
+};
 pub use suite::{
     all_npb, by_name, canonical_name, canonicalize_names, npb_and_nek, select, SUITE_NAMES,
 };

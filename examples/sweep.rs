@@ -10,6 +10,8 @@
 //! cargo run --release --example sweep -- --workloads CG,Nek5000 \
 //!     --profiles bw-half,pcram --ranks 1,4 --class C
 //! cargo run --release --example sweep -- --full --jobs 8   # worker pool
+//! cargo run --release --example sweep -- --mixes LU+MG,FT+BT+MG \
+//!     --arbiters fair-share,priority                       # co-run axes
 //! ```
 //!
 //! `--jobs N` sets the worker-pool width (default: the host's available
@@ -23,15 +25,16 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use unimem_repro::bench::sweep::{
-    check_determinism, check_report, default_workers, run_sweep_jobs, NvmProfile, PolicyKind,
-    SweepConfig, Tolerances,
+    check_determinism, check_report, default_workers, run_sweep_jobs, ArbiterPolicy, NvmProfile,
+    PolicyKind, SweepConfig, Tolerances,
 };
-use unimem_repro::workloads::Class;
+use unimem_repro::workloads::{corun, Class};
 
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--full] [--check] [--out PATH] [--class S|C|D] [--jobs N]\n\
-         \x20            [--workloads CSV] [--policies CSV] [--profiles CSV] [--ranks CSV]"
+         \x20            [--workloads CSV] [--policies CSV] [--profiles CSV] [--ranks CSV]\n\
+         \x20            [--mixes CSV of A+B[+C]] [--arbiters CSV]"
     );
     std::process::exit(2)
 }
@@ -53,7 +56,7 @@ fn main() -> ExitCode {
     let mut check = false;
     let mut full = false;
     let mut jobs = default_workers();
-    let (mut explicit_profiles, mut explicit_ranks) = (false, false);
+    let (mut explicit_profiles, mut explicit_ranks, mut explicit_mixes) = (false, false, false);
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -106,6 +109,22 @@ fn main() -> ExitCode {
                 });
                 explicit_ranks = true;
             }
+            "--mixes" => {
+                let arg = value("--mixes");
+                let specs: Vec<&str> = arg.split(',').map(str::trim).collect();
+                cfg.coruns = match corun::parse_mixes(&specs) {
+                    Ok(mixes) => mixes,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                explicit_mixes = true;
+            }
+            "--arbiters" => {
+                cfg.arbiters =
+                    parse_csv(&value("--arbiters"), "arbitration policy", ArbiterPolicy::parse)
+            }
             _ => usage(),
         }
     }
@@ -117,6 +136,9 @@ fn main() -> ExitCode {
         }
         if !explicit_ranks {
             cfg.ranks = SweepConfig::full().ranks;
+        }
+        if !explicit_mixes {
+            cfg.coruns = SweepConfig::full().coruns;
         }
     }
 
@@ -138,12 +160,13 @@ fn main() -> ExitCode {
 
     println!(
         "sweep: {} workloads x {} policies x {} profiles x {} rank counts = {} cells \
-         (CLASS {}, {jobs} jobs)",
+         + {} co-run cells (CLASS {}, {jobs} jobs)",
         cfg.workloads.len(),
         cfg.policies.len(),
         cfg.profiles.len(),
         cfg.ranks.len(),
         cfg.n_cells(),
+        cfg.n_corun_cells(),
         cfg.class.name(),
     );
 
@@ -174,6 +197,30 @@ fn main() -> ExitCode {
                 }
             }
             println!();
+        }
+    }
+
+    // Per-(mix, profile) co-run summary: per-tenant slowdown vs. solo
+    // under each arbitration policy.
+    for &profile in &cfg.profiles {
+        for mix in &cfg.coruns {
+            for &arb in &cfg.arbiters {
+                let cells: Vec<_> = report
+                    .corun_cells
+                    .iter()
+                    .filter(|c| {
+                        c.profile == profile && c.mix == mix.label() && c.arbiter == arb
+                    })
+                    .collect();
+                if cells.is_empty() {
+                    continue;
+                }
+                print!("{:8} {:12} {:11}:", profile.name(), mix.label(), arb.name());
+                for c in &cells {
+                    print!("  {}={:.3}", c.tenant, c.slowdown);
+                }
+                println!();
+            }
         }
     }
 

@@ -8,7 +8,10 @@
 //! * Unimem never loses to NVM-only (beyond runtime-overhead slack),
 //! * Unimem beats the X-Mem static placement on Nek5000's drift,
 //! * pure runtime cost stays within the paper's bound,
-//! * reports are byte-identical across repeated multi-threaded runs.
+//! * reports are byte-identical across repeated multi-threaded runs,
+//! * co-run cells exist and satisfy the tenant-QoS claim: under
+//!   `priority` arbitration a weighted tenant never degrades more than
+//!   its best-effort peers.
 //!
 //! The sweep runs once (OnceLock) and every test interrogates the shared
 //! report, so the suite's cost stays one reduced matrix.
@@ -154,12 +157,73 @@ fn run_report_json_is_byte_identical_across_runs_at_4_ranks() {
     assert!(det.is_empty(), "{det:?}");
 }
 
+/// The co-run acceptance inequalities, asserted directly (not only
+/// through the checker): every tenant cell exists, no tenant beats its
+/// solo run beyond slack, and under priority arbitration the weighted
+/// tenant's slowdown stays within tolerance of every best-effort peer's.
+#[test]
+fn corun_cells_present_and_priority_tenants_protected() {
+    use unimem_repro::bench::sweep::ArbiterPolicy;
+
+    let rep = reduced();
+    let cfg = &rep.config;
+    assert!(!cfg.coruns.is_empty(), "reduced matrix carries a co-run mix");
+    assert_eq!(cfg.arbiters.len(), 3, "all three arbitration policies run");
+    assert_eq!(
+        rep.corun_cells.len(),
+        cfg.n_corun_cells(),
+        "no co-run cell silently dropped"
+    );
+    let tol = Tolerances::default();
+    for c in &rep.corun_cells {
+        assert!(
+            c.slowdown >= tol.corun_sanity,
+            "{}: arbitrated run beats solo ({:.4})",
+            c.coords(),
+            c.slowdown
+        );
+        assert!(c.lease_max >= c.lease_min);
+    }
+    for hi in rep
+        .corun_cells
+        .iter()
+        .filter(|c| c.arbiter == ArbiterPolicy::Priority && c.weight > 1)
+    {
+        for lo in rep.corun_cells.iter().filter(|c| {
+            c.arbiter == ArbiterPolicy::Priority
+                && c.weight == 1
+                && c.mix == hi.mix
+                && c.profile == hi.profile
+                && c.nranks == hi.nranks
+        }) {
+            assert!(
+                hi.slowdown <= lo.slowdown * tol.tenant_qos,
+                "{}: priority tenant slowdown {:.4} exceeds best-effort {} ({:.4})",
+                hi.coords(),
+                hi.slowdown,
+                lo.tenant,
+                lo.slowdown
+            );
+        }
+    }
+    // Contention is real: some tenant somewhere actually slowed down, and
+    // the staggered clocks produced lease movement with re-plans.
+    assert!(
+        rep.corun_cells.iter().any(|c| c.slowdown > 1.001),
+        "no co-run tenant slowed down; the mix does not contend"
+    );
+    assert!(
+        rep.corun_cells.iter().any(|c| c.report.job.lease_replans > 0),
+        "no lease re-plans; the arbiter never moved a lease"
+    );
+}
+
 #[test]
 fn sweep_json_matches_schema() {
     let j = reduced().to_json();
     assert_eq!(
         j.get("schema").and_then(Json::as_str),
-        Some("unimem-bench-sweep/v1")
+        Some("unimem-bench-sweep/v2")
     );
     let cells = j.get("cells").and_then(Json::as_arr).expect("cells array");
     assert_eq!(cells.len() as f64, j.get("n_cells").and_then(Json::as_f64).unwrap());
@@ -186,5 +250,37 @@ fn sweep_json_matches_schema() {
             run.get("per_rank").and_then(Json::as_arr).map(<[Json]>::len),
             Some(nranks)
         );
+    }
+    // v2: the co-run section.
+    let corun = j
+        .get("corun_cells")
+        .and_then(Json::as_arr)
+        .expect("corun_cells array");
+    assert_eq!(
+        corun.len() as f64,
+        j.get("n_corun_cells").and_then(Json::as_f64).unwrap()
+    );
+    assert!(j.get("mixes").and_then(Json::as_arr).is_some_and(|m| !m.is_empty()));
+    assert!(j.get("arbiters").and_then(Json::as_arr).is_some_and(|a| !a.is_empty()));
+    for c in corun {
+        for key in [
+            "mix",
+            "workload",
+            "tenant",
+            "weight",
+            "start_epoch",
+            "arbiter",
+            "profile",
+            "nranks",
+            "time_s",
+            "solo_time_s",
+            "slowdown",
+            "lease_min",
+            "lease_max",
+            "lease_replans",
+        ] {
+            assert!(c.get(key).is_some(), "co-run cell missing {key:?}: {c}");
+        }
+        assert!(c.get("run").and_then(|r| r.get("job")).is_some());
     }
 }

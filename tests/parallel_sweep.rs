@@ -14,6 +14,12 @@ fn reduced_matrix_json_is_byte_identical_for_jobs_1_and_8() {
     let cfg = SweepConfig::reduced();
     let serial = run_sweep_jobs(&cfg, 1).expect("serial sweep runs");
     let parallel = run_sweep_jobs(&cfg, 8).expect("parallel sweep runs");
+    // The reduced matrix carries co-run cells; their bytes (arbiter
+    // lease schedules included) ride the same identity check.
+    assert!(
+        !serial.corun_cells.is_empty(),
+        "reduced matrix must exercise the co-run stage"
+    );
     let a = serial.to_json().to_pretty();
     let b = parallel.to_json().to_pretty();
     assert!(

@@ -231,3 +231,174 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// DRAM arbiter invariants (the multi-tenant broker behind the co-run sweep).
+
+use unimem_repro::hms::arbiter::{ArbiterPolicy, DramArbiter, TenantSpec};
+
+/// Replayable arbiter scenario: a budget, a tenant roster (weights +
+/// reservations scaled to stay feasible), and a mutation script.
+#[derive(Debug, Clone)]
+struct ArbScenario {
+    budget: u64,
+    /// (weight, reservation, initial demand) per tenant.
+    tenants: Vec<(u32, u64, u64)>,
+    /// (tenant index seed, op kind, demand value) per step.
+    ops: Vec<(usize, u8, u64)>,
+}
+
+/// Final expected state per tenant, tracked alongside the broker so the
+/// invariant assertions can see demand/activity without new accessors.
+#[derive(Debug, Clone, Copy)]
+struct Shadow {
+    active: bool,
+    demand: u64,
+    reservation: u64,
+}
+
+/// Build an arbiter and run the scenario to its final state, returning
+/// the broker plus the shadow of every tenant's final demand/activity.
+fn replay(policy: ArbiterPolicy, sc: &ArbScenario) -> (DramArbiter, Vec<Shadow>) {
+    let mut arb = DramArbiter::new(Bytes(sc.budget), policy);
+    let mut ids = Vec::new();
+    let mut shadows = Vec::new();
+    for (i, &(weight, reservation, demand)) in sc.tenants.iter().enumerate() {
+        let id = arb
+            .register(
+                TenantSpec::new(format!("t{i}"))
+                    .weight(weight)
+                    .reservation(Bytes(reservation)),
+            )
+            .expect("scaled reservations always fit");
+        arb.set_demand(id, Bytes(demand));
+        ids.push(id);
+        shadows.push(Shadow {
+            active: true,
+            demand,
+            reservation,
+        });
+    }
+    for &(seed, kind, demand) in &sc.ops {
+        let i = seed % ids.len();
+        let t = ids[i];
+        match kind % 4 {
+            0 => {
+                arb.set_demand(t, Bytes(demand));
+                shadows[i].demand = demand;
+            }
+            1 => {
+                arb.deactivate(t);
+                shadows[i].active = false;
+                shadows[i].demand = 0; // deactivate clears the demand
+            }
+            2 => {
+                // Re-activation always fits: deactivate only shrinks the
+                // active reservation sum below the feasible roster total.
+                arb.activate(t).expect("roster reservations fit");
+                shadows[i].active = true;
+            }
+            _ => {
+                arb.rebalance();
+            }
+        }
+    }
+    arb.rebalance();
+    (arb, shadows)
+}
+
+fn arb_scenarios() -> impl Strategy<Value = ArbScenario> {
+    (
+        1_000u64..1_000_000,
+        prop::collection::vec((1u32..8, 0u64..1_000, 0u64..2_000_000), 1..8),
+        prop::collection::vec((0usize..8, 0u8..4, 0u64..2_000_000), 0..24),
+    )
+        .prop_map(|(budget, mut tenants, ops)| {
+            // Scale reservations so the roster is always feasible: the
+            // raw values are shares of half the budget.
+            let total: u64 = tenants.iter().map(|t| t.1).sum::<u64>().max(1);
+            for t in &mut tenants {
+                t.1 = t.1 * (budget / 2) / total;
+            }
+            ArbScenario {
+                budget,
+                tenants,
+                ops,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Safety: whatever the mutation history, granted leases never exceed
+    /// the global budget, no tenant exceeds its demand, active tenants
+    /// get at least min(reservation, demand) (feasible by construction:
+    /// roster reservations sum to ≤ budget/2), and inactive tenants hold
+    /// nothing.
+    #[test]
+    fn arbiter_grants_never_exceed_budget(
+        sc in arb_scenarios(),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = ArbiterPolicy::ALL[policy_idx];
+        let (mut arb, shadows) = replay(policy, &sc);
+        prop_assert!(arb.granted_total() <= Bytes(sc.budget),
+            "{}: granted {} over budget {}", policy.name(), arb.granted_total(), sc.budget);
+        for (i, sh) in shadows.iter().enumerate() {
+            let t = unimem_repro::hms::arbiter::TenantId(i as u32);
+            let g = arb.grant(t).get();
+            if sh.active {
+                prop_assert!(g <= sh.demand,
+                    "{}: tenant {i} granted {g} over demand {}", policy.name(), sh.demand);
+                let floor = sh.reservation.min(sh.demand);
+                prop_assert!(g >= floor,
+                    "{}: tenant {i} granted {g} below floor {floor}", policy.name());
+            } else {
+                prop_assert_eq!(g, 0, "inactive tenant {} holds a lease", i);
+            }
+        }
+        prop_assert!(arb.rebalance().is_empty());
+    }
+
+    /// Revocation converges: a rebalance immediately after a rebalance
+    /// moves nothing (grants are a pure function of broker state), under
+    /// every policy and after any mutation history — including budget
+    /// shrinks, the revocation trigger.
+    #[test]
+    fn arbiter_revocation_converges(
+        sc in arb_scenarios(),
+        policy_idx in 0usize..3,
+        shrink_num in 1u64..100,
+    ) {
+        let policy = ArbiterPolicy::ALL[policy_idx];
+        let (mut arb, _) = replay(policy, &sc);
+        // Shrink toward the reservation floor (never below: the broker
+        // refuses to break reservations silently).
+        let reserved: u64 = sc.budget / 2; // roster max by construction
+        let target = reserved + (sc.budget - reserved) * shrink_num / 100;
+        arb.set_budget(Bytes(target)).expect("target ≥ roster reservations");
+        arb.rebalance();
+        prop_assert!(arb.granted_total() <= Bytes(target));
+        prop_assert!(arb.rebalance().is_empty(), "rebalance after rebalance moved leases");
+        prop_assert!(arb.rebalance().is_empty());
+    }
+
+    /// Determinism: replaying the same scenario on a fresh broker yields
+    /// bit-identical grants, under every policy (the sweep's co-run cells
+    /// inherit byte-identical reports from this).
+    #[test]
+    fn arbiter_replay_is_deterministic(
+        sc in arb_scenarios(),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = ArbiterPolicy::ALL[policy_idx];
+        let (a, _) = replay(policy, &sc);
+        let (b, _) = replay(policy, &sc);
+        for i in 0..a.len() {
+            let t = unimem_repro::hms::arbiter::TenantId(i as u32);
+            prop_assert_eq!(a.grant(t), b.grant(t), "tenant {} diverged", i);
+        }
+        prop_assert_eq!(a.granted_total(), b.granted_total());
+    }
+}

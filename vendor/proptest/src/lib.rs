@@ -93,6 +93,31 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Upstream `Strategy::prop_map`: derive a strategy by mapping
+        /// sampled values (stub: sample-then-map, no shrinking through
+        /// the mapping).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.sample(rng))
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
