@@ -21,9 +21,18 @@ fn main() {
         rows.push(Row {
             name: w.name(),
             cells: vec![
-                Cell { label: "NVM-only".into(), value: nvm },
-                Cell { label: "X-Mem".into(), value: xm },
-                Cell { label: "Unimem".into(), value: uni },
+                Cell {
+                    label: "NVM-only".into(),
+                    value: nvm,
+                },
+                Cell {
+                    label: "X-Mem".into(),
+                    value: xm,
+                },
+                Cell {
+                    label: "Unimem".into(),
+                    value: uni,
+                },
             ],
         });
     }
@@ -34,5 +43,9 @@ fn main() {
     );
     let avg = uni_gaps.iter().sum::<f64>() / uni_gaps.len() as f64;
     let max = uni_gaps.iter().cloned().fold(f64::MIN, f64::max);
-    println!("\nUnimem gap to DRAM-only: avg {:.1}%, max {:.1}%", avg * 100.0, max * 100.0);
+    println!(
+        "\nUnimem gap to DRAM-only: avg {:.1}%, max {:.1}%",
+        avg * 100.0,
+        max * 100.0
+    );
 }

@@ -18,8 +18,14 @@ fn main() {
         rows.push(Row {
             name: format!("{nranks} ranks"),
             cells: vec![
-                Cell { label: "NVM-only".into(), value: nvm },
-                Cell { label: "Unimem".into(), value: uni },
+                Cell {
+                    label: "NVM-only".into(),
+                    value: nvm,
+                },
+                Cell {
+                    label: "Unimem".into(),
+                    value: uni,
+                },
             ],
         });
     }

@@ -14,8 +14,7 @@ fn main() {
         let cells = sizes
             .iter()
             .map(|&mb| {
-                let m = MachineConfig::nvm_bw_fraction(0.5)
-                    .with_dram_capacity(Bytes::mib(mb));
+                let m = MachineConfig::nvm_bw_fraction(0.5).with_dram_capacity(Bytes::mib(mb));
                 Cell {
                     label: format!("{mb} MB"),
                     value: normalized(w.as_ref(), &m, nranks, &unimem_policy()),

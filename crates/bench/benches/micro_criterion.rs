@@ -80,7 +80,11 @@ fn bench_helper_thread(c: &mut Criterion) {
         let obj = hms.alloc("bench", Bytes::mib(4), TierKind::Nvm).unwrap();
         let mut to_dram = true;
         b.iter(|| {
-            let tier = if to_dram { TierKind::Dram } else { TierKind::Nvm };
+            let tier = if to_dram {
+                TierKind::Dram
+            } else {
+                TierKind::Nvm
+            };
             to_dram = !to_dram;
             helper.migrate(Arc::clone(&obj), tier).wait()
         });

@@ -16,13 +16,17 @@ fn main() {
     );
     for w in npb_and_nek(class) {
         let rep = report(w.as_ref(), &m, nranks, &unimem_policy());
+        // A run that never migrated has no overlap figure to report.
+        let overlap = rep
+            .job
+            .overlap_pct()
+            .map_or_else(|| "       n/a".into(), |p| format!("{p:>9.1}%"));
         println!(
-            "{:16} {:>10} {:>14.0} {:>17.2}% {:>9.1}%",
+            "{:16} {:>10} {:>14.0} {:>17.2}% {overlap}",
             w.name(),
             rep.job.migration_count(),
             rep.job.migrated_bytes().as_mib(),
             rep.job.pure_runtime_cost() * 100.0,
-            rep.job.overlap_pct(),
         );
     }
     println!("\npaper: CG 3/132MB, FT 4/201MB, BT 24/720MB, LU 3/187MB, SP 9/348MB, MG 1/17MB, Nek 102/1101MB;");

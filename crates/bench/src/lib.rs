@@ -70,12 +70,7 @@ pub fn print_table(title: &str, subtitle: &str, rows: &[Row]) {
     if rows.is_empty() {
         return;
     }
-    let name_w = rows
-        .iter()
-        .map(|r| r.name.len())
-        .max()
-        .unwrap_or(8)
-        .max(8);
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(8).max(8);
     print!("{:name_w$}", "workload");
     for c in &rows[0].cells {
         print!("  {:>12}", c.label);

@@ -23,15 +23,17 @@ use crate::sweep::matrix::{NvmProfile, PolicyKind, SweepConfig};
 use crossbeam::channel;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// One (profile, ranks, workload) row of the matrix: the unit that shares
-/// a DRAM-only baseline. Fields index into the canonicalized config axes
-/// and the runner's workload selection.
+/// One (profile, ranks, ranks-per-node, workload) row of the matrix: the
+/// unit that shares a DRAM-only baseline. Fields index into the
+/// canonicalized config axes and the runner's workload selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RowJob {
     /// NVM profile (machine) of the row.
     pub profile: NvmProfile,
     /// Rank count of the row.
     pub nranks: usize,
+    /// Ranks packed per node (the contention axis).
+    pub ranks_per_node: usize,
     /// Index into the runner's `select()`-resolved workload list.
     pub workload: usize,
 }
@@ -48,15 +50,19 @@ pub struct CellJob {
     pub policy: PolicyKind,
 }
 
-/// Stage-1 job vector: rows in canonical (profile, ranks, workload) order.
+/// Stage-1 job vector: rows in canonical (profile, ranks, ranks-per-node,
+/// workload) order. Layouts whose `ranks_per_node` exceeds the rank count
+/// are skipped (see [`SweepConfig::rank_layouts`]).
 pub fn enumerate_rows(cfg: &SweepConfig, n_workloads: usize) -> Vec<RowJob> {
-    let mut rows = Vec::with_capacity(cfg.profiles.len() * cfg.ranks.len() * n_workloads);
+    let layouts = cfg.rank_layouts();
+    let mut rows = Vec::with_capacity(cfg.profiles.len() * layouts.len() * n_workloads);
     for &profile in &cfg.profiles {
-        for &nranks in &cfg.ranks {
+        for &(nranks, ranks_per_node) in &layouts {
             for workload in 0..n_workloads {
                 rows.push(RowJob {
                     profile,
                     nranks,
+                    ranks_per_node,
                     workload,
                 });
             }
@@ -153,9 +159,8 @@ where
     drop(job_tx);
 
     let (res_tx, res_rx) = channel::unbounded();
-    let mut slots: Vec<Option<Result<R, String>>> = std::iter::repeat_with(|| None)
-        .take(n)
-        .collect();
+    let mut slots: Vec<Option<Result<R, String>>> =
+        std::iter::repeat_with(|| None).take(n).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers.min(n) {
             let job_rx = job_rx.clone();
@@ -236,6 +241,7 @@ mod tests {
             policies: vec![PolicyKind::DramOnly, PolicyKind::Unimem],
             profiles: vec![NvmProfile::BwHalf, NvmProfile::Lat4x],
             ranks: vec![1, 4],
+            ranks_per_node: vec![1, 2],
             dram_capacity: None,
             coruns: vec![],
             arbiters: vec![],
@@ -246,13 +252,18 @@ mod tests {
     fn rows_and_cells_enumerate_in_canonical_order() {
         let c = cfg();
         let rows = enumerate_rows(&c, 2);
-        assert_eq!(rows.len(), 2 * 2 * 2);
+        // Layouts: (1,1), (4,1), (4,2) — rpn=2 is skipped at 1 rank.
+        assert_eq!(rows.len(), 2 * 3 * 2);
         // Profile is the outermost axis, workload the innermost.
         assert_eq!(rows[0].profile, NvmProfile::BwHalf);
-        assert_eq!((rows[0].nranks, rows[0].workload), (1, 0));
+        assert_eq!(
+            (rows[0].nranks, rows[0].ranks_per_node, rows[0].workload),
+            (1, 1, 0)
+        );
         assert_eq!((rows[1].nranks, rows[1].workload), (1, 1));
-        assert_eq!(rows[2].nranks, 4);
-        assert_eq!(rows[4].profile, NvmProfile::Lat4x);
+        assert_eq!((rows[2].nranks, rows[2].ranks_per_node), (4, 1));
+        assert_eq!((rows[4].nranks, rows[4].ranks_per_node), (4, 2));
+        assert_eq!(rows[6].profile, NvmProfile::Lat4x);
 
         let cells = enumerate_cells(&c, &rows);
         assert_eq!(cells.len(), rows.len() * 2);
@@ -303,7 +314,10 @@ mod tests {
                 Ok(j)
             })
             .unwrap_err();
-            assert_eq!(err, "job 5: panicked: job five exploded", "workers={workers}");
+            assert_eq!(
+                err, "job 5: panicked: job five exploded",
+                "workers={workers}"
+            );
         }
     }
 
@@ -311,11 +325,17 @@ mod tests {
     fn with_label_prefixes_errors_and_catches_panics() {
         assert_eq!(with_label(|| "x".into(), || Ok(1)), Ok(1));
         assert_eq!(
-            with_label(|| "CG/bw-half/r4/unimem".into(), || Err::<(), _>("bad".into())),
+            with_label(
+                || "CG/bw-half/r4/unimem".into(),
+                || Err::<(), _>("bad".into())
+            ),
             Err("CG/bw-half/r4/unimem: bad".to_string())
         );
         assert_eq!(
-            with_label(|| "cell".into(), || -> Result<(), String> { panic!("boom") }),
+            with_label(
+                || "cell".into(),
+                || -> Result<(), String> { panic!("boom") }
+            ),
             Err("cell: panicked: boom".to_string())
         );
     }

@@ -43,7 +43,9 @@ impl PolicyKind {
 
     /// Inverse of [`PolicyKind::name`] (case-insensitive).
     pub fn parse(s: &str) -> Option<PolicyKind> {
-        Self::ALL.into_iter().find(|p| p.name() == s.to_ascii_lowercase())
+        Self::ALL
+            .into_iter()
+            .find(|p| p.name() == s.to_ascii_lowercase())
     }
 }
 
@@ -86,15 +88,20 @@ impl NvmProfile {
 
     /// Inverse of [`NvmProfile::name`] (case-insensitive).
     pub fn parse(s: &str) -> Option<NvmProfile> {
-        Self::ALL.into_iter().find(|p| p.name() == s.to_ascii_lowercase())
+        Self::ALL
+            .into_iter()
+            .find(|p| p.name() == s.to_ascii_lowercase())
     }
 
     /// The machine this profile describes (paper §5 capacities: DRAM
-    /// 256 MB, NVM 16 GB per node, 1 rank per node).
+    /// 256 MB, NVM 16 GB per node, 1 rank per node). The emulation
+    /// anchors come from the canonical constants in
+    /// `unimem_hms::profiles`, shared with the Fig. 2/3 harnesses so the
+    /// sweep and the benches cannot drift apart.
     pub fn machine(self) -> MachineConfig {
         match self {
-            NvmProfile::BwHalf => MachineConfig::nvm_bw_fraction(0.5),
-            NvmProfile::Lat4x => MachineConfig::nvm_lat_multiple(4.0),
+            NvmProfile::BwHalf => MachineConfig::nvm_bw_fraction(profiles::ANCHOR_BW_FRACTION),
+            NvmProfile::Lat4x => MachineConfig::nvm_lat_multiple(profiles::ANCHOR_LAT_MULTIPLE),
             NvmProfile::SttRam => {
                 MachineConfig::technology(profiles::table1_stt_ram(), "Table-1 STT-RAM")
             }
@@ -125,10 +132,13 @@ impl NvmProfile {
 }
 
 /// The matrix to sweep. Axes multiply: every workload runs under every
-/// policy on every (profile, rank count) machine. The co-run axes
-/// multiply separately: every mix runs under every arbitration policy on
-/// every profile, at the matrix's largest rank count (see
-/// [`SweepConfig::corun_ranks`]).
+/// policy on every (profile, rank count, ranks-per-node) machine —
+/// `ranks_per_node` values above a cell's rank count are skipped (a node
+/// cannot hold more ranks than the job has), so the layout axis is the
+/// set of valid (ranks, ranks_per_node) pairs. The co-run axes multiply
+/// separately: every mix runs under every arbitration policy on every
+/// profile, at the matrix's largest rank count (see
+/// [`SweepConfig::corun_ranks`]), one rank per node.
 ///
 /// # Example — a miniature custom slice
 ///
@@ -142,6 +152,7 @@ impl NvmProfile {
 ///     policies: vec![PolicyKind::DramOnly, PolicyKind::NvmOnly],
 ///     profiles: vec![NvmProfile::BwHalf],
 ///     ranks: vec![2],
+///     ranks_per_node: vec![1],
 ///     dram_capacity: None,
 ///     coruns: vec![],
 ///     arbiters: vec![],
@@ -167,6 +178,12 @@ pub struct SweepConfig {
     pub profiles: Vec<NvmProfile>,
     /// MPI rank counts to run at.
     pub ranks: Vec<usize>,
+    /// Ranks packed per node (Fig. 12-style scaling at fixed total
+    /// ranks): co-located ranks share the node's DRAM allowance, its tier
+    /// bandwidth, and its copy path, so values ≥ 2 exercise the
+    /// shared-bandwidth contention model. Values above a cell's rank
+    /// count are skipped.
+    pub ranks_per_node: Vec<usize>,
     /// Override the per-node DRAM capacity (None = profile default 256 MB).
     pub dram_capacity: Option<Bytes>,
     /// Co-run mixes for the multi-tenant arbitration cells (empty = no
@@ -179,7 +196,9 @@ pub struct SweepConfig {
 impl SweepConfig {
     /// The reduced matrix the tier-1 conformance suite and the default CLI
     /// invocation run: paper basic setup (CLASS C, 4 ranks) on both
-    /// emulation anchors, all 7 workloads, all 4 policies.
+    /// emulation anchors, all 7 workloads, all 4 policies, at 1 and 2
+    /// ranks per node so migration-vs-compute contention is exercised on
+    /// every push.
     pub fn reduced() -> SweepConfig {
         SweepConfig {
             class: Class::C,
@@ -187,6 +206,7 @@ impl SweepConfig {
             policies: PolicyKind::ALL.to_vec(),
             profiles: vec![NvmProfile::BwHalf, NvmProfile::Lat4x],
             ranks: vec![4],
+            ranks_per_node: vec![1, 2],
             dram_capacity: None,
             coruns: corun::reduced_mixes(),
             arbiters: ArbiterPolicy::ALL.to_vec(),
@@ -194,19 +214,36 @@ impl SweepConfig {
     }
 
     /// The full matrix: all 7 workloads × 4 policies × 5 NVM profiles ×
-    /// rank counts {1, 4, 8}, plus the standard co-run mixes.
+    /// rank counts {1, 4, 8} × ranks-per-node {1, 2, 4}, plus the
+    /// standard co-run mixes.
     pub fn full() -> SweepConfig {
         SweepConfig {
             profiles: NvmProfile::ALL.to_vec(),
             ranks: vec![1, 4, 8],
+            ranks_per_node: vec![1, 2, 4],
             coruns: corun::standard_mixes(),
             ..SweepConfig::reduced()
         }
     }
 
+    /// The valid (ranks, ranks_per_node) pairs, in canonical (ranks
+    /// outer, ranks_per_node inner) order: pairs where a node would hold
+    /// more ranks than the job has are skipped.
+    pub fn rank_layouts(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for &r in &self.ranks {
+            for &rpn in &self.ranks_per_node {
+                if rpn <= r {
+                    out.push((r, rpn));
+                }
+            }
+        }
+        out
+    }
+
     /// Number of single-tenant cells this matrix produces.
     pub fn n_cells(&self) -> usize {
-        self.workloads.len() * self.policies.len() * self.profiles.len() * self.ranks.len()
+        self.workloads.len() * self.policies.len() * self.profiles.len() * self.rank_layouts().len()
     }
 
     /// The rank count the co-run cells execute at: the matrix's largest
@@ -242,6 +279,7 @@ impl SweepConfig {
         dedup(&mut self.policies);
         dedup(&mut self.profiles);
         dedup(&mut self.ranks);
+        dedup(&mut self.ranks_per_node);
         dedup(&mut self.arbiters);
         self.coruns = corun::dedup_mixes(std::mem::take(&mut self.coruns));
     }
@@ -265,11 +303,21 @@ mod tests {
 
     #[test]
     fn matrix_sizes() {
-        assert_eq!(SweepConfig::reduced().n_cells(), 7 * 4 * 2);
-        assert_eq!(SweepConfig::full().n_cells(), 7 * 4 * 5 * 3);
+        // Reduced: 4 ranks at 1 and 2 ranks per node.
+        assert_eq!(SweepConfig::reduced().n_cells(), 7 * 4 * 2 * 2);
+        // Full: layouts = r1×{1} + r4×{1,2,4} + r8×{1,2,4} = 7 pairs.
+        assert_eq!(SweepConfig::full().n_cells(), 7 * 4 * 5 * 7);
         // Co-run cells: tenants × arbitration policies × profiles.
         assert_eq!(SweepConfig::reduced().n_corun_cells(), 2 * 3 * 2);
         assert_eq!(SweepConfig::full().n_corun_cells(), (2 + 2 + 3) * 3 * 5);
+    }
+
+    #[test]
+    fn rank_layouts_skip_overfull_nodes() {
+        let mut cfg = SweepConfig::reduced();
+        cfg.ranks = vec![1, 4];
+        cfg.ranks_per_node = vec![1, 2, 8];
+        assert_eq!(cfg.rank_layouts(), [(1, 1), (4, 1), (4, 2)]);
     }
 
     #[test]

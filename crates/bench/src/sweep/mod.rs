@@ -10,7 +10,10 @@
 //! * NVM profiles: the Fig. 9/10 emulation anchors (½ DRAM bandwidth,
 //!   4× DRAM latency) and the Table-1 technology rows (STT-RAM, PCRAM,
 //!   ReRAM),
-//! * rank counts: 1 / 4 / 8
+//! * rank counts: 1 / 4 / 8,
+//! * node layouts: 1 / 2 / 4 ranks per node — packed layouts share each
+//!   node's tier bandwidth and copy path, exercising the shared-bandwidth
+//!   contention model (Fig. 12-style scaling)
 //!
 //! — and emits a single `BENCH_sweep.json` with per-cell run time,
 //! migration statistics, and pure runtime cost ([`report`]).
@@ -41,7 +44,7 @@ pub mod matrix;
 pub mod report;
 pub mod runner;
 
-pub use conformance::{check_determinism, check_report, Tolerances, Violation};
+pub use conformance::{check_contention, check_determinism, check_report, Tolerances, Violation};
 pub use jobs::{default_workers, run_pool};
 pub use matrix::{ArbiterPolicy, NvmProfile, PolicyKind, SweepConfig};
 pub use runner::{run_sweep, run_sweep_jobs, CorunCell, SweepCell, SweepReport};

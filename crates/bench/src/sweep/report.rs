@@ -1,28 +1,32 @@
 //! `BENCH_sweep.json` emission: a deterministic, machine-readable form of
 //! a [`SweepReport`].
 //!
-//! Schema (`unimem-bench-sweep/v2`):
+//! Schema (`unimem-bench-sweep/v3`):
 //!
 //! ```text
 //! {
-//!   "schema":    "unimem-bench-sweep/v2",
+//!   "schema":    "unimem-bench-sweep/v3",
 //!   "class":     "C",
 //!   "workloads": ["CG", ...],
 //!   "policies":  ["unimem", ...],
 //!   "profiles":  ["bw-half", ...],
 //!   "ranks":     [4, ...],
+//!   "ranks_per_node": [1, 2, ...],
 //!   "mixes":     ["CG+FT", ...],
 //!   "arbiters":  ["fair-share", ...],
-//!   "n_cells":   56,
+//!   "n_cells":   112,
 //!   "n_corun_cells": 6,
 //!   "cells": [
 //!     {
 //!       "workload": "CG", "full_name": "CG.C",
-//!       "policy": "unimem", "profile": "bw-half", "nranks": 4,
+//!       "policy": "unimem", "profile": "bw-half",
+//!       "nranks": 4, "ranks_per_node": 2,
 //!       "time_s": ..., "normalized_to_dram": ...,
 //!       "plan_kind": "global"|"local"|null,
 //!       "migration_count": ..., "migrated_bytes": ...,
-//!       "overlap_pct": ..., "pure_runtime_cost": ..., "reprofiles": ...,
+//!       "overlap_pct": <pct>|null,
+//!       "contention_time_s": ..., "neighbor_contention_time_s": ...,
+//!       "pure_runtime_cost": ..., "reprofiles": ...,
 //!       "run": { <full RunReport: job + per-rank stats> }
 //!     }, ...
 //!   ],
@@ -39,7 +43,14 @@
 //! }
 //! ```
 //!
-//! v2 adds the multi-tenant co-run section (`mixes`, `arbiters`,
+//! v3 adds the shared-bandwidth contention axis: a `ranks_per_node` axis
+//! list, per-cell `ranks_per_node`, and per-cell contention stats
+//! (`contention_time_s`, `neighbor_contention_time_s` — extra compute
+//! time from helper traffic sharing the tier pools, total and the
+//! neighbor-caused portion). `overlap_pct` became nullable: a run that
+//! never migrated reports `null`, not a vacuous `100`.
+//!
+//! v2 added the multi-tenant co-run section (`mixes`, `arbiters`,
 //! `n_corun_cells`, `corun_cells[]`): per-tenant slowdown vs. solo under
 //! each arbitration policy, with the lease range the arbiter granted.
 //!
@@ -53,7 +64,7 @@ use std::path::Path;
 use unimem_sim::Json;
 
 /// The schema tag written to `BENCH_sweep.json`.
-pub const SCHEMA: &str = "unimem-bench-sweep/v2";
+pub const SCHEMA: &str = "unimem-bench-sweep/v3";
 
 impl SweepCell {
     /// Deterministic JSON form of one single-tenant cell.
@@ -65,12 +76,15 @@ impl SweepCell {
             .push("policy", self.policy.name())
             .push("profile", self.profile.name())
             .push("nranks", self.nranks)
+            .push("ranks_per_node", self.ranks_per_node)
             .push("time_s", self.time_s())
             .push("normalized_to_dram", self.normalized_to_dram)
             .push("plan_kind", self.report.plan_kind_json())
             .push("migration_count", job.migration_count())
             .push("migrated_bytes", job.migrated_bytes())
             .push("overlap_pct", job.overlap_pct())
+            .push("contention_time_s", job.contention_time)
+            .push("neighbor_contention_time_s", job.neighbor_contention_time)
             .push("pure_runtime_cost", job.pure_runtime_cost())
             .push("reprofiles", job.reprofiles)
             .push("run", self.report.to_json());
@@ -127,6 +141,10 @@ impl SweepReport {
                 Json::Arr(cfg.ranks.iter().map(|&r| Json::from(r)).collect()),
             )
             .push(
+                "ranks_per_node",
+                Json::Arr(cfg.ranks_per_node.iter().map(|&r| Json::from(r)).collect()),
+            )
+            .push(
                 "mixes",
                 Json::Arr(cfg.coruns.iter().map(|m| Json::from(m.label())).collect()),
             )
@@ -164,9 +182,14 @@ mod tests {
         run_sweep(&SweepConfig {
             class: Class::C,
             workloads: vec!["LU".into()],
-            policies: vec![PolicyKind::DramOnly, PolicyKind::NvmOnly, PolicyKind::Unimem],
+            policies: vec![
+                PolicyKind::DramOnly,
+                PolicyKind::NvmOnly,
+                PolicyKind::Unimem,
+            ],
             profiles: vec![NvmProfile::BwHalf],
             ranks: vec![2],
+            ranks_per_node: vec![1],
             dram_capacity: None,
             coruns: vec![],
             arbiters: vec![],

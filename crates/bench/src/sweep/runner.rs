@@ -23,7 +23,8 @@ use unimem_sim::Bytes;
 use unimem_workloads::select;
 use unimem_xmem::xmem_policy;
 
-/// One cell of the matrix: a (workload, policy, profile, ranks) run.
+/// One cell of the matrix: a (workload, policy, profile, ranks,
+/// ranks-per-node) run.
 #[derive(Debug, Clone)]
 pub struct SweepCell {
     /// Suite short name ("CG", …, "Nek5000").
@@ -36,8 +37,11 @@ pub struct SweepCell {
     pub profile: NvmProfile,
     /// Rank count of the run.
     pub nranks: usize,
+    /// Ranks packed per node: ≥ 2 means co-located ranks share the
+    /// node's bandwidth and DRAM (the contention axis).
+    pub ranks_per_node: usize,
     /// Run time normalized to the DRAM-only baseline of the same
-    /// (workload, profile, ranks) — the paper's y-axis.
+    /// (workload, profile, ranks, ranks_per_node) — the paper's y-axis.
     pub normalized_to_dram: f64,
     /// The run's full report.
     pub report: RunReport,
@@ -49,13 +53,18 @@ impl SweepCell {
         self.report.time().secs()
     }
 
-    /// Human-readable cell coordinates for messages.
+    /// Human-readable cell coordinates for messages. The node layout is
+    /// spelled out only off the classic one-rank-per-node default.
     pub fn coords(&self) -> String {
+        let layout = if self.ranks_per_node == 1 {
+            format!("r{}", self.nranks)
+        } else {
+            format!("r{}x{}", self.nranks, self.ranks_per_node)
+        };
         format!(
-            "{}/{}/r{}/{}",
+            "{}/{}/{layout}/{}",
             self.workload,
             self.profile.name(),
-            self.nranks,
             self.policy.name()
         )
     }
@@ -133,7 +142,7 @@ pub struct SweepReport {
 #[derive(Debug, Clone, Default)]
 struct CellIndex {
     workloads: HashMap<String, u32>,
-    cells: HashMap<(u32, PolicyKind, NvmProfile, usize), usize>,
+    cells: HashMap<(u32, PolicyKind, NvmProfile, usize, usize), usize>,
 }
 
 impl CellIndex {
@@ -142,7 +151,8 @@ impl CellIndex {
         for (i, c) in cells.iter().enumerate() {
             let next = idx.workloads.len() as u32;
             let w = *idx.workloads.entry(c.workload.clone()).or_insert(next);
-            idx.cells.insert((w, c.policy, c.profile, c.nranks), i);
+            idx.cells
+                .insert((w, c.policy, c.profile, c.nranks, c.ranks_per_node), i);
         }
         idx
     }
@@ -174,11 +184,12 @@ impl SweepReport {
         policy: PolicyKind,
         profile: NvmProfile,
         nranks: usize,
+        ranks_per_node: usize,
     ) -> Option<&SweepCell> {
         let &w = self.index.workloads.get(workload)?;
         self.index
             .cells
-            .get(&(w, policy, profile, nranks))
+            .get(&(w, policy, profile, nranks, ranks_per_node))
             .map(|&i| &self.cells[i])
     }
 }
@@ -198,6 +209,19 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
     if cfg.ranks.contains(&0) {
         return Err("rank counts must be positive".into());
     }
+    if cfg.ranks_per_node.is_empty() || cfg.ranks_per_node.contains(&0) {
+        return Err("ranks_per_node needs at least one positive value".into());
+    }
+    // Layouts whose nodes would hold more ranks than the job has are
+    // skipped individually, but a config where *every* pair is skipped
+    // would silently produce a zero-cell report.
+    if !cfg.ranks.is_empty() && cfg.rank_layouts().is_empty() {
+        return Err(format!(
+            "no valid (ranks, ranks_per_node) layout: every ranks_per_node value in {:?} \
+             exceeds every rank count in {:?}",
+            cfg.ranks_per_node, cfg.ranks
+        ));
+    }
     let cache = CacheModel::platform_a();
     let names: Vec<&str> = cfg.workloads.iter().map(String::as_str).collect();
     // Resolve up front: an unknown name errors even when another axis is
@@ -211,8 +235,8 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
     cfg.workloads = selection.iter().map(|(n, _)| n.clone()).collect();
     cfg.normalize_axes();
 
-    let machine = |profile: NvmProfile| {
-        let mut m = profile.machine();
+    let machine = |profile: NvmProfile, ranks_per_node: usize| {
+        let mut m = profile.machine().with_ranks_per_node(ranks_per_node);
         if let Some(cap) = cfg.dram_capacity {
             m = m.with_dram_capacity(cap);
         }
@@ -225,11 +249,18 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
     let baselines = run_pool(rows.clone(), n_workers, |row| {
         let (short, workload) = &selection[row.workload];
         with_label(
-            || format!("{short}/{}/r{}/dram-only", row.profile.name(), row.nranks),
+            || {
+                format!(
+                    "{short}/{}/r{}x{}/dram-only",
+                    row.profile.name(),
+                    row.nranks,
+                    row.ranks_per_node
+                )
+            },
             || {
                 Ok(run_workload(
                     workload.as_ref(),
-                    &machine(row.profile),
+                    &machine(row.profile, row.ranks_per_node),
                     &cache,
                     row.nranks,
                     &Policy::DramOnly,
@@ -245,17 +276,18 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
     let cells = run_pool(cell_jobs, n_workers, |job: &CellJob| {
         let (short, workload) = &selection[job.row.workload];
         let nranks = job.row.nranks;
+        let ranks_per_node = job.row.ranks_per_node;
         with_label(
             || {
                 format!(
-                    "{short}/{}/r{nranks}/{}",
+                    "{short}/{}/r{nranks}x{ranks_per_node}/{}",
                     job.row.profile.name(),
                     job.policy.name()
                 )
             },
             || {
                 let w = workload.as_ref();
-                let m = machine(job.row.profile);
+                let m = machine(job.row.profile, ranks_per_node);
                 let dram = &baselines[job.baseline];
                 let report = match job.policy {
                     PolicyKind::DramOnly => dram.clone(),
@@ -272,6 +304,7 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
                     policy: job.policy,
                     profile: job.row.profile,
                     nranks,
+                    ranks_per_node,
                     normalized_to_dram: normalized_to_dram(
                         report.time().secs(),
                         dram.time().secs(),
@@ -294,7 +327,10 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
         with_label(
             || format!("{}/{}/r{}", mix.label(), job.profile.name(), job.nranks),
             || {
-                let m = machine(job.profile);
+                // Co-runs keep one rank per node: cross-tenant DRAM
+                // contention is arbitrated (the lease pathway), and the
+                // single-tenant rpn axis owns bandwidth contention.
+                let m = machine(job.profile, 1);
                 let members = mix.instantiate(cfg.class);
                 let tenants: Vec<CorunTenant<'_>> = members
                     .iter()
@@ -371,6 +407,7 @@ mod tests {
             policies: vec![PolicyKind::DramOnly, PolicyKind::Unimem],
             profiles: vec![NvmProfile::BwHalf],
             ranks: vec![2],
+            ranks_per_node: vec![1],
             dram_capacity: None,
             coruns: vec![],
             arbiters: vec![],
@@ -392,13 +429,16 @@ mod tests {
     fn lookup_by_coordinates() {
         let rep = run_sweep(&micro()).unwrap();
         assert!(rep
-            .get("CG", PolicyKind::Unimem, NvmProfile::BwHalf, 2)
+            .get("CG", PolicyKind::Unimem, NvmProfile::BwHalf, 2, 1)
             .is_some());
         assert!(rep
-            .get("CG", PolicyKind::Unimem, NvmProfile::Lat4x, 2)
+            .get("CG", PolicyKind::Unimem, NvmProfile::Lat4x, 2, 1)
             .is_none());
         assert!(rep
-            .get("FT", PolicyKind::Unimem, NvmProfile::BwHalf, 2)
+            .get("CG", PolicyKind::Unimem, NvmProfile::BwHalf, 2, 2)
+            .is_none());
+        assert!(rep
+            .get("FT", PolicyKind::Unimem, NvmProfile::BwHalf, 2, 1)
             .is_none());
     }
 
@@ -410,10 +450,44 @@ mod tests {
         let rep = run_sweep(&cfg).unwrap();
         for c in &rep.cells {
             let found = rep
-                .get(&c.workload, c.policy, c.profile, c.nranks)
+                .get(&c.workload, c.policy, c.profile, c.nranks, c.ranks_per_node)
                 .expect("indexed lookup finds every cell");
             assert!(std::ptr::eq(found, c), "index points at the wrong cell");
         }
+    }
+
+    #[test]
+    fn ranks_per_node_axis_expands_cells_and_shows_contention() {
+        let mut cfg = micro();
+        cfg.ranks_per_node = vec![1, 2];
+        let rep = run_sweep(&cfg).unwrap();
+        assert_eq!(rep.cells.len(), 2 * 2, "two layouts x two policies");
+        let at = |rpn| {
+            rep.get("CG", PolicyKind::DramOnly, NvmProfile::BwHalf, 2, rpn)
+                .unwrap()
+                .time_s()
+        };
+        assert!(
+            at(2) > at(1),
+            "two ranks sharing a node's bandwidth must run slower than one per node"
+        );
+        // Coordinates spell the layout out only when packed.
+        assert!(rep.cells[0].coords().contains("/r2/"));
+        assert!(rep.cells[2].coords().contains("/r2x2/"));
+    }
+
+    #[test]
+    fn empty_ranks_per_node_axis_is_an_error() {
+        let mut cfg = micro();
+        cfg.ranks_per_node = vec![];
+        assert!(run_sweep(&cfg).is_err());
+        cfg.ranks_per_node = vec![0];
+        assert!(run_sweep(&cfg).is_err());
+        // All layouts filtered out (every rpn > every rank count) must be
+        // an error, not a silent zero-cell report.
+        cfg.ranks_per_node = vec![8];
+        let err = run_sweep(&cfg).unwrap_err();
+        assert!(err.contains("no valid"), "{err}");
     }
 
     #[test]
@@ -452,7 +526,11 @@ mod tests {
         let parallel = run_sweep_jobs(&cfg, 8).unwrap();
         assert_eq!(serial.cells.len(), parallel.cells.len());
         for (a, b) in serial.cells.iter().zip(&parallel.cells) {
-            assert_eq!(a.coords(), b.coords(), "cell order must not depend on workers");
+            assert_eq!(
+                a.coords(),
+                b.coords(),
+                "cell order must not depend on workers"
+            );
             assert_eq!(a.time_s(), b.time_s());
             assert_eq!(a.normalized_to_dram, b.normalized_to_dram);
         }

@@ -169,9 +169,7 @@ mod tests {
             ObjId(0),
             10_000,
             Bytes::mib(4),
-            AccessPattern::Streaming {
-                stride: Bytes(256),
-            },
+            AccessPattern::Streaming { stride: Bytes(256) },
         );
         assert_eq!(m.misses(&a, Bytes::mib(4)).misses, 10_000);
     }

@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn lru_evicts_oldest() {
         let mut c = SetAssocCache::new(Bytes(256), Bytes(64), 2); // 2 sets, 2-way
-        // Set 0 receives lines 0, 2, 4 (stride 128 → same set).
+                                                                  // Set 0 receives lines 0, 2, 4 (stride 128 → same set).
         assert!(!c.access(0));
         assert!(!c.access(128));
         assert!(!c.access(256)); // evicts line 0

@@ -45,9 +45,7 @@ pub fn generate(
         }
         AccessPattern::Gather { index_span } => {
             let tgt = index_span.get().max(span_b);
-            (0..n)
-                .map(|_| base + (rng.u64() % (tgt / 8)) * 8)
-                .collect()
+            (0..n).map(|_| base + (rng.u64() % (tgt / 8)) * 8).collect()
         }
         AccessPattern::Stencil { .. } => {
             // 1-D 3-point stencil sweep over the span: touch i-1, i, i+1.

@@ -100,7 +100,10 @@ mod tests {
     fn needs_baseline_before_judging() {
         let mut m = VariationMonitor::paper_default(1);
         assert!(!m.observe(PhaseId(0), ms(10.0)));
-        assert!(!m.observe(PhaseId(0), ms(100.0)), "second sample is baseline");
+        assert!(
+            !m.observe(PhaseId(0), ms(100.0)),
+            "second sample is baseline"
+        );
     }
 
     #[test]

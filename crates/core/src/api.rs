@@ -74,7 +74,9 @@ impl Unimem {
             .hms
             .alloc(name, len, TierKind::Nvm)
             .expect("NVM pool is unbounded");
-        self.objects.lock().insert(name.to_string(), Arc::clone(&obj));
+        self.objects
+            .lock()
+            .insert(name.to_string(), Arc::clone(&obj));
         self.touches.lock().insert(name.to_string(), 0);
         obj
     }
@@ -108,7 +110,9 @@ impl Unimem {
         let mut ranked: Vec<(&String, f64)> = touches
             .iter()
             .filter_map(|(n, &t)| {
-                objects.get(n).map(|o| (n, t as f64 / o.len().max(1) as f64))
+                objects
+                    .get(n)
+                    .map(|o| (n, t as f64 / o.len().max(1) as f64))
             })
             .collect();
         // total_cmp instead of partial_cmp().expect(): a NaN density is
@@ -233,7 +237,11 @@ mod tests {
     fn data_survives_migration() {
         let rt = Unimem::init(Bytes::mib(1));
         let a = rt.malloc("a", Bytes::kib(16));
-        a.with_write(|b| b.iter_mut().enumerate().for_each(|(i, x)| *x = (i % 251) as u8));
+        a.with_write(|b| {
+            b.iter_mut()
+                .enumerate()
+                .for_each(|(i, x)| *x = (i % 251) as u8)
+        });
         rt.record_access("a", 100_000);
         rt.start();
         rt.end_iteration();

@@ -93,12 +93,7 @@ impl PhaseRefTable {
 
     /// Overlap window duration: sum of the phase durations the copy can
     /// hide behind, given per-phase times (indexed by phase id).
-    pub fn overlap_time(
-        &self,
-        unit: UnitId,
-        use_phase: PhaseId,
-        phase_times: &[VDur],
-    ) -> VDur {
+    pub fn overlap_time(&self, unit: UnitId, use_phase: PhaseId, phase_times: &[VDur]) -> VDur {
         assert_eq!(phase_times.len(), self.refs.len());
         let w = self.trigger_for(unit, use_phase);
         let n = self.refs.len() as u32;

@@ -228,12 +228,8 @@ impl Enforcer {
         let actions = self.schedule[p].clone();
         for a in actions {
             match a {
-                Action::Out { unit } => {
-                    self.do_evict(unit, now, registry, engine, service)
-                }
-                Action::In { unit, .. } => {
-                    self.do_admit(unit, now, registry, engine, service)
-                }
+                Action::Out { unit } => self.do_evict(unit, now, registry, engine, service),
+                Action::In { unit, .. } => self.do_admit(unit, now, registry, engine, service),
             }
         }
         let retry = std::mem::take(&mut self.pending_in);
@@ -375,10 +371,7 @@ fn build_schedule(
                     }
                 }
             }
-            schedule[t].push(Action::In {
-                unit: u,
-                use_phase,
-            });
+            schedule[t].push(Action::In { unit: u, use_phase });
         }
     }
     schedule
@@ -404,7 +397,7 @@ mod tests {
     }
 
     fn engine() -> MigrationEngine {
-        MigrationEngine::new(Bandwidth::gb_per_s(4.0))
+        MigrationEngine::with_copy_bw(Bandwidth::gb_per_s(4.0))
     }
 
     /// Plan: phase 0 wants {a}, phase 1 wants {b}; refs: a in 0, b in 1.
@@ -444,7 +437,9 @@ mod tests {
         assert!(s[1]
             .iter()
             .any(|a| matches!(a, Action::In { unit: u, .. } if *u == unit(1))));
-        assert!(s[1].first().is_some_and(|a| matches!(a, Action::Out { .. })));
+        assert!(s[1]
+            .first()
+            .is_some_and(|a| matches!(a, Action::Out { .. })));
         assert!(s[0]
             .iter()
             .any(|a| matches!(a, Action::In { unit: u, .. } if *u == unit(0))));
@@ -503,9 +498,21 @@ mod tests {
         enf.enter_plan(VTime::ZERO, &refs, &reg, &mut eng, &service);
         // Phase 0 begins immediately: the copy of `a` (64 MiB at 4 GB/s)
         // is fully exposed.
-        let cost = enf.phase_begin(PhaseId(0), VTime::ZERO, VDur::ZERO, &refs, &reg, &mut eng, &service);
+        let cost = enf.phase_begin(
+            PhaseId(0),
+            VTime::ZERO,
+            VDur::ZERO,
+            &refs,
+            &reg,
+            &mut eng,
+            &service,
+        );
         let copy = eng.copy_time(Bytes::mib(64));
-        assert!((cost.stall.secs() - copy.secs()).abs() < 1e-9, "{:?}", cost.stall);
+        assert!(
+            (cost.stall.secs() - copy.secs()).abs() < 1e-9,
+            "{:?}",
+            cost.stall
+        );
         assert!(cost.sync > VDur::ZERO);
     }
 
@@ -530,7 +537,8 @@ mod tests {
         // Run two full iterations of the 2-phase cycle.
         for it in 0..2 {
             for p in 0..2u32 {
-                let c = enf.phase_begin(PhaseId(p), now, VDur::ZERO, &refs, &reg, &mut eng, &service);
+                let c =
+                    enf.phase_begin(PhaseId(p), now, VDur::ZERO, &refs, &reg, &mut eng, &service);
                 now = now + c.stall + c.sync + VDur::from_millis(50.0);
                 let want = plan.dram_set(PhaseId(p));
                 assert_eq!(

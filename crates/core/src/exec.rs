@@ -25,13 +25,14 @@ use crate::stats::RunStats;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use unimem_cache::{CacheModel, ObjAccess};
+use unimem_hms::contention::{BwClient, FlowScope, HelperLink, SharedBandwidth};
 use unimem_hms::object::{ObjectRegistry, ObjectSpec, UnitId};
-use unimem_hms::tier::TierKind;
+use unimem_hms::tier::{AccessMix, TierKind, TierParams};
 use unimem_hms::{DramService, MachineConfig, MigrationEngine};
 use unimem_mpi::{CommWorld, NetParams, PhaseId, PhaseTracker, RankCtx};
 use unimem_perf::sampler::GroundTruth;
 use unimem_perf::{calibrate, Sampler, SamplerConfig};
-use unimem_sim::{Bytes, VDur};
+use unimem_sim::{Bytes, VDur, VTime};
 
 /// A computation phase of the script.
 #[derive(Debug, Clone, PartialEq)]
@@ -392,22 +393,42 @@ pub fn run_workload_leased(
     // *current* lease are prevented by the knapsack capacity, and a
     // shrinking lease evicts through the re-plan at the boundary.
     let service = DramService::new(nranks, machine.ranks_per_node, lease.peak());
-    // Offline calibration happens once per platform, outside the job.
-    let cal = match policy {
-        Policy::Unimem(cfg) => Some(calibrate(machine, cache, cfg.sampler, cfg.seed)),
-        _ => None,
+    // Per-node shared-bandwidth state: co-located ranks split each tier's
+    // node bandwidth, and helper copies are posted here so overlapping
+    // compute pays for them.
+    let bw = SharedBandwidth::new(machine, nranks);
+    // Offline calibration happens once per platform, outside the job. It
+    // runs against one rank's *share* of the node — the bandwidth the
+    // sampled phases actually see — so Eq. 1's peak comparisons stay
+    // like-for-like under multi-rank nodes. A partially-filled last node
+    // has a different occupancy (and thus a different share) than the
+    // full ones, so calibrate once per distinct occupancy and let each
+    // rank pick its node's entry.
+    let cals: HashMap<usize, unimem_perf::Calibration> = match policy {
+        Policy::Unimem(cfg) => {
+            let full = machine.ranks_per_node.min(nranks);
+            let straggler = match nranks % machine.ranks_per_node {
+                0 => full,
+                r => r,
+            };
+            [full, straggler]
+                .into_iter()
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .map(|occ| {
+                    let mut share = machine.clone();
+                    share.dram = machine.rank_share(TierKind::Dram, occ);
+                    share.nvm = machine.rank_share(TierKind::Nvm, occ);
+                    (occ, calibrate(&share, cache, cfg.sampler, cfg.seed))
+                })
+                .collect()
+        }
+        _ => HashMap::new(),
     };
 
     let outcomes = CommWorld::run(nranks, NetParams::default(), |ctx| {
         run_rank(
-            ctx,
-            workload,
-            machine,
-            cache,
-            policy,
-            &service,
-            lease,
-            cal,
+            ctx, workload, machine, cache, policy, &service, &bw, lease, &cals,
         )
     });
 
@@ -438,11 +459,13 @@ fn run_rank(
     cache: &CacheModel,
     policy: &Policy,
     service: &DramService,
+    bw: &SharedBandwidth,
     lease: &CapacitySchedule,
-    cal: Option<unimem_perf::Calibration>,
+    cals: &HashMap<usize, unimem_perf::Calibration>,
 ) -> (RunStats, Option<SearchKind>) {
     let rank = ctx.rank();
     let nranks = ctx.nranks();
+    let client = bw.client(rank);
     let per_rank = |node_budget: Bytes| Bytes(node_budget.get() / machine.ranks_per_node as u64);
 
     // Register target data objects (unimem_malloc).
@@ -477,13 +500,39 @@ fn run_rank(
                 // Chunks are sized against the lease's peak: a chunk that
                 // fits DRAM at the high-water lease simply stays in NVM
                 // while the lease is lower.
-                partition_large_objects(&mut registry, per_rank(lease.peak()), cfg.partition_policy);
+                partition_large_objects(
+                    &mut registry,
+                    per_rank(lease.peak()),
+                    cfg.partition_policy,
+                );
             }
+            // The models reason about this rank's share of the node: tier
+            // bandwidth over occupancy and the helper's fair copy-path
+            // slice. The Eq. 4 contention terms charge hidden copies for
+            // the load they put on the pools each direction actually
+            // touches — an admission reads NVM and writes DRAM, an
+            // eviction the reverse (which is far harsher on
+            // write-asymmetric technologies).
+            let occ = client.occupancy();
+            let rho = client.copy_rate().bytes_per_s();
+            let pressure = |read_pool: unimem_sim::Bandwidth, write_pool: unimem_sim::Bandwidth| {
+                if machine.helper_contention {
+                    rho / read_pool.bytes_per_s().min(write_pool.bytes_per_s())
+                } else {
+                    0.0
+                }
+            };
             let model = ModelParams::new(
-                machine.dram,
-                machine.nvm,
-                machine.copy_bw,
-                cal.expect("calibration computed for Unimem runs"),
+                machine.rank_share(TierKind::Dram, occ),
+                machine.rank_share(TierKind::Nvm, occ),
+                client.copy_rate(),
+                *cals
+                    .get(&occ)
+                    .expect("calibration computed per node occupancy for Unimem runs"),
+            )
+            .with_contention_penalties(
+                pressure(machine.nvm.read_bw, machine.dram.write_bw),
+                pressure(machine.dram.read_bw, machine.nvm.write_bw),
             );
             let mut committed = BTreeSet::new();
             let mut grants = HashMap::new();
@@ -496,8 +545,11 @@ fn run_rank(
                 }
             }
             RankPolicy::Unimem(Box::new(UnimemState {
-                sampler: Sampler::new(cfg.sampler, cfg.seed ^ (rank as u64).wrapping_mul(0x9e3779b9)),
-                engine: MigrationEngine::new(machine.copy_bw),
+                sampler: Sampler::new(
+                    cfg.sampler,
+                    cfg.seed ^ (rank as u64).wrapping_mul(0x9e3779b9),
+                ),
+                engine: MigrationEngine::new(HelperLink::Shared(client.clone())),
                 monitor: None,
                 profile: IterationProfile::new(),
                 refs: None,
@@ -558,13 +610,15 @@ fn run_rank(
             // Phase boundary: enforcement + queue sync.
             if let RankPolicy::Unimem(st) = &mut rp {
                 if let (Some(enf), Some(refs)) = (st.enforcer.as_mut(), st.refs.as_ref()) {
-                    let phase_est = st
-                        .profile
-                        .get(phase)
-                        .map(|r| r.time)
-                        .unwrap_or(VDur::ZERO);
+                    let phase_est = st.profile.get(phase).map(|r| r.time).unwrap_or(VDur::ZERO);
                     let cost = enf.phase_begin(
-                        phase, ctx.now(), phase_est, refs, &registry, &mut st.engine, service,
+                        phase,
+                        ctx.now(),
+                        phase_est,
+                        refs,
+                        &registry,
+                        &mut st.engine,
+                        service,
                     );
                     ctx.advance(cost.sync + cost.stall);
                     stats.sync_overhead += cost.sync;
@@ -578,15 +632,20 @@ fn run_rank(
                         RankPolicy::Fixed { in_dram, .. } => in_dram,
                         RankPolicy::Unimem(st) => st.dram_units(),
                     };
-                    let all_dram = matches!(
-                        &rp,
-                        RankPolicy::Fixed { all_dram: true, .. }
-                    );
-                    let (phase_time, truths) = ground_truth(
-                        spec, &registry, dram_units, all_dram, cache, machine,
+                    let all_dram = matches!(&rp, RankPolicy::Fixed { all_dram: true, .. });
+                    let (phase_time, truths, contention) = ground_truth(
+                        spec,
+                        &registry,
+                        dram_units,
+                        all_dram,
+                        cache,
+                        &client,
+                        ctx.now(),
                     );
                     ctx.advance(phase_time);
                     stats.app_time += phase_time;
+                    stats.contention_time += contention.total;
+                    stats.neighbor_contention_time += contention.neighbors;
 
                     if let RankPolicy::Unimem(st) = &mut rp {
                         if st.profiling {
@@ -612,6 +671,16 @@ fn run_rank(
                     run_comm(ctx, comm, it, step_idx);
                     let dt = ctx.now() - t0;
                     stats.app_time += dt;
+                    // Global collectives rendezvous every rank before any
+                    // leaves, and their departure time is synchronized —
+                    // exactly the deterministic visibility fence the
+                    // shared-bandwidth ledger needs to publish neighbor
+                    // helper traffic. Only pairwise exchanges (Halo) are
+                    // excluded: a future collective step kind should
+                    // fence by default, not silently go dark.
+                    if !matches!(comm, StepSpec::Halo { .. }) {
+                        client.fence(ctx.now());
+                    }
                     if let RankPolicy::Unimem(st) = &mut rp {
                         if st.profiling {
                             st.profile.insert(
@@ -710,32 +779,52 @@ fn replace_plan(
     st.profiling = false;
 }
 
+/// Extra phase time attributable to shared-bandwidth contention, split
+/// by who caused it.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseContention {
+    /// Contended time minus the rank's plain node-share time.
+    total: VDur,
+    /// The portion caused by *other* ranks' helper traffic.
+    neighbors: VDur,
+}
+
+/// One (access descriptor, placement unit) timing site of a phase.
+struct AccessSite {
+    unit: UnitId,
+    tier: TierKind,
+    misses: u64,
+    miss_bytes: Bytes,
+    mlp: f64,
+    mix: AccessMix,
+}
+
 /// Compute ground-truth phase time and per-unit sampler inputs for a
-/// compute step under the current placement.
+/// compute step under the current placement, at the **contended**
+/// effective bandwidth: each tier's node bandwidth is split among the
+/// node's co-located ranks, and helper copies in flight during the phase
+/// window (this rank's exactly, neighbors' at their fence-epoch rate)
+/// take their proportional share on top. The phase window is estimated
+/// from the uncontended time — a one-shot resolution of the
+/// time-depends-on-window circularity, documented in
+/// `unimem_hms::contention`.
 fn ground_truth(
     spec: &ComputeSpec,
     registry: &ObjectRegistry,
     dram_units: &BTreeSet<UnitId>,
     all_dram: bool,
     cache: &CacheModel,
-    machine: &MachineConfig,
-) -> (VDur, Vec<GroundTruth>) {
+    bw: &BwClient,
+    now: VTime,
+) -> (VDur, Vec<GroundTruth>, PhaseContention) {
     let phase_total: Bytes = spec.accesses.iter().map(|a| a.touched).sum();
-    // A phase may carry several descriptors for the same object (e.g. a
-    // streaming factor pass plus a dependent back-substitution); traffic
-    // merges per placement unit for the sampler.
-    let mut truths: Vec<GroundTruth> = Vec::new();
-    let mut mem_time = VDur::ZERO;
+    let mut sites: Vec<AccessSite> = Vec::new();
     for acc in &spec.accesses {
         let obj = registry.get(acc.obj);
         let chunks = obj.chunks;
         let frac = 1.0 / f64::from(chunks);
         for unit in obj.units() {
-            let a = if chunks == 1 {
-                *acc
-            } else {
-                acc.scaled(frac)
-            };
+            let a = if chunks == 1 { *acc } else { acc.scaled(frac) };
             let est = cache.misses(&a, phase_total);
             if est.misses == 0 {
                 continue;
@@ -745,29 +834,70 @@ fn ground_truth(
             } else {
                 TierKind::Nvm
             };
-            let t = machine.tier(tier).access_time(
-                est.misses,
-                est.miss_bytes,
-                a.pattern.mlp(),
-                a.mix,
-            );
-            mem_time += t;
-            match truths.iter_mut().find(|g| g.unit == unit) {
-                Some(g) => {
-                    g.misses += est.misses;
-                    g.miss_bytes += est.miss_bytes;
-                    g.mem_time += t;
-                }
-                None => truths.push(GroundTruth {
-                    unit,
-                    misses: est.misses,
-                    miss_bytes: est.miss_bytes,
-                    mem_time: t,
-                }),
-            }
+            sites.push(AccessSite {
+                unit,
+                tier,
+                misses: est.misses,
+                miss_bytes: est.miss_bytes,
+                mlp: a.pattern.mlp(),
+                mix: a.mix,
+            });
         }
     }
-    (spec.cpu + mem_time, truths)
+    let site_time = |s: &AccessSite, dram: &TierParams, nvm: &TierParams| {
+        let p = match s.tier {
+            TierKind::Dram => dram,
+            TierKind::Nvm => nvm,
+        };
+        p.access_time(s.misses, s.miss_bytes, s.mlp, s.mix)
+    };
+    let mem_time = |dram: &TierParams, nvm: &TierParams| -> VDur {
+        sites.iter().map(|s| site_time(s, dram, nvm)).sum()
+    };
+
+    // Pass 1 — the rank's plain share of the node, no helper flows: this
+    // fixes the window the flow accounting is evaluated over.
+    let base_d = bw.effective(TierKind::Dram, now, now, FlowScope::None);
+    let base_n = bw.effective(TierKind::Nvm, now, now, FlowScope::None);
+    let t_base = mem_time(&base_d, &base_n);
+    let w1 = now + spec.cpu + t_base;
+
+    // Pass 2 — charge helper flows over the window: own traffic alone
+    // (attribution), then own + fenced-visible neighbor traffic (the
+    // clock that actually advances).
+    let own_d = bw.effective(TierKind::Dram, now, w1, FlowScope::Own);
+    let own_n = bw.effective(TierKind::Nvm, now, w1, FlowScope::Own);
+    let t_own = mem_time(&own_d, &own_n);
+    let all_d = bw.effective(TierKind::Dram, now, w1, FlowScope::All);
+    let all_n = bw.effective(TierKind::Nvm, now, w1, FlowScope::All);
+
+    // A phase may carry several descriptors for the same object (e.g. a
+    // streaming factor pass plus a dependent back-substitution); traffic
+    // merges per placement unit for the sampler, at contended times.
+    let mut truths: Vec<GroundTruth> = Vec::new();
+    let mut t_full = VDur::ZERO;
+    for s in &sites {
+        let t = site_time(s, &all_d, &all_n);
+        t_full += t;
+        match truths.iter_mut().find(|g| g.unit == s.unit) {
+            Some(g) => {
+                g.misses += s.misses;
+                g.miss_bytes += s.miss_bytes;
+                g.mem_time += t;
+            }
+            None => truths.push(GroundTruth {
+                unit: s.unit,
+                misses: s.misses,
+                miss_bytes: s.miss_bytes,
+                mem_time: t,
+            }),
+        }
+    }
+    let contention = PhaseContention {
+        total: t_full.saturating_sub(t_base),
+        neighbors: t_full.saturating_sub(t_own),
+    };
+    (spec.cpu + t_full, truths, contention)
 }
 
 /// Execute a communication step (one phase).
@@ -845,12 +975,7 @@ mod tests {
                             Bytes::mib(100),
                             AccessPattern::Streaming { stride: Bytes(8) },
                         ),
-                        ObjAccess::new(
-                            ObjId(1),
-                            400_000,
-                            Bytes::mib(100),
-                            AccessPattern::Random,
-                        ),
+                        ObjAccess::new(ObjId(1), 400_000, Bytes::mib(100), AccessPattern::Random),
                     ],
                 }),
                 StepSpec::AllreduceSum { bytes: Bytes(64) },
@@ -950,7 +1075,11 @@ mod tests {
         let c = CacheModel::platform_a();
         let rep = run_workload(&w, &m, &c, 1, &Policy::unimem());
         assert!(rep.plan_kind.is_some());
-        assert!(rep.job.pure_runtime_cost() < 0.05, "cost={}", rep.job.pure_runtime_cost());
+        assert!(
+            rep.job.pure_runtime_cost() < 0.05,
+            "cost={}",
+            rep.job.pure_runtime_cost()
+        );
         assert_eq!(rep.job.iterations, 6);
         // Initial placement put `hot` in DRAM already (est_refs), so few
         // migrations are expected — but profiling must have happened.

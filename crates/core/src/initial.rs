@@ -16,10 +16,7 @@ use unimem_sim::Bytes;
 /// densest-first tie-break by size (more references per byte first when
 /// counts tie), subject to `capacity`.
 pub fn initial_placement(registry: &ObjectRegistry, capacity: Bytes) -> BTreeSet<UnitId> {
-    let mut objs: Vec<_> = registry
-        .iter()
-        .filter(|o| o.est_refs > 0.0)
-        .collect();
+    let mut objs: Vec<_> = registry.iter().filter(|o| o.est_refs > 0.0).collect();
     // total_cmp instead of partial_cmp().expect(): registration rejects
     // non-finite estimates, but placement must not be able to panic on a
     // registry it did not build.
@@ -53,10 +50,7 @@ mod tests {
     fn hottest_objects_fill_dram_first() {
         let r = reg(&[("cold", 50, 10.0), ("hot", 50, 1000.0), ("warm", 50, 100.0)]);
         let set = initial_placement(&r, Bytes(100));
-        let names: Vec<&str> = set
-            .iter()
-            .map(|u| r.get(u.obj).name.as_str())
-            .collect();
+        let names: Vec<&str> = set.iter().map(|u| r.get(u.obj).name.as_str()).collect();
         assert_eq!(names, vec!["hot", "warm"]);
     }
 
@@ -86,10 +80,7 @@ mod tests {
     fn ties_prefer_smaller_objects() {
         let r = reg(&[("big", 80, 100.0), ("small", 20, 100.0)]);
         let set = initial_placement(&r, Bytes(90));
-        let names: Vec<&str> = set
-            .iter()
-            .map(|u| r.get(u.obj).name.as_str())
-            .collect();
+        let names: Vec<&str> = set.iter().map(|u| r.get(u.obj).name.as_str()).collect();
         // small first (denser), then big no longer fits… but 20+80>90,
         // so only small lands.
         assert_eq!(names, vec!["small"]);

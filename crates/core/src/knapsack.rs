@@ -116,7 +116,9 @@ pub fn solve_exhaustive(items: &[Item], capacity: Bytes) -> (Vec<usize>, f64) {
             best_mask = mask;
         }
     }
-    let chosen = (0..items.len()).filter(|i| best_mask & (1 << i) != 0).collect();
+    let chosen = (0..items.len())
+        .filter(|i| best_mask & (1 << i) != 0)
+        .collect();
     (chosen, best_w)
 }
 

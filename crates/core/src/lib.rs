@@ -49,9 +49,9 @@ pub mod tenancy;
 
 pub use api::Unimem;
 pub use exec::{
-    run_workload, run_workload_leased, CapacitySchedule, Policy, RunReport, StepSpec,
-    UnimemConfig, Workload,
+    run_workload, run_workload_leased, CapacitySchedule, Policy, RunReport, StepSpec, UnimemConfig,
+    Workload,
 };
-pub use tenancy::{run_corun, run_corun_with_solos, CorunTenant, TenantOutcome};
 pub use model::{ModelParams, Sensitivity};
 pub use stats::RunStats;
+pub use tenancy::{run_corun, run_corun_with_solos, CorunTenant, TenantOutcome};

@@ -25,6 +25,11 @@ pub enum Sensitivity {
 }
 
 /// Model parameters: tier characteristics, calibration, and thresholds.
+///
+/// Under the node-level shared-bandwidth model the tier parameters here
+/// are the rank's *share* of the node (node bandwidth over occupancy) and
+/// `copy_bw` is the helper's fair slice of the node copy path, so every
+/// equation reasons about the bandwidth this rank can actually get.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ModelParams {
     pub dram: TierParams,
@@ -35,6 +40,17 @@ pub struct ModelParams {
     pub t1_pct: f64,
     /// Latency-sensitive threshold, percent of `BW_peak` (paper: 10).
     pub t2_pct: f64,
+    /// Eq. 4 contention term for NVM→DRAM admissions: the slowdown one
+    /// second of in-flight copy induces on overlapping compute — the
+    /// copy's rate over the tightest of the two pools an admission
+    /// actually draws from (NVM read, DRAM write). Zero when helper
+    /// traffic does not share the application's bandwidth.
+    pub contention_penalty_in: f64,
+    /// Same, for DRAM→NVM evictions (DRAM read, NVM write pools — on
+    /// write-asymmetric technologies this can be far harsher than the
+    /// admission direction, and charging admits at the eviction rate
+    /// would wrongly freeze placement).
+    pub contention_penalty_out: f64,
 }
 
 impl ModelParams {
@@ -46,7 +62,17 @@ impl ModelParams {
             cal,
             t1_pct: 80.0,
             t2_pct: 10.0,
+            contention_penalty_in: 0.0,
+            contention_penalty_out: 0.0,
         }
+    }
+
+    /// Set the per-direction Eq. 4 contention terms (see
+    /// [`ModelParams::movement_cost`]).
+    pub fn with_contention_penalties(mut self, inbound: f64, outbound: f64) -> Self {
+        self.contention_penalty_in = inbound.max(0.0);
+        self.contention_penalty_out = outbound.max(0.0);
+        self
     }
 
     /// Eq. 1 + thresholds: classify an object's phase behaviour.
@@ -96,9 +122,19 @@ impl ModelParams {
         }
     }
 
-    /// Eq. 4: movement cost after subtracting the overlap window.
+    /// Eq. 4 with the contention term: the cost of moving a unit into
+    /// DRAM is the exposed stall (copy time beyond the overlap window)
+    /// **plus** the slowdown the overlapped portion induces on the
+    /// compute it hides behind — hiding a copy is not free when the copy
+    /// and the application draw from the same tier pools. Models an
+    /// NVM→DRAM admission; eviction traffic uses
+    /// [`ModelParams::contention_penalty_out`] (the local search weighs
+    /// its copy train per direction).
     pub fn movement_cost(&self, size: Bytes, overlap: VDur) -> VDur {
-        (size / self.copy_bw).saturating_sub(overlap)
+        let copy = size / self.copy_bw;
+        let exposed = copy.saturating_sub(overlap);
+        let hidden = copy.min(overlap);
+        exposed + hidden * self.contention_penalty_in
     }
 
     /// Raw copy time `size / mem_copy_bw`.
@@ -191,7 +227,7 @@ mod tests {
     }
 
     #[test]
-    fn movement_cost_fully_overlapped_is_zero() {
+    fn movement_cost_fully_overlapped_is_zero_without_contention() {
         let p = params();
         let size = Bytes::mib(64);
         let copy = p.copy_time(size);
@@ -200,9 +236,28 @@ mod tests {
     }
 
     #[test]
+    fn movement_cost_charges_hidden_copies_under_contention() {
+        let p = params().with_contention_penalties(0.5, 0.9);
+        let size = Bytes::mib(64);
+        let copy = p.copy_time(size);
+        // Fully hidden: cost = hidden copy time x penalty, not zero.
+        let cost = p.movement_cost(size, copy * 2.0);
+        assert!((cost.secs() - copy.secs() * 0.5).abs() < 1e-12);
+        // Not overlapped at all: pure exposed stall, no contention term.
+        assert_eq!(p.movement_cost(size, VDur::ZERO), copy);
+        // Half overlapped: half exposed + half x penalty.
+        let half = p.movement_cost(size, copy * 0.5);
+        assert!((half.secs() - (copy.secs() * 0.5 + copy.secs() * 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
     fn weight_subtracts_costs() {
         let p = params();
-        let w = p.weight(VDur::from_millis(10.0), VDur::from_millis(3.0), VDur::from_millis(2.0));
+        let w = p.weight(
+            VDur::from_millis(10.0),
+            VDur::from_millis(3.0),
+            VDur::from_millis(2.0),
+        );
         assert!((w - 0.005).abs() < 1e-12);
         let neg = p.weight(VDur::from_millis(1.0), VDur::from_millis(3.0), VDur::ZERO);
         assert!(neg < 0.0);

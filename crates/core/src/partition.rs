@@ -131,8 +131,7 @@ mod tests {
         let mut r = ObjectRegistry::new();
         r.register(ObjectSpec::new("edge", Bytes::mib(100)).partitionable(true));
         // threshold = 0.5 · 256 MiB = 128 MiB > 100 MiB → no split.
-        let split =
-            partition_large_objects(&mut r, Bytes::mib(256), PartitionPolicy::default());
+        let split = partition_large_objects(&mut r, Bytes::mib(256), PartitionPolicy::default());
         assert!(split.is_empty());
     }
 }

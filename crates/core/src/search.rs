@@ -210,11 +210,28 @@ pub fn local_search(input: &SearchInput<'_>) -> PlacementPlan {
                         shortfall,
                     ))
                 };
-                let exposed = (input.model.copy_time(size) + evict_copy)
-                    .saturating_sub(overlap);
-                (exposed.min(input.model.copy_time(size)), exposed.saturating_sub(
-                    input.model.copy_time(size).min(exposed),
-                ))
+                let total_copy = input.model.copy_time(size) + evict_copy;
+                let exposed = total_copy.saturating_sub(overlap);
+                // Eq. 4's contention term: the hidden portion of the copy
+                // train still taxes the compute it hides behind (helper
+                // and application share the tier pools), so overlap
+                // discounts the cost but no longer zeroes it. The train's
+                // admit and evict legs load different pools, so each is
+                // charged at its own direction's penalty (pro-rata over
+                // the hidden time).
+                let hidden = total_copy.min(overlap);
+                let train_penalty = if total_copy.is_zero() {
+                    0.0
+                } else {
+                    let admit_frac = input.model.copy_time(size).ratio(total_copy);
+                    admit_frac * input.model.contention_penalty_in
+                        + (1.0 - admit_frac) * input.model.contention_penalty_out
+                };
+                let contention = hidden * train_penalty;
+                (
+                    exposed.min(input.model.copy_time(size)),
+                    exposed.saturating_sub(input.model.copy_time(size).min(exposed)) + contention,
+                )
             };
             items.push(Item {
                 weight: input.model.weight(benefit, cost, extra),
@@ -292,10 +309,7 @@ fn victim_bytes(
 
 /// Predicted steady-state iteration time under a per-phase placement,
 /// relative to the profiled iteration (model scale, §3.1.3 evaluator).
-pub fn predict_iteration_time(
-    input: &SearchInput<'_>,
-    per_phase: &[BTreeSet<UnitId>],
-) -> VDur {
+pub fn predict_iteration_time(input: &SearchInput<'_>, per_phase: &[BTreeSet<UnitId>]) -> VDur {
     let times = phase_times(input);
     let n = input.refs.n_phases();
     let mut total = VDur::ZERO;
@@ -391,10 +405,7 @@ mod tests {
 
     fn hot_record(units: &[(u32, u64)], ms: f64) -> PhaseRecord {
         PhaseRecord {
-            units: units
-                .iter()
-                .map(|&(u, r)| (unit(u), r, 200_000))
-                .collect(),
+            units: units.iter().map(|&(u, r)| (unit(u), r, 200_000)).collect(),
             windows: 1_000_000,
             time: VDur::from_millis(ms),
         }
@@ -474,6 +485,37 @@ mod tests {
         let input = simple_input(&reg, &profile, &refs, &m, &profiled);
         let plan = local_search(&input);
         assert!(plan.per_phase.iter().all(|s| s.is_empty()), "{plan:?}");
+    }
+
+    #[test]
+    fn contention_penalty_vetoes_marginal_phase_churn() {
+        let reg = registry();
+        // Moderate benefits: switching between phases is barely worth the
+        // copies without contention, and not worth them once every hidden
+        // copy also taxes the compute it overlaps (Eq. 4 contention term).
+        let mut profile = IterationProfile::new();
+        profile.insert(PhaseId(0), hot_record(&[(0, 2_000)], 40.0));
+        profile.insert(PhaseId(1), hot_record(&[(1, 2_000)], 40.0));
+        let mut refs = PhaseRefTable::new(2);
+        refs.add_ref(PhaseId(0), unit(0));
+        refs.add_ref(PhaseId(1), unit(1));
+        let m = model();
+        let profiled = BTreeSet::new();
+        let input = simple_input(&reg, &profile, &refs, &m, &profiled);
+        let free = local_search(&input);
+        assert!(
+            free.per_phase.iter().any(|s| !s.is_empty()),
+            "baseline: moves are worth it when hidden copies are free"
+        );
+        let taxed = m.with_contention_penalties(50.0, 50.0);
+        let input = simple_input(&reg, &profile, &refs, &taxed, &profiled);
+        let taxed_plan = local_search(&input);
+        let placed = |p: &PlacementPlan| p.per_phase.iter().map(|s| s.len()).sum::<usize>();
+        assert!(
+            placed(&taxed_plan) < placed(&free),
+            "a heavy contention penalty must reduce planned movement \
+             (free: {free:?}, taxed: {taxed_plan:?})"
+        );
     }
 
     #[test]

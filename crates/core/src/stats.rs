@@ -20,6 +20,15 @@ pub struct RunStats {
     pub sync_overhead: VDur,
     /// Stall time waiting for in-flight migrations (exposed movement cost).
     pub migration_stall: VDur,
+    /// Extra compute time caused by shared-bandwidth contention: helper
+    /// copies (own and neighbors') drawing from the tier pools this
+    /// rank's phases stream on.
+    pub contention_time: VDur,
+    /// The portion of [`RunStats::contention_time`] attributable to
+    /// *other* ranks' helper traffic on the same node — the "my neighbor
+    /// migrated and I slowed down" signal the `migration-contention`
+    /// conformance check asserts on.
+    pub neighbor_contention_time: VDur,
     /// Migration engine counters.
     pub migrations: MigrationStats,
     /// Times the variation monitor re-triggered profiling.
@@ -42,8 +51,8 @@ impl RunStats {
             .ratio(self.total_time)
     }
 
-    /// Table 4's "% overlap".
-    pub fn overlap_pct(&self) -> f64 {
+    /// Table 4's "% overlap"; `None` (JSON `null`) when nothing migrated.
+    pub fn overlap_pct(&self) -> Option<f64> {
         self.migrations.overlap_pct()
     }
 
@@ -68,6 +77,8 @@ impl RunStats {
             .push("modeling_overhead_s", self.modeling_overhead)
             .push("sync_overhead_s", self.sync_overhead)
             .push("migration_stall_s", self.migration_stall)
+            .push("contention_time_s", self.contention_time)
+            .push("neighbor_contention_time_s", self.neighbor_contention_time)
             .push("migration_count", self.migrations.count)
             .push("migrated_bytes", self.migrations.bytes)
             .push("migrations_to_dram", self.migrations.to_dram_count)
@@ -90,6 +101,10 @@ impl RunStats {
         self.modeling_overhead = self.modeling_overhead.max(other.modeling_overhead);
         self.sync_overhead = self.sync_overhead.max(other.sync_overhead);
         self.migration_stall = self.migration_stall.max(other.migration_stall);
+        self.contention_time = self.contention_time.max(other.contention_time);
+        self.neighbor_contention_time = self
+            .neighbor_contention_time
+            .max(other.neighbor_contention_time);
         self.migrations.merge(&other.migrations);
         self.reprofiles += other.reprofiles;
         self.lease_replans += other.lease_replans;
@@ -117,7 +132,8 @@ mod tests {
     fn zero_time_guards() {
         let s = RunStats::default();
         assert_eq!(s.pure_runtime_cost(), 0.0);
-        assert_eq!(s.overlap_pct(), 100.0);
+        assert_eq!(s.overlap_pct(), None, "no migrations, no overlap figure");
+        assert_eq!(s.to_json().get("overlap_pct"), Some(&Json::Null));
     }
 
     #[test]

@@ -108,7 +108,12 @@ pub struct TenantOutcome {
 impl TenantOutcome {
     /// The smallest per-epoch lease the tenant ever held.
     pub fn lease_min(&self) -> Bytes {
-        self.lease.epochs().iter().copied().min().unwrap_or(Bytes::ZERO)
+        self.lease
+            .epochs()
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Bytes::ZERO)
     }
 
     /// The largest per-epoch lease the tenant ever held.
@@ -399,7 +404,11 @@ mod tests {
         assert!(epochs[3] < Bytes::mib(128));
         assert_eq!(epochs[7], Bytes::mib(128));
         // The lease moved at least twice; each move re-ran placement.
-        assert!(inc.corun.job.lease_replans >= 2, "{}", inc.corun.job.lease_replans);
+        assert!(
+            inc.corun.job.lease_replans >= 2,
+            "{}",
+            inc.corun.job.lease_replans
+        );
     }
 
     #[test]

@@ -93,9 +93,7 @@ impl SpaceAllocator {
             "free out of range"
         );
         // Find insertion point keeping `free` sorted by offset.
-        let pos = self
-            .free
-            .partition_point(|r| r.offset < region.offset);
+        let pos = self.free.partition_point(|r| r.offset < region.offset);
         // Overlap checks against neighbours = double-free detection.
         if pos > 0 {
             let prev = self.free[pos - 1];

@@ -426,12 +426,16 @@ mod tests {
     fn registration_validates() {
         let mut a = arb(ArbiterPolicy::FairShare);
         a.register(TenantSpec::new("x")).unwrap();
-        assert!(a.register(TenantSpec::new("x")).unwrap_err().contains("duplicate"));
+        assert!(a
+            .register(TenantSpec::new("x"))
+            .unwrap_err()
+            .contains("duplicate"));
         assert!(a
             .register(TenantSpec::new("w0").weight(0))
             .unwrap_err()
             .contains("weight"));
-        a.register(TenantSpec::new("r").reservation(Bytes(900))).unwrap();
+        a.register(TenantSpec::new("r").reservation(Bytes(900)))
+            .unwrap();
         assert!(a
             .register(TenantSpec::new("r2").reservation(Bytes(200)))
             .unwrap_err()
@@ -557,7 +561,10 @@ mod tests {
         a.set_demand(y, Bytes(700));
         let first = a.rebalance();
         assert!(!first.is_empty());
-        assert!(a.rebalance().is_empty(), "second rebalance must move nothing");
+        assert!(
+            a.rebalance().is_empty(),
+            "second rebalance must move nothing"
+        );
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! Node-level shared-bandwidth model: co-located ranks and the helper
+//! thread's migration traffic fight for the same tier pools.
+//!
+//! The tier parameters in [`MachineConfig`] describe **one node**. This
+//! module owns the two ways that node bandwidth gets divided:
+//!
+//! 1. **Compute vs. compute** — the ranks packed on a node
+//!    (`ranks_per_node`) are symmetric SPMD streams running the same
+//!    phase concurrently, so each rank's baseline share of a direction's
+//!    bandwidth is `node_bw / occupancy` (occupancy = ranks actually on
+//!    the node, which can be below `ranks_per_node` on the last node).
+//! 2. **Compute vs. helper** — a DRAM←→NVM copy draws from *both* tiers'
+//!    pools (read on the source, write on the destination). Copies are
+//!    posted as flows on a per-node [`BwLedger`]; a compute phase that
+//!    overlaps them loses bandwidth proportionally:
+//!
+//!    ```text
+//!    avail_dir = node_bw_dir / (occupancy × (1 + L_dir))
+//!    L_dir     = flow_rate_dir / node_bw_dir
+//!    ```
+//!
+//!    which is the proportional split between `occupancy` saturating
+//!    compute streams and helper flows at aggregate rate
+//!    `flow_rate_dir`. The helper's own slice is reserved (its copy rate
+//!    is the node copy path divided by occupancy, fixed at enqueue);
+//!    compute absorbs the slowdown — the paper's premise that migration
+//!    steals the bandwidth the application needs.
+//!
+//! Determinism: flow visibility follows the ledger's fence protocol (see
+//! `unimem_sim::ledger`) — own flows are interval-exact, neighbor flows
+//! are charged at their last fence-epoch rate, and fences ride the MPI
+//! collectives, so everything is a pure function of virtual program
+//! order. `MachineConfig::helper_contention` gates step 2 only: with it
+//! off, flows are neither posted nor charged, which is the A/B the
+//! `migration-contention` conformance check uses to prove that runs
+//! without helper traffic (DRAM-only in particular) are byte-identical
+//! either way.
+
+use crate::profiles::MachineConfig;
+use crate::tier::{TierKind, TierParams};
+use std::sync::Arc;
+use unimem_sim::{Bandwidth, BwLedger, Bytes, VDur, VTime};
+
+/// Ledger channels: one per (tier, direction).
+const CH_DRAM_READ: usize = 0;
+const CH_DRAM_WRITE: usize = 1;
+const CH_NVM_READ: usize = 2;
+const CH_NVM_WRITE: usize = 3;
+const N_CHANNELS: usize = 4;
+
+fn channels_of(tier: TierKind) -> (usize, usize) {
+    match tier {
+        TierKind::Dram => (CH_DRAM_READ, CH_DRAM_WRITE),
+        TierKind::Nvm => (CH_NVM_READ, CH_NVM_WRITE),
+    }
+}
+
+/// Which helper flows a bandwidth query charges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowScope {
+    /// No helper flows: the rank's plain compute share of the node.
+    None,
+    /// Only the querying rank's own helper traffic.
+    Own,
+    /// Own traffic plus fenced-visible neighbor traffic.
+    All,
+}
+
+#[derive(Debug)]
+struct Node {
+    ledger: BwLedger,
+    occupancy: usize,
+    /// Fair per-helper copy rate on this node: node copy path / occupancy.
+    copy_rate: Bandwidth,
+}
+
+#[derive(Debug)]
+struct Inner {
+    nodes: Vec<Node>,
+    ranks_per_node: usize,
+    dram: TierParams,
+    nvm: TierParams,
+    helper_contention: bool,
+}
+
+/// The job-wide shared-bandwidth state: one ledger per node, shared by
+/// the node's rank threads (clone-cheap handle, like
+/// [`DramService`](crate::DramService)).
+#[derive(Debug, Clone)]
+pub struct SharedBandwidth {
+    inner: Arc<Inner>,
+}
+
+impl SharedBandwidth {
+    /// Per-node ledgers for `nranks` total ranks packed
+    /// `machine.ranks_per_node` per node.
+    pub fn new(machine: &MachineConfig, nranks: usize) -> SharedBandwidth {
+        assert!(nranks >= 1);
+        let rpn = machine.ranks_per_node;
+        let n_nodes = nranks.div_ceil(rpn);
+        let nodes = (0..n_nodes)
+            .map(|n| {
+                let occupancy = rpn.min(nranks - n * rpn);
+                Node {
+                    ledger: BwLedger::new(occupancy, N_CHANNELS),
+                    occupancy,
+                    copy_rate: machine.copy_bw.scaled(1.0 / occupancy as f64),
+                }
+            })
+            .collect();
+        SharedBandwidth {
+            inner: Arc::new(Inner {
+                nodes,
+                ranks_per_node: rpn,
+                dram: machine.dram,
+                nvm: machine.nvm,
+                helper_contention: machine.helper_contention,
+            }),
+        }
+    }
+
+    /// The per-rank handle used by the execution driver and the
+    /// migration engine.
+    pub fn client(&self, rank: usize) -> BwClient {
+        let node = rank / self.inner.ranks_per_node;
+        assert!(node < self.inner.nodes.len(), "rank {rank} beyond the job");
+        BwClient {
+            shared: self.clone(),
+            node,
+            owner: rank % self.inner.ranks_per_node,
+        }
+    }
+}
+
+/// One rank's view of its node's shared bandwidth.
+#[derive(Debug, Clone)]
+pub struct BwClient {
+    shared: SharedBandwidth,
+    node: usize,
+    owner: usize,
+}
+
+impl BwClient {
+    fn node(&self) -> &Node {
+        &self.shared.inner.nodes[self.node]
+    }
+
+    fn node_tier(&self, tier: TierKind) -> &TierParams {
+        match tier {
+            TierKind::Dram => &self.shared.inner.dram,
+            TierKind::Nvm => &self.shared.inner.nvm,
+        }
+    }
+
+    /// Ranks actually sharing this rank's node.
+    pub fn occupancy(&self) -> usize {
+        self.node().occupancy
+    }
+
+    /// This rank's helper copy rate: the node's DRAM↔NVM copy path split
+    /// fairly among the node's helpers.
+    pub fn copy_rate(&self) -> Bandwidth {
+        self.node().copy_rate
+    }
+
+    /// True when helper traffic draws from the shared pools.
+    pub fn helper_contention(&self) -> bool {
+        self.shared.inner.helper_contention
+    }
+
+    /// Record passage of a globally synchronizing MPI collective at the
+    /// synchronized instant `now` (makes earlier neighbor flows visible).
+    pub fn fence(&self, now: VTime) {
+        self.node().ledger.fence(self.owner, now);
+    }
+
+    /// Post one helper copy: `bytes` moved to `to` over `[start, end]`,
+    /// drawing read bandwidth from the source tier and write bandwidth
+    /// from the destination tier. No-op when helper contention is off.
+    pub fn post_copy(&self, to: TierKind, start: VTime, end: VTime, bytes: Bytes) {
+        if !self.shared.inner.helper_contention {
+            return;
+        }
+        let ledger = &self.node().ledger;
+        let (src_read, _) = channels_of(to.other());
+        let (_, dst_write) = channels_of(to);
+        ledger.post(self.owner, src_read, start, end, bytes.as_f64());
+        ledger.post(self.owner, dst_write, start, end, bytes.as_f64());
+    }
+
+    /// This rank's effective tier parameters over the window `[w0, w1]`:
+    /// node bandwidth divided among the node's compute streams and the
+    /// helper flows `scope` selects. Latency is left at the node value —
+    /// bandwidth is the contended resource (paper Fig. 2).
+    pub fn effective(&self, tier: TierKind, w0: VTime, w1: VTime, scope: FlowScope) -> TierParams {
+        let node = self.node();
+        let params = self.node_tier(tier);
+        let occ = node.occupancy as f64;
+        let avail = |channel: usize, bw: Bandwidth| -> Bandwidth {
+            let load = if self.shared.inner.helper_contention && scope != FlowScope::None {
+                let split =
+                    node.ledger
+                        .load(self.owner, channel, w0, w1, node.copy_rate.bytes_per_s());
+                match scope {
+                    FlowScope::Own => split.own,
+                    FlowScope::All => split.total(),
+                    FlowScope::None => unreachable!(),
+                }
+            } else {
+                0.0
+            };
+            let l = load / bw.bytes_per_s();
+            Bandwidth(bw.bytes_per_s() / (occ * (1.0 + l)))
+        };
+        let (ch_r, ch_w) = channels_of(tier);
+        TierParams {
+            read_lat: params.read_lat,
+            write_lat: params.write_lat,
+            read_bw: avail(ch_r, params.read_bw),
+            write_bw: avail(ch_w, params.write_bw),
+        }
+    }
+}
+
+/// How the migration engine reaches bandwidth: either a fixed private
+/// copy rate (unit tests, detached tools) or a client of the node's
+/// shared ledger — the runtime path, where a copy draws from both tiers'
+/// pools and becomes visible to overlapping compute.
+#[derive(Debug, Clone)]
+pub enum HelperLink {
+    /// Fixed copy bandwidth; nothing is posted anywhere.
+    Fixed(Bandwidth),
+    /// Client of the shared node ledger.
+    Shared(BwClient),
+}
+
+impl HelperLink {
+    /// The helper's copy rate.
+    pub fn copy_rate(&self) -> Bandwidth {
+        match self {
+            HelperLink::Fixed(bw) => *bw,
+            HelperLink::Shared(c) => c.copy_rate(),
+        }
+    }
+
+    /// Post a completed-schedule copy to the ledger (no-op when fixed).
+    pub fn post_copy(&self, to: TierKind, start: VTime, end: VTime, bytes: Bytes) {
+        if let HelperLink::Shared(c) = self {
+            c.post_copy(to, start, end, bytes);
+        }
+    }
+
+    /// Copy duration for `bytes` at this helper's rate.
+    pub fn copy_time(&self, bytes: Bytes) -> VDur {
+        bytes / self.copy_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::AccessMix;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::nvm_bw_fraction(0.5)
+    }
+
+    #[test]
+    fn occupancy_splits_by_node_with_straggler() {
+        let m = machine().with_ranks_per_node(4);
+        let s = SharedBandwidth::new(&m, 6);
+        assert_eq!(s.client(0).occupancy(), 4);
+        assert_eq!(s.client(3).occupancy(), 4);
+        assert_eq!(s.client(4).occupancy(), 2);
+        assert_eq!(s.client(5).occupancy(), 2);
+    }
+
+    #[test]
+    fn single_rank_gets_full_node_bandwidth() {
+        let m = machine();
+        let s = SharedBandwidth::new(&m, 1);
+        let eff = s
+            .client(0)
+            .effective(TierKind::Dram, VTime::ZERO, VTime(1.0), FlowScope::All);
+        assert_eq!(eff, m.dram, "no co-location, no flows: node params");
+    }
+
+    #[test]
+    fn colocated_ranks_split_bandwidth_evenly() {
+        let m = machine().with_ranks_per_node(2);
+        let s = SharedBandwidth::new(&m, 2);
+        let eff = s
+            .client(0)
+            .effective(TierKind::Nvm, VTime::ZERO, VTime(1.0), FlowScope::None);
+        assert!((eff.read_bw.bytes_per_s() - m.nvm.read_bw.bytes_per_s() / 2.0).abs() < 1.0);
+        assert_eq!(eff.read_lat, m.nvm.read_lat, "latency is not shared");
+    }
+
+    #[test]
+    fn copy_rate_is_fair_share_of_the_copy_path() {
+        let m = machine().with_ranks_per_node(2);
+        let s = SharedBandwidth::new(&m, 2);
+        assert!(
+            (s.client(0).copy_rate().bytes_per_s() - m.copy_bw.bytes_per_s() / 2.0).abs() < 1.0
+        );
+    }
+
+    #[test]
+    fn own_copy_slows_overlapping_compute_on_both_tiers() {
+        let m = machine();
+        let s = SharedBandwidth::new(&m, 1);
+        let c = s.client(0);
+        // A 1 s NVM->DRAM copy: NVM read + DRAM write pools both loaded.
+        let bytes = Bytes((c.copy_rate().bytes_per_s()) as u64);
+        c.post_copy(TierKind::Dram, VTime::ZERO, VTime(1.0), bytes);
+        let base = c.effective(TierKind::Nvm, VTime::ZERO, VTime(1.0), FlowScope::None);
+        let eff = c.effective(TierKind::Nvm, VTime::ZERO, VTime(1.0), FlowScope::Own);
+        assert!(
+            eff.read_bw.bytes_per_s() < base.read_bw.bytes_per_s(),
+            "NVM read pool not charged"
+        );
+        let eff_d = c.effective(TierKind::Dram, VTime::ZERO, VTime(1.0), FlowScope::Own);
+        assert!(
+            eff_d.write_bw.bytes_per_s() < m.dram.write_bw.bytes_per_s(),
+            "DRAM write pool not charged"
+        );
+        // Read side of the destination is untouched.
+        assert!((eff_d.read_bw.bytes_per_s() - m.dram.read_bw.bytes_per_s()).abs() < 1.0);
+    }
+
+    #[test]
+    fn proportional_split_matches_formula() {
+        let m = machine();
+        let s = SharedBandwidth::new(&m, 1);
+        let c = s.client(0);
+        let rate = c.copy_rate().bytes_per_s();
+        c.post_copy(TierKind::Dram, VTime::ZERO, VTime(1.0), Bytes(rate as u64));
+        let eff = c.effective(TierKind::Nvm, VTime::ZERO, VTime(1.0), FlowScope::Own);
+        let l = rate / m.nvm.read_bw.bytes_per_s();
+        let expect = m.nvm.read_bw.bytes_per_s() / (1.0 + l);
+        assert!((eff.read_bw.bytes_per_s() - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn neighbor_copy_invisible_until_fence_then_charged() {
+        let m = machine().with_ranks_per_node(2);
+        let s = SharedBandwidth::new(&m, 2);
+        let (a, b) = (s.client(0), s.client(1));
+        let bytes = Bytes(b.copy_rate().bytes_per_s() as u64);
+        b.post_copy(TierKind::Dram, VTime::ZERO, VTime(1.0), bytes);
+        let before = a.effective(TierKind::Nvm, VTime::ZERO, VTime(1.0), FlowScope::All);
+        let own_only = a.effective(TierKind::Nvm, VTime::ZERO, VTime(1.0), FlowScope::Own);
+        assert_eq!(before, own_only, "unfenced neighbor traffic leaked");
+        a.fence(VTime(1.0));
+        b.fence(VTime(1.0));
+        let after = a.effective(TierKind::Nvm, VTime(1.0), VTime(2.0), FlowScope::All);
+        assert!(
+            after.read_bw.bytes_per_s() < own_only.read_bw.bytes_per_s(),
+            "fenced neighbor traffic not charged"
+        );
+    }
+
+    #[test]
+    fn helper_contention_off_posts_and_charges_nothing() {
+        let m = machine().with_helper_contention(false);
+        let s = SharedBandwidth::new(&m, 1);
+        let c = s.client(0);
+        c.post_copy(TierKind::Dram, VTime::ZERO, VTime(1.0), Bytes::gib(1));
+        let eff = c.effective(TierKind::Nvm, VTime::ZERO, VTime(1.0), FlowScope::All);
+        assert_eq!(eff, m.nvm);
+    }
+
+    #[test]
+    fn access_time_slows_under_shared_load() {
+        let m = machine().with_ranks_per_node(2);
+        let s = SharedBandwidth::new(&m, 2);
+        let c = s.client(0);
+        let base = m
+            .nvm
+            .access_time(1_000_000, Bytes::mib(64), 16.0, AccessMix::READ_ONLY);
+        let eff = c.effective(TierKind::Nvm, VTime::ZERO, VTime(1.0), FlowScope::None);
+        let shared = eff.access_time(1_000_000, Bytes::mib(64), 16.0, AccessMix::READ_ONLY);
+        assert!(
+            (shared.secs() / base.secs() - 2.0).abs() < 1e-6,
+            "two co-located streams should double a bandwidth-bound phase"
+        );
+    }
+
+    #[test]
+    fn helper_link_fixed_matches_shared_copy_math() {
+        let fixed = HelperLink::Fixed(Bandwidth::gb_per_s(1.0));
+        assert!((fixed.copy_time(Bytes(1_000_000)).millis() - 1.0).abs() < 1e-9);
+        let m = machine();
+        let s = SharedBandwidth::new(&m, 1);
+        let shared = HelperLink::Shared(s.client(0));
+        assert_eq!(shared.copy_rate(), m.copy_bw);
+    }
+}

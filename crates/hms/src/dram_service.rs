@@ -2,10 +2,23 @@
 //!
 //! "Each node runs an instance of such service. The service coordinates the
 //! DRAM allocation from multiple MPI processes on the same node" (§3.3).
-//! Ranks of the same node share one [`SpaceAllocator`] behind a mutex; the
-//! service responds to allocation requests and bounds them within the node's
-//! DRAM allowance. Requests never block — a rank that cannot get space keeps
-//! its object in NVM, exactly as the runtime's knapsack assumes.
+//! The coordination is a **static equal split**: each of a node's rank
+//! slots owns `dram_per_node / ranks_per_node` of the node allowance,
+//! served by its own [`SpaceAllocator`]. Requests never block — a rank
+//! that cannot get space keeps its object in NVM, exactly as the
+//! runtime's knapsack assumes (the knapsack's capacity input *is* this
+//! per-rank share, so planner and service agree by construction).
+//!
+//! Why not one first-fit pool per node? Determinism. Rank threads run
+//! concurrently in host time; a shared free list would make allocation
+//! success depend on which thread the OS ran first — fragmentation from
+//! one rank's alloc/free interleaving can fail a neighbor's reservation
+//! on one run and admit it on the next, leaking host scheduling into the
+//! virtual clock (observed as per-run migration-count jitter the moment
+//! multi-rank nodes were exercised). The static split keeps every rank's
+//! allocation history a pure function of its own program order. Region
+//! offsets are rebased per (node, slot), so regions across a node remain
+//! pairwise disjoint addresses.
 
 use crate::alloc::{Region, SpaceAllocator};
 use parking_lot::Mutex;
@@ -15,23 +28,33 @@ use unimem_sim::Bytes;
 /// Shared handle to the DRAM services of every node in the job.
 #[derive(Debug, Clone)]
 pub struct DramService {
-    nodes: Arc<Vec<Mutex<SpaceAllocator>>>,
+    /// One allocator per rank (its slot's share of its node's allowance).
+    slots: Arc<Vec<Mutex<SpaceAllocator>>>,
     ranks_per_node: usize,
+    /// Per-rank share: `dram_per_node / ranks_per_node`.
+    per_rank: Bytes,
+    /// The node allowance the shares partition.
+    node_capacity: Bytes,
+    n_nodes: usize,
 }
 
 impl DramService {
-    /// One allocator per node; `ranks` total MPI ranks with `ranks_per_node`
-    /// packed per node (the last node may be partially filled).
+    /// One allocator per rank; `ranks` total MPI ranks with `ranks_per_node`
+    /// packed per node (the last node may be partially filled). Each rank
+    /// owns an equal static share of its node's `dram_per_node`.
     pub fn new(ranks: usize, ranks_per_node: usize, dram_per_node: Bytes) -> DramService {
         assert!(ranks >= 1 && ranks_per_node >= 1);
-        let n_nodes = ranks.div_ceil(ranks_per_node);
+        let per_rank = Bytes(dram_per_node.get() / ranks_per_node as u64);
         DramService {
-            nodes: Arc::new(
-                (0..n_nodes)
-                    .map(|_| Mutex::new(SpaceAllocator::new(dram_per_node)))
+            slots: Arc::new(
+                (0..ranks)
+                    .map(|_| Mutex::new(SpaceAllocator::new(per_rank)))
                     .collect(),
             ),
             ranks_per_node,
+            per_rank,
+            node_capacity: dram_per_node,
+            n_nodes: ranks.div_ceil(ranks_per_node),
         }
     }
 
@@ -40,32 +63,48 @@ impl DramService {
     }
 
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.n_nodes
     }
 
-    /// Try to reserve `size` bytes of DRAM for `rank`. Non-blocking.
+    /// Base address of `rank`'s slot within the job's DRAM address space
+    /// (regions from different slots never overlap).
+    fn base(&self, rank: usize) -> u64 {
+        self.node_of(rank) as u64 * self.node_capacity.get()
+            + (rank % self.ranks_per_node) as u64 * self.per_rank.get()
+    }
+
+    /// Try to reserve `size` bytes of DRAM for `rank` from its static
+    /// share. Non-blocking.
     pub fn reserve(&self, rank: usize, size: Bytes) -> Option<Region> {
-        self.nodes[self.node_of(rank)].lock().alloc(size)
+        let mut region = self.slots[rank].lock().alloc(size)?;
+        region.offset += self.base(rank);
+        Some(region)
     }
 
     /// Return a region previously granted to `rank`.
-    pub fn release(&self, rank: usize, region: Region) {
-        self.nodes[self.node_of(rank)].lock().free(region);
+    pub fn release(&self, rank: usize, mut region: Region) {
+        region.offset -= self.base(rank);
+        self.slots[rank].lock().free(region);
     }
 
-    /// Free DRAM on `rank`'s node right now.
+    /// Free DRAM in `rank`'s share right now.
     pub fn available(&self, rank: usize) -> Bytes {
-        self.nodes[self.node_of(rank)].lock().available()
+        self.slots[rank].lock().available()
     }
 
-    /// Largest single allocatable run on `rank`'s node.
+    /// Largest single allocatable run in `rank`'s share.
     pub fn largest_run(&self, rank: usize) -> Bytes {
-        self.nodes[self.node_of(rank)].lock().largest_free_run()
+        self.slots[rank].lock().largest_free_run()
     }
 
-    /// Per-node DRAM capacity.
+    /// Per-node DRAM capacity (the allowance the rank shares partition).
     pub fn capacity(&self) -> Bytes {
-        self.nodes[0].lock().capacity()
+        self.node_capacity
+    }
+
+    /// One rank's static share of the node allowance.
+    pub fn per_rank_share(&self) -> Bytes {
+        self.per_rank
     }
 }
 
@@ -91,14 +130,40 @@ mod tests {
     }
 
     #[test]
-    fn ranks_on_same_node_share_allowance() {
+    fn node_allowance_splits_statically_per_rank() {
         let s = DramService::new(2, 2, Bytes(100));
-        let r = s.reserve(0, Bytes(80)).unwrap();
-        // Rank 1 is on the same node; only 20 left.
-        assert!(s.reserve(1, Bytes(40)).is_none());
-        assert_eq!(s.available(1), Bytes(20));
-        s.release(0, r);
+        assert_eq!(s.per_rank_share(), Bytes(50));
+        // A rank cannot exceed its share even while the neighbor is idle:
+        // the planner's capacity input is the share, and borrowing would
+        // make admission depend on host scheduling.
+        assert!(s.reserve(0, Bytes(80)).is_none());
+        let r = s.reserve(0, Bytes(50)).unwrap();
+        // The neighbor's share is untouched either way.
+        assert_eq!(s.available(1), Bytes(50));
         assert!(s.reserve(1, Bytes(40)).is_some());
+        s.release(0, r);
+        assert_eq!(s.available(0), Bytes(50));
+    }
+
+    #[test]
+    fn colocated_regions_never_alias() {
+        let s = DramService::new(4, 2, Bytes(100));
+        // Ranks 0/1 share node 0, ranks 2/3 node 1; same-shaped
+        // reservations must land on pairwise disjoint addresses.
+        let regions: Vec<Region> = (0..4).map(|r| s.reserve(r, Bytes(30)).unwrap()).collect();
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                assert!(
+                    a.offset + a.len <= b.offset || b.offset + b.len <= a.offset,
+                    "overlap: {a:?} vs {b:?}"
+                );
+            }
+        }
+        // Release round-trips through the rebasing.
+        for (r, region) in regions.into_iter().enumerate() {
+            s.release(r, region);
+            assert_eq!(s.available(r), Bytes(50));
+        }
     }
 
     #[test]
@@ -106,6 +171,23 @@ mod tests {
         let s = DramService::new(2, 1, Bytes(100));
         let _ = s.reserve(0, Bytes(100)).unwrap();
         assert!(s.reserve(1, Bytes(100)).is_some());
+    }
+
+    #[test]
+    fn reservations_are_order_independent_across_ranks() {
+        // The allocation outcome for one rank is a pure function of its
+        // own request history — co-located activity cannot change it.
+        let solo = DramService::new(2, 2, Bytes(1000));
+        let busy = DramService::new(2, 2, Bytes(1000));
+        for _ in 0..30 {
+            let _ = busy.reserve(1, Bytes(17));
+        }
+        for i in 0..20 {
+            let a = solo.reserve(0, Bytes(7 * (i % 3) + 1));
+            let b = busy.reserve(0, Bytes(7 * (i % 3) + 1));
+            assert_eq!(a.map(|r| r.len), b.map(|r| r.len));
+        }
+        assert_eq!(solo.available(0), busy.available(0));
     }
 
     #[test]

@@ -22,9 +22,14 @@
 //! * [`arbiter`] — the multi-tenant DRAM budget broker: per-tenant
 //!   reservations, priority weights, and deterministic lease
 //!   rebalancing/revocation for co-running applications.
+//! * [`contention`] — the node-level shared-bandwidth model: co-located
+//!   ranks split each tier's node bandwidth, and helper-thread copies draw
+//!   from both tiers' pools through a per-node ledger so migration traffic
+//!   is visible to overlapping compute.
 
 pub mod alloc;
 pub mod arbiter;
+pub mod contention;
 pub mod dram_service;
 pub mod migration;
 pub mod object;
@@ -34,6 +39,7 @@ pub mod tier;
 
 pub use alloc::SpaceAllocator;
 pub use arbiter::{ArbiterPolicy, DramArbiter, LeaseChange, TenantId, TenantSpec};
+pub use contention::{BwClient, FlowScope, HelperLink, SharedBandwidth};
 pub use dram_service::DramService;
 pub use migration::{MigrationEngine, MigrationStats};
 pub use object::{DataObject, ObjId, ObjectRegistry, Placement};

@@ -6,13 +6,21 @@
 //! each phase start (§3.3). In virtual time this becomes:
 //!
 //! * the helper thread is a single serial resource — migrations execute in
-//!   FIFO order, each taking `bytes / copy_bw`;
+//!   FIFO order, each taking `bytes / copy_rate`;
 //! * a migration enqueued at `t` starts at `max(t, helper_free_at)`;
 //! * when the main thread *requires* a unit at a phase start, any remaining
 //!   copy time is exposed as a stall — that stall is exactly the
 //!   non-overlapped data movement cost of Eq. 4, and the overlapped/exposed
 //!   split is what Table 4 reports as "% overlap".
+//!
+//! The engine does not own a private copy bandwidth: it is a client of
+//! the node's shared-bandwidth model through a [`HelperLink`]. Its copy
+//! rate is the node copy path's fair per-helper slice, and every
+//! scheduled copy is posted to the node ledger so overlapping compute —
+//! this rank's and, after the next fence, its co-located neighbors' —
+//! pays for the bandwidth the copy consumes.
 
+use crate::contention::HelperLink;
 use crate::object::UnitId;
 use crate::tier::TierKind;
 use serde::{Deserialize, Serialize};
@@ -67,13 +75,19 @@ pub struct MigrationStats {
 }
 
 impl MigrationStats {
-    /// Table 4's "% overlap": share of data movement cost hidden.
-    pub fn overlap_pct(&self) -> f64 {
+    /// Table 4's "% overlap": share of data movement cost hidden. `None`
+    /// when the run never moved a byte — a report must not claim perfect
+    /// overlap for migrations that never happened (it serializes as JSON
+    /// `null`).
+    pub fn overlap_pct(&self) -> Option<f64> {
         let total = self.overlapped + self.exposed;
-        if total.is_zero() {
-            100.0
+        if self.count == 0 && total.is_zero() {
+            None
+        } else if total.is_zero() {
+            // Zero-duration copies only: nothing was exposed.
+            Some(100.0)
         } else {
-            100.0 * self.overlapped.ratio(total)
+            Some(100.0 * self.overlapped.ratio(total))
         }
     }
 
@@ -90,7 +104,7 @@ impl MigrationStats {
 /// The virtual-time helper thread.
 #[derive(Debug)]
 pub struct MigrationEngine {
-    copy_bw: Bandwidth,
+    link: HelperLink,
     helper_free_at: VTime,
     records: Vec<MigRecord>,
     /// Index of the most recent record per unit.
@@ -99,9 +113,11 @@ pub struct MigrationEngine {
 }
 
 impl MigrationEngine {
-    pub fn new(copy_bw: Bandwidth) -> MigrationEngine {
+    /// An engine drawing bandwidth through `link` — the runtime passes a
+    /// shared-ledger client so copies are visible to overlapping compute.
+    pub fn new(link: HelperLink) -> MigrationEngine {
         MigrationEngine {
-            copy_bw,
+            link,
             helper_free_at: VTime::ZERO,
             records: Vec::new(),
             latest: HashMap::new(),
@@ -109,31 +125,48 @@ impl MigrationEngine {
         }
     }
 
+    /// An engine with a fixed private copy bandwidth that posts nothing
+    /// to any ledger (unit tests and detached tools).
+    pub fn with_copy_bw(copy_bw: Bandwidth) -> MigrationEngine {
+        MigrationEngine::new(HelperLink::Fixed(copy_bw))
+    }
+
     pub fn with_trace(mut self) -> MigrationEngine {
         self.log = TraceLog::new(true);
         self
     }
 
+    /// The helper's copy rate (its fair slice of the node copy path on
+    /// the shared link).
     pub fn copy_bw(&self) -> Bandwidth {
-        self.copy_bw
+        self.link.copy_rate()
     }
 
     /// Predicted copy duration for `bytes` (the `data_size / mem_copy_bw`
     /// term of Eq. 4).
     pub fn copy_time(&self, bytes: Bytes) -> VDur {
-        bytes / self.copy_bw
+        self.link.copy_time(bytes)
     }
 
     /// Enqueue a migration at virtual time `now`. Returns its completion
-    /// time. FIFO: it starts when the helper thread frees up.
+    /// time. FIFO: it starts when the helper thread frees up. The copy is
+    /// posted to the shared ledger (when linked) so overlapping compute
+    /// pays for the bandwidth it consumes on both tiers.
     pub fn enqueue(&mut self, unit: UnitId, to: TierKind, bytes: Bytes, now: VTime) -> VTime {
         let start = now.max(self.helper_free_at);
         let done = start + self.copy_time(bytes);
         self.helper_free_at = done;
-        self.log
-            .push(now, EventKind::MigrationEnqueued, format!("{unit}->{}", to.name()));
-        self.log
-            .push(start, EventKind::MigrationStarted, format!("{unit}->{}", to.name()));
+        self.link.post_copy(to, start, done, bytes);
+        self.log.push(
+            now,
+            EventKind::MigrationEnqueued,
+            format!("{unit}->{}", to.name()),
+        );
+        self.log.push(
+            start,
+            EventKind::MigrationStarted,
+            format!("{unit}->{}", to.name()),
+        );
         self.log.push(
             done,
             EventKind::MigrationCompleted,
@@ -174,8 +207,11 @@ impl MigrationEngine {
         }
         let stall = rec.done.since(now);
         if !stall.is_zero() {
-            self.log
-                .push(now, EventKind::MigrationStall, format!("{unit} stall {stall}"));
+            self.log.push(
+                now,
+                EventKind::MigrationStall,
+                format!("{unit} stall {stall}"),
+            );
         }
         stall
     }
@@ -217,7 +253,7 @@ mod tests {
 
     fn engine() -> MigrationEngine {
         // 1 GB/s copy bandwidth: 1 MB copies take 1 ms.
-        MigrationEngine::new(Bandwidth::gb_per_s(1.0))
+        MigrationEngine::with_copy_bw(Bandwidth::gb_per_s(1.0))
     }
 
     #[test]
@@ -243,7 +279,7 @@ mod tests {
         let stall = e.require(unit(0), VTime(0.010));
         assert!(stall.is_zero());
         let s = e.stats();
-        assert_eq!(s.overlap_pct(), 100.0);
+        assert_eq!(s.overlap_pct(), Some(100.0));
         assert_eq!(s.exposed, VDur::ZERO);
     }
 
@@ -256,7 +292,7 @@ mod tests {
         assert!((stall.millis() - 1.0).abs() < 1e-9);
         let s = e.stats();
         assert!((s.exposed.millis() - 1.0).abs() < 1e-9);
-        assert!(s.overlap_pct() < 1e-9);
+        assert!(s.overlap_pct().expect("migrations happened") < 1e-9);
     }
 
     #[test]
@@ -267,7 +303,7 @@ mod tests {
         let stall = e.require(unit(0), VTime(0.0005));
         assert!((stall.millis() - 0.5).abs() < 1e-9);
         let s = e.stats();
-        assert!((s.overlap_pct() - 50.0).abs() < 1e-6);
+        assert!((s.overlap_pct().expect("migrations happened") - 50.0).abs() < 1e-6);
     }
 
     #[test]
@@ -290,7 +326,7 @@ mod tests {
         e.enqueue(unit(0), TierKind::Nvm, Bytes(2_000_000), VTime(0.0));
         let s = e.stats();
         assert_eq!(s.to_nvm_count, 1);
-        assert_eq!(s.overlap_pct(), 100.0);
+        assert_eq!(s.overlap_pct(), Some(100.0));
     }
 
     #[test]
@@ -333,8 +369,62 @@ mod tests {
     }
 
     #[test]
-    fn empty_stats_report_full_overlap() {
+    fn empty_stats_report_no_overlap_figure() {
         let e = engine();
-        assert_eq!(e.stats().overlap_pct(), 100.0);
+        assert_eq!(
+            e.stats().overlap_pct(),
+            None,
+            "zero migrations must not claim perfect overlap"
+        );
+    }
+
+    #[test]
+    fn zero_duration_copies_report_full_overlap_not_null() {
+        let mut e = engine();
+        e.enqueue(unit(0), TierKind::Dram, Bytes(0), VTime(0.0));
+        assert_eq!(e.stats().overlap_pct(), Some(100.0));
+    }
+
+    // MigRecord overlapped/exposed edge cases: the accounting invariant
+    // `overlapped + exposed == duration` must hold for every ordering of
+    // (enqueued, start, done, required_at), including requirements that
+    // precede the copy's start.
+
+    fn record(start: f64, done: f64, required_at: Option<f64>) -> MigRecord {
+        MigRecord {
+            unit: unit(0),
+            to: TierKind::Dram,
+            bytes: Bytes(1),
+            enqueued: VTime(0.0),
+            start: VTime(start),
+            done: VTime(done),
+            required_at: required_at.map(VTime),
+        }
+    }
+
+    #[test]
+    fn required_before_start_is_fully_exposed() {
+        // Enqueued at 0, helper busy until 2, required at 1 — before the
+        // copy even starts. The whole copy is on the critical path.
+        let r = record(2.0, 3.0, Some(1.0));
+        assert_eq!(r.overlapped(), VDur::ZERO);
+        assert_eq!(r.exposed(), r.duration());
+    }
+
+    #[test]
+    fn zero_duration_record_accounts_zero_both_ways() {
+        for req in [None, Some(0.0), Some(1.0)] {
+            let r = record(2.0, 2.0, req);
+            assert_eq!(r.duration(), VDur::ZERO);
+            assert_eq!(r.overlapped(), VDur::ZERO);
+            assert_eq!(r.exposed(), VDur::ZERO);
+        }
+    }
+
+    #[test]
+    fn required_exactly_at_done_is_fully_overlapped() {
+        let r = record(1.0, 2.0, Some(2.0));
+        assert_eq!(r.overlapped(), r.duration());
+        assert_eq!(r.exposed(), VDur::ZERO);
     }
 }

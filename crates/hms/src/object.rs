@@ -13,9 +13,7 @@ use std::fmt;
 use unimem_sim::Bytes;
 
 /// Identifier of a registered data object.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ObjId(pub u32);
 
 impl fmt::Display for ObjId {
@@ -26,9 +24,7 @@ impl fmt::Display for ObjId {
 
 /// A placement unit: one chunk of one object. Unpartitioned objects have a
 /// single chunk with index 0.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct UnitId {
     pub obj: ObjId,
     pub chunk: u16,

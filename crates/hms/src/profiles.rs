@@ -11,6 +11,13 @@ use serde::{Deserialize, Serialize};
 use unimem_sim::{Bandwidth, Bytes, VDur};
 
 /// A complete HMS machine description for one node.
+///
+/// The tier parameters describe the **node**: `ranks_per_node` ranks
+/// share each tier's bandwidth (and the node copy path) through the
+/// shared-bandwidth model in [`crate::contention`], in addition to
+/// sharing the DRAM capacity through the per-node service. At the
+/// default `ranks_per_node = 1` the node-level and per-rank views
+/// coincide.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
     pub dram: TierParams,
@@ -19,18 +26,40 @@ pub struct MachineConfig {
     pub dram_capacity: Bytes,
     /// NVM capacity (per node). Effectively unbounded in the experiments.
     pub nvm_capacity: Bytes,
-    /// Memory-copy bandwidth between NVM and DRAM, used by the migration
-    /// engine (`mem_copy_bw` in Eq. 4). Dominated by the slower medium.
+    /// Node-level memory-copy bandwidth between NVM and DRAM
+    /// (`mem_copy_bw` in Eq. 4). Dominated by the slower medium; each
+    /// rank's helper thread gets a fair `1/ranks_per_node` slice.
     pub copy_bw: Bandwidth,
-    /// MPI ranks sharing one node's DRAM (the per-node DRAM service
-    /// coordinates them).
+    /// MPI ranks sharing one node: its DRAM allowance (per-node service),
+    /// its tier bandwidth, and its copy path.
     pub ranks_per_node: usize,
+    /// Whether helper-thread copies draw from the shared tier pools
+    /// (the contention model's A/B switch; on by default). Compute-side
+    /// bandwidth sharing among co-located ranks is machine physics and is
+    /// not gated by this.
+    pub helper_contention: bool,
     /// Human-readable label for harness output.
     pub label: String,
 }
 
-/// Simulation baseline DRAM: 80 ns loaded latency, 12 GB/s per-rank stream
-/// bandwidth. Only the *ratios* to NVM matter for every figure.
+/// NVM bandwidth fraction behind the `bw-half` emulation anchor
+/// (Figs. 2/9 and the sweep's `bw-half` profile).
+pub const ANCHOR_BW_FRACTION: f64 = 0.5;
+
+/// NVM latency multiple behind the `lat-4x` emulation anchor
+/// (Figs. 3/10 and the sweep's `lat-4x` profile).
+pub const ANCHOR_LAT_MULTIPLE: f64 = 4.0;
+
+/// Figure 2's NVM-only bandwidth sweep: ½, ¼, ⅛ of DRAM bandwidth.
+pub const FIG2_BW_FRACTIONS: [f64; 3] = [ANCHOR_BW_FRACTION, 0.25, 0.125];
+
+/// Figure 3's NVM-only latency sweep: 2×, 4×, 8× DRAM latency.
+pub const FIG3_LAT_MULTIPLES: [f64; 3] = [2.0, ANCHOR_LAT_MULTIPLE, 8.0];
+
+/// Simulation baseline DRAM: 80 ns loaded latency, 12 GB/s *node* stream
+/// bandwidth (the whole rank's share at the default 1 rank per node;
+/// co-located ranks split it). Only the *ratios* to NVM matter for every
+/// figure.
 pub fn sim_dram() -> TierParams {
     TierParams {
         read_lat: VDur::from_nanos(80.0),
@@ -94,6 +123,7 @@ impl MachineConfig {
             nvm_capacity: Bytes::gib(16),
             copy_bw: copy_bw_between(dram, nvm),
             ranks_per_node: 1,
+            helper_contention: true,
             label,
         }
     }
@@ -138,10 +168,29 @@ impl MachineConfig {
         self
     }
 
+    /// Pack `r` ranks onto each node: they share the node's DRAM
+    /// allowance, its tier bandwidth, and its copy path.
     pub fn with_ranks_per_node(mut self, r: usize) -> MachineConfig {
         assert!(r >= 1);
         self.ranks_per_node = r;
         self
+    }
+
+    /// Toggle whether helper-thread copies draw from the shared tier
+    /// pools (the `migration-contention` conformance probe runs the same
+    /// cell both ways).
+    pub fn with_helper_contention(mut self, on: bool) -> MachineConfig {
+        self.helper_contention = on;
+        self
+    }
+
+    /// One rank's baseline share of the node's tier bandwidth when
+    /// `occupancy` ranks are packed on the node (latency is per-access
+    /// and not divided). The contention-aware runs use this as the
+    /// uncontended reference the performance models calibrate against.
+    pub fn rank_share(&self, kind: crate::tier::TierKind, occupancy: usize) -> TierParams {
+        assert!(occupancy >= 1);
+        self.tier(kind).with_bw_fraction(1.0 / occupancy as f64)
     }
 
     /// Tier parameters by kind.
@@ -170,9 +219,7 @@ mod tests {
     #[test]
     fn bw_fraction_halves_bandwidth_only() {
         let cfg = MachineConfig::nvm_bw_fraction(0.5);
-        assert!(
-            (cfg.nvm.read_bw.bytes_per_s() - cfg.dram.read_bw.bytes_per_s() / 2.0).abs() < 1.0
-        );
+        assert!((cfg.nvm.read_bw.bytes_per_s() - cfg.dram.read_bw.bytes_per_s() / 2.0).abs() < 1.0);
         assert_eq!(cfg.nvm.read_lat, cfg.dram.read_lat);
     }
 
@@ -186,8 +233,9 @@ mod tests {
     #[test]
     fn edison_profile_matches_paper() {
         let cfg = MachineConfig::edison_numa();
-        assert!((cfg.nvm.read_bw.bytes_per_s() / cfg.dram.read_bw.bytes_per_s() - 0.6).abs()
-            < 1e-9);
+        assert!(
+            (cfg.nvm.read_bw.bytes_per_s() / cfg.dram.read_bw.bytes_per_s() - 0.6).abs() < 1e-9
+        );
         assert!((cfg.nvm.read_lat.secs() / cfg.dram.read_lat.secs() - 1.89).abs() < 1e-9);
         assert_eq!(cfg.nvm_capacity, Bytes::gib(32));
     }
@@ -227,5 +275,32 @@ mod tests {
     fn dram_capacity_override() {
         let cfg = MachineConfig::nvm_bw_fraction(0.5).with_dram_capacity(Bytes::mib(128));
         assert_eq!(cfg.dram_capacity, Bytes::mib(128));
+    }
+
+    #[test]
+    fn figure_sweeps_include_the_emulation_anchors() {
+        // The Fig. 2/3 harnesses and the sweep's bw-half / lat-4x
+        // profiles must agree on the anchor configurations.
+        assert!(FIG2_BW_FRACTIONS.contains(&ANCHOR_BW_FRACTION));
+        assert!(FIG3_LAT_MULTIPLES.contains(&ANCHOR_LAT_MULTIPLE));
+        assert_eq!(ANCHOR_BW_FRACTION, 0.5);
+        assert_eq!(ANCHOR_LAT_MULTIPLE, 4.0);
+    }
+
+    #[test]
+    fn contention_knobs_default_on_single_rank_nodes() {
+        let cfg = MachineConfig::nvm_bw_fraction(0.5);
+        assert_eq!(cfg.ranks_per_node, 1);
+        assert!(cfg.helper_contention);
+        assert!(!cfg.with_helper_contention(false).helper_contention);
+    }
+
+    #[test]
+    fn rank_share_divides_bandwidth_not_latency() {
+        let cfg = MachineConfig::nvm_bw_fraction(0.5);
+        let share = cfg.rank_share(TierKind::Nvm, 4);
+        assert!((share.read_bw.bytes_per_s() - cfg.nvm.read_bw.bytes_per_s() / 4.0).abs() < 1.0);
+        assert_eq!(share.read_lat, cfg.nvm.read_lat);
+        assert_eq!(cfg.rank_share(TierKind::Dram, 1), cfg.dram);
     }
 }

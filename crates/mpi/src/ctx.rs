@@ -14,12 +14,24 @@ use unimem_sim::{Bytes, VDur, VTime};
 /// What kind of MPI call an event records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
-    Send { to: usize, tag: u64 },
-    Recv { from: usize, tag: u64 },
+    Send {
+        to: usize,
+        tag: u64,
+    },
+    Recv {
+        from: usize,
+        tag: u64,
+    },
     /// Non-blocking post (merged into the following phase per §2.1).
-    Isend { to: usize, tag: u64 },
+    Isend {
+        to: usize,
+        tag: u64,
+    },
     /// Completion of a non-blocking receive — a communication phase.
-    Wait { from: usize, tag: u64 },
+    Wait {
+        from: usize,
+        tag: u64,
+    },
     Collective(CollectiveKind),
 }
 
@@ -222,12 +234,7 @@ impl RankCtx {
 
     /// Scalar max allreduce.
     pub fn allreduce_max_scalar(&mut self, x: f64) -> f64 {
-        self.collective(
-            CollectiveKind::Allreduce,
-            Bytes(8),
-            vec![x],
-            ReduceOp::Max,
-        )[0]
+        self.collective(CollectiveKind::Allreduce, Bytes(8), vec![x], ReduceOp::Max)[0]
     }
 
     /// Broadcast `data` from `root` (replaces `data` on other ranks).
@@ -238,7 +245,12 @@ impl RankCtx {
         } else {
             Vec::new()
         };
-        *data = self.collective(CollectiveKind::Bcast, bytes, contrib, ReduceOp::TakeRoot(root));
+        *data = self.collective(
+            CollectiveKind::Bcast,
+            bytes,
+            contrib,
+            ReduceOp::TakeRoot(root),
+        );
     }
 
     /// Personalized all-to-all: `blocks` must contain `nranks` equal blocks;

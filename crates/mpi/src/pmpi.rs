@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Stable identifier of a program phase within the main loop.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PhaseId(pub u32);
 
 impl fmt::Display for PhaseId {
@@ -57,10 +55,9 @@ impl PhaseTracker {
         if self.iteration > 0 {
             match self.first_iter_phases {
                 None => self.first_iter_phases = Some(self.next),
-                Some(n) => debug_assert_eq!(
-                    n, self.next,
-                    "phase structure changed between iterations"
-                ),
+                Some(n) => {
+                    debug_assert_eq!(n, self.next, "phase structure changed between iterations")
+                }
             }
         }
         self.next = 0;

@@ -135,13 +135,11 @@ impl CommWorld {
         slot.arrived += 1;
         if slot.arrived == self.nranks {
             // Last arrival computes the result for this generation.
-            let max_clock = slot
-                .clocks
-                .iter()
-                .fold(VTime::ZERO, |acc, &c| acc.max(c));
+            let max_clock = slot.clocks.iter().fold(VTime::ZERO, |acc, &c| acc.max(c));
             let leave_at = max_clock + self.net.collective_time(kind, self.nranks, bytes);
             let data = reduce(&slot.contrib, op, self.nranks);
-            slot.results.insert(my_gen, (CollResult { leave_at, data }, self.nranks));
+            slot.results
+                .insert(my_gen, (CollResult { leave_at, data }, self.nranks));
             slot.arrived = 0;
             slot.gen += 1;
             for c in &mut slot.contrib {

@@ -137,7 +137,10 @@ mod tests {
     use super::*;
 
     fn setup() -> (MachineConfig, CacheModel) {
-        (MachineConfig::nvm_bw_fraction(0.5), CacheModel::platform_a())
+        (
+            MachineConfig::nvm_bw_fraction(0.5),
+            CacheModel::platform_a(),
+        )
     }
 
     #[test]

@@ -82,7 +82,8 @@ impl Json {
     /// Compact single-line serialization.
     pub fn to_compact(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, None, 0).expect("fmt to String cannot fail");
+        self.write(&mut out, None, 0)
+            .expect("fmt to String cannot fail");
         out
     }
 
@@ -90,7 +91,8 @@ impl Json {
     /// newline (the on-disk `BENCH_*.json` format).
     pub fn to_pretty(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, Some(2), 0).expect("fmt to String cannot fail");
+        self.write(&mut out, Some(2), 0)
+            .expect("fmt to String cannot fail");
         out.push('\n');
         out
     }
@@ -115,14 +117,12 @@ impl Json {
             Json::Arr(items) => write_seq(out, indent, depth, items.len(), '[', ']', |o, i| {
                 items[i].write(o, indent, depth + 1)
             }),
-            Json::Obj(members) => {
-                write_seq(out, indent, depth, members.len(), '{', '}', |o, i| {
-                    let (k, v) = &members[i];
-                    write_escaped(o, k)?;
-                    o.write_str(if indent.is_some() { ": " } else { ":" })?;
-                    v.write(o, indent, depth + 1)
-                })
-            }
+            Json::Obj(members) => write_seq(out, indent, depth, members.len(), '{', '}', |o, i| {
+                let (k, v) = &members[i];
+                write_escaped(o, k)?;
+                o.write_str(if indent.is_some() { ": " } else { ":" })?;
+                v.write(o, indent, depth + 1)
+            }),
         }
     }
 }
@@ -204,6 +204,14 @@ impl From<i64> for Json {
 impl From<f64> for Json {
     fn from(n: f64) -> Json {
         Json::Num(n)
+    }
+}
+
+/// Absent optional values serialize as `null` (e.g. "% overlap" on a run
+/// that never migrated a byte).
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map(Into::into).unwrap_or(Json::Null)
     }
 }
 
@@ -299,7 +307,10 @@ mod tests {
         let s = sample();
         assert_eq!(s.get("count").and_then(Json::as_f64), Some(42.0));
         assert_eq!(s.get("name").and_then(Json::as_str), Some("CG.C"));
-        assert_eq!(s.get("tags").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            s.get("tags").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
         assert!(s.get("missing").is_none());
     }
 

@@ -1,0 +1,418 @@
+//! Deterministic per-channel bandwidth ledger.
+//!
+//! The timing core historically handed every rank a private copy of each
+//! tier's bandwidth, so helper-thread migration traffic was free from the
+//! application's point of view. This ledger is the shared-resource
+//! replacement: flows (migration copies) are posted against *channels*
+//! (one per tier × direction at the HMS layer), and a consumer asks how
+//! much of a channel's bandwidth is already spoken for during a virtual
+//! time window. Concurrent flows on a channel split its bandwidth
+//! proportionally — see `unimem_hms::contention` for the split formula;
+//! this module only does the deterministic bookkeeping.
+//!
+//! # Determinism under concurrent rank threads
+//!
+//! Rank threads run concurrently in *host* time with independent virtual
+//! clocks, so a naive shared structure would answer queries differently
+//! depending on which thread the OS ran first. The ledger therefore keeps
+//! two kinds of accounting:
+//!
+//! * **Own flows** are visible to their owner immediately and charged by
+//!   exact interval overlap — a rank's own helper traffic is in its own
+//!   program order, so this is trivially deterministic.
+//! * **Neighbor flows** become visible only at **fences**. A fence is a
+//!   globally synchronizing point (in this repo: every MPI collective,
+//!   which rendezvouses *all* ranks before any rank leaves). A flow
+//!   posted by owner `o` between its `k`-th and `k+1`-th fences is
+//!   tagged `visible_from = k+1`; a reader that has passed `g` fences
+//!   sees exactly the flows tagged `≤ g`. Because no rank can pass its
+//!   `g`-th fence before every other rank has *entered* it, every such
+//!   flow is guaranteed posted before any reader can observe generation
+//!   `g` — the visible set is a pure function of virtual program order,
+//!   never of host scheduling.
+//!
+//! Neighbor traffic is charged as a **rate** over the reader's last
+//! completed fence epoch rather than by interval overlap: by the time a
+//! fence makes neighbor flows visible, the fence has also synchronized
+//! clocks past their intervals, so exact overlap would systematically
+//! read zero. The epoch rate models the steady cyclic traffic the
+//! enforcer actually generates (the same copies re-fire every
+//! iteration). Readers use their *own* fence timestamps for epoch
+//! lengths — fences are globally synchronized, so every rank records the
+//! identical instants.
+
+use crate::time::{VDur, VTime};
+use std::sync::Mutex;
+
+/// One posted flow: `bytes` moved on `channel` over `[start, end]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Flow {
+    channel: usize,
+    start: VTime,
+    end: VTime,
+    bytes: f64,
+    visible_from: u64,
+}
+
+#[derive(Debug, Default)]
+struct OwnerState {
+    /// Fences passed so far (the owner's visibility generation).
+    gen: u64,
+    /// Timestamps of the last two fences (`[previous, latest]`) — all
+    /// the fence history the epoch-rate math ever needs.
+    last_fences: [VTime; 2],
+    /// Flows posted by this owner, in program order. Pruned at fences:
+    /// own queries only ever look at windows starting at the rank's
+    /// current clock, which is past the fence instant from then on, so
+    /// flows ending before the fence can never be read again.
+    flows: Vec<Flow>,
+    /// Bytes posted per (visibility generation, channel):
+    /// `epoch_bytes[g][c]` sums the flows tagged `visible_from == g`.
+    /// Entries older than `gen - 1` are cleared at fences — readers'
+    /// generations can lag or lead this owner's by at most one (every
+    /// fence is a global rendezvous), so only indices `gen - 1 ..= gen + 1`
+    /// are ever read; a cleared (or never-posted) entry reads as zero.
+    epoch_bytes: Vec<Vec<f64>>,
+}
+
+/// How much of a channel's bandwidth existing flows consume over a
+/// window, split by provenance (bytes per second).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LoadSplit {
+    /// Rate consumed by the querying owner's own flows (exact interval
+    /// overlap with the window).
+    pub own: f64,
+    /// Rate consumed by every other owner's flows (last-epoch rate,
+    /// capped per owner).
+    pub neighbors: f64,
+}
+
+impl LoadSplit {
+    /// Combined consumption rate.
+    pub fn total(&self) -> f64 {
+        self.own + self.neighbors
+    }
+}
+
+/// The shared ledger: `owners` posting flows against `channels`.
+///
+/// All methods take `&self`; internal state is mutex-per-owner. Each
+/// owner's list is appended only by that owner, and readers iterate
+/// owners in index order, so float accumulation order is deterministic.
+#[derive(Debug)]
+pub struct BwLedger {
+    channels: usize,
+    owners: Vec<Mutex<OwnerState>>,
+}
+
+impl BwLedger {
+    /// A ledger for `owners` concurrent posters over `channels` channels.
+    pub fn new(owners: usize, channels: usize) -> BwLedger {
+        assert!(owners >= 1 && channels >= 1);
+        BwLedger {
+            channels,
+            owners: (0..owners)
+                .map(|_| Mutex::new(OwnerState::default()))
+                .collect(),
+        }
+    }
+
+    pub fn n_owners(&self) -> usize {
+        self.owners.len()
+    }
+
+    pub fn n_channels(&self) -> usize {
+        self.channels
+    }
+
+    fn state(&self, owner: usize) -> std::sync::MutexGuard<'_, OwnerState> {
+        self.owners[owner].lock().expect("ledger mutex poisoned")
+    }
+
+    /// Post a flow: `owner` moves `bytes` on `channel` over `[start, end]`.
+    /// Visible to the owner immediately, to neighbors after their next
+    /// fence beyond the owner's current generation.
+    pub fn post(&self, owner: usize, channel: usize, start: VTime, end: VTime, bytes: f64) {
+        assert!(channel < self.channels, "channel {channel} out of range");
+        let mut st = self.state(owner);
+        let visible_from = st.gen + 1;
+        while st.epoch_bytes.len() <= visible_from as usize {
+            let n = self.channels;
+            st.epoch_bytes.push(vec![0.0; n]);
+        }
+        st.epoch_bytes[visible_from as usize][channel] += bytes;
+        st.flows.push(Flow {
+            channel,
+            start,
+            end,
+            bytes,
+            visible_from,
+        });
+    }
+
+    /// Record that `owner` passed a globally synchronizing point at the
+    /// synchronized instant `now`. Every owner must fence at the same
+    /// points with the same timestamps (the caller's collectives
+    /// guarantee this); the fence count is the owner's visibility
+    /// generation. Fences also retire accounting that can no longer be
+    /// read — flows already finished (own queries only look forward from
+    /// the rank's clock) and epoch entries beyond the one-generation
+    /// visibility lag — keeping per-query cost bounded by the traffic of
+    /// the current epoch instead of the whole run.
+    pub fn fence(&self, owner: usize, now: VTime) {
+        let mut st = self.state(owner);
+        st.gen += 1;
+        st.last_fences = [st.last_fences[1], now];
+        st.flows.retain(|f| f.end >= now);
+        if st.gen >= 2 {
+            let stale = (st.gen - 2) as usize;
+            if let Some(entry) = st.epoch_bytes.get_mut(stale) {
+                *entry = Vec::new();
+            }
+        }
+    }
+
+    /// The number of fences `owner` has passed.
+    pub fn gen(&self, owner: usize) -> u64 {
+        self.state(owner).gen
+    }
+
+    /// Bandwidth already consumed on `channel` over `[w0, w1]` as seen by
+    /// `owner`: own flows by exact interval overlap, neighbor flows by
+    /// their last-completed-epoch average rate (each neighbor capped at
+    /// `neighbor_rate_cap` bytes/s — a helper thread cannot physically
+    /// copy faster than its copy path).
+    pub fn load(
+        &self,
+        owner: usize,
+        channel: usize,
+        w0: VTime,
+        w1: VTime,
+        neighbor_rate_cap: f64,
+    ) -> LoadSplit {
+        assert!(channel < self.channels, "channel {channel} out of range");
+        let window = w1.since(w0);
+        if window.is_zero() {
+            return LoadSplit::default();
+        }
+        let (gen, epoch_len) = {
+            let st = self.state(owner);
+            (st.gen, epoch_len(st.gen, st.last_fences))
+        };
+
+        // Own flows: exact byte overlap with the window.
+        let mut own_bytes = 0.0;
+        {
+            let st = self.state(owner);
+            for f in st.flows.iter().filter(|f| f.channel == channel) {
+                own_bytes += overlap_bytes(f, w0, w1);
+            }
+        }
+
+        // Neighbors: bytes they posted during the reader's last completed
+        // epoch, turned into a rate over that epoch's length.
+        let mut neighbors = 0.0;
+        if gen >= 1 {
+            for (o, slot) in self.owners.iter().enumerate() {
+                if o == owner {
+                    continue;
+                }
+                let st = slot.lock().expect("ledger mutex poisoned");
+                // Missing or fence-cleared entries read as "no traffic".
+                let bytes = st
+                    .epoch_bytes
+                    .get(gen as usize)
+                    .and_then(|per_ch| per_ch.get(channel).copied())
+                    .unwrap_or(0.0);
+                if bytes <= 0.0 {
+                    continue;
+                }
+                let rate = if epoch_len.is_zero() {
+                    neighbor_rate_cap
+                } else {
+                    (bytes / epoch_len.secs()).min(neighbor_rate_cap)
+                };
+                neighbors += rate;
+            }
+        }
+
+        LoadSplit {
+            own: own_bytes / window.secs(),
+            neighbors,
+        }
+    }
+}
+
+/// Length of the reader's last completed fence epoch `[T_{g-1}, T_g]`
+/// (`T_0` = simulation start; `last_fences` holds `[T_{g-1}, T_g]`,
+/// zero-padded below two fences).
+fn epoch_len(gen: u64, last_fences: [VTime; 2]) -> VDur {
+    match gen {
+        0 => VDur::ZERO,
+        1 => last_fences[1].since(VTime::ZERO),
+        _ => last_fences[1].since(last_fences[0]),
+    }
+}
+
+/// Bytes of `f` that land inside `[w0, w1]`, assuming a constant rate
+/// over the flow's interval. Zero-duration flows deposit all their bytes
+/// at `start` if it falls inside the window.
+fn overlap_bytes(f: &Flow, w0: VTime, w1: VTime) -> f64 {
+    let dur = f.end.since(f.start);
+    if dur.is_zero() {
+        if f.start >= w0 && f.start <= w1 {
+            f.bytes
+        } else {
+            0.0
+        }
+    } else {
+        let lo = f.start.max(w0);
+        let hi = f.end.min(w1);
+        let ov = hi.since(lo);
+        f.bytes * (ov.secs() / dur.secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> VTime {
+        VTime(s)
+    }
+
+    #[test]
+    fn empty_ledger_has_no_load() {
+        let l = BwLedger::new(2, 4);
+        let split = l.load(0, 1, t(0.0), t(1.0), 1e9);
+        assert_eq!(split, LoadSplit::default());
+        assert_eq!(split.total(), 0.0);
+    }
+
+    #[test]
+    fn own_flow_charges_exact_overlap() {
+        let l = BwLedger::new(1, 1);
+        // 1e9 bytes over [0, 1]: rate 1 GB/s.
+        l.post(0, 0, t(0.0), t(1.0), 1e9);
+        // Full containment.
+        let s = l.load(0, 0, t(0.0), t(1.0), 1e12);
+        assert!((s.own - 1e9).abs() < 1.0);
+        // Half overlap: window [0.5, 1.5] catches half the bytes over a
+        // 1 s window -> 0.5 GB/s.
+        let s = l.load(0, 0, t(0.5), t(1.5), 1e12);
+        assert!((s.own - 0.5e9).abs() < 1.0);
+        // Disjoint window.
+        let s = l.load(0, 0, t(2.0), t(3.0), 1e12);
+        assert_eq!(s.own, 0.0);
+    }
+
+    #[test]
+    fn zero_duration_flow_deposits_at_start() {
+        let l = BwLedger::new(1, 1);
+        l.post(0, 0, t(0.5), t(0.5), 100.0);
+        let s = l.load(0, 0, t(0.0), t(1.0), 1e12);
+        assert!((s.own - 100.0).abs() < 1e-9);
+        let s = l.load(0, 0, t(0.6), t(1.0), 1e12);
+        assert_eq!(s.own, 0.0);
+    }
+
+    #[test]
+    fn neighbor_flow_invisible_before_fence() {
+        let l = BwLedger::new(2, 1);
+        l.post(1, 0, t(0.0), t(1.0), 1e9);
+        let s = l.load(0, 0, t(0.0), t(1.0), 1e12);
+        assert_eq!(s.neighbors, 0.0, "unfenced neighbor traffic leaked");
+    }
+
+    #[test]
+    fn neighbor_flow_charged_as_epoch_rate_after_fence() {
+        let l = BwLedger::new(2, 1);
+        // Both owners live through epoch [0, 2]; owner 1 copies 1e9 bytes.
+        l.post(1, 0, t(0.0), t(1.0), 1e9);
+        l.fence(0, t(2.0));
+        l.fence(1, t(2.0));
+        // Epoch length 2 s -> neighbor rate 0.5 GB/s, over any window.
+        let s = l.load(0, 0, t(2.0), t(3.0), 1e12);
+        assert!((s.neighbors - 0.5e9).abs() < 1.0, "{s:?}");
+        // The owner's own view of the same flow is interval-exact: no
+        // overlap with [2, 3].
+        let s1 = l.load(1, 0, t(2.0), t(3.0), 1e12);
+        assert_eq!(s1.own, 0.0);
+        assert_eq!(s1.neighbors, 0.0);
+    }
+
+    #[test]
+    fn neighbor_rate_is_capped() {
+        let l = BwLedger::new(2, 1);
+        l.post(1, 0, t(0.0), t(0.001), 1e9); // 1 TB/s burst
+        l.fence(0, t(0.001));
+        l.fence(1, t(0.001));
+        let s = l.load(0, 0, t(0.001), t(0.002), 3e9);
+        assert!((s.neighbors - 3e9).abs() < 1.0, "cap not applied: {s:?}");
+    }
+
+    #[test]
+    fn old_epochs_age_out() {
+        let l = BwLedger::new(2, 1);
+        l.post(1, 0, t(0.0), t(1.0), 1e9);
+        l.fence(0, t(1.0));
+        l.fence(1, t(1.0));
+        // A second, idle epoch: the old traffic no longer counts.
+        l.fence(0, t(2.0));
+        l.fence(1, t(2.0));
+        let s = l.load(0, 0, t(2.0), t(3.0), 1e12);
+        assert_eq!(s.neighbors, 0.0, "stale epoch traffic still charged");
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let l = BwLedger::new(1, 2);
+        l.post(0, 0, t(0.0), t(1.0), 1e9);
+        assert!(l.load(0, 0, t(0.0), t(1.0), 1e12).own > 0.0);
+        assert_eq!(l.load(0, 1, t(0.0), t(1.0), 1e12).own, 0.0);
+    }
+
+    #[test]
+    fn empty_window_is_zero_load() {
+        let l = BwLedger::new(1, 1);
+        l.post(0, 0, t(0.0), t(1.0), 1e9);
+        assert_eq!(l.load(0, 0, t(0.5), t(0.5), 1e12), LoadSplit::default());
+    }
+
+    #[test]
+    fn fences_retire_dead_flows_but_keep_in_flight_ones() {
+        let l = BwLedger::new(1, 1);
+        l.post(0, 0, t(0.0), t(1.0), 1e9); // done before the fence
+        l.post(0, 0, t(0.0), t(10.0), 1e10); // spans the fence
+        l.fence(0, t(5.0));
+        // The spanning flow is still charged at its 1 GB/s rate over
+        // [5, 6]; the finished one contributes nothing (and is gone).
+        let s = l.load(0, 0, t(5.0), t(6.0), 1e12);
+        assert!((s.own - 1e9).abs() < 1.0, "{s:?}");
+        assert_eq!(l.state(0).flows.len(), 1, "dead flow not pruned");
+    }
+
+    #[test]
+    fn fences_clear_epochs_beyond_the_visibility_lag() {
+        let l = BwLedger::new(2, 1);
+        for g in 0..5 {
+            l.post(1, 0, t(g as f64), t(g as f64 + 0.5), 1e6);
+            l.fence(0, t(g as f64 + 1.0));
+            l.fence(1, t(g as f64 + 1.0));
+        }
+        // Readers can be at most one generation away: only the last
+        // three epoch entries may survive.
+        let st = l.state(1);
+        let live = st.epoch_bytes.iter().filter(|e| !e.is_empty()).count();
+        assert!(live <= 3, "{live} live epochs retained");
+    }
+
+    #[test]
+    fn gen_counts_fences() {
+        let l = BwLedger::new(2, 1);
+        assert_eq!(l.gen(0), 0);
+        l.fence(0, t(1.0));
+        assert_eq!(l.gen(0), 1);
+        assert_eq!(l.gen(1), 0);
+    }
+}

@@ -13,6 +13,11 @@
 //!   phase-variation detector and by the benchmark harnesses.
 //! * [`events`] — a lightweight trace log used by tests to assert on
 //!   migration/overlap timing.
+//! * [`ledger`] — the deterministic per-channel bandwidth ledger behind the
+//!   node-level shared-bandwidth model: helper-thread copies are posted as
+//!   flows, and consumers ask how much of a channel is already spoken for
+//!   during a virtual-time window (own flows by exact interval overlap,
+//!   neighbor flows by fence-epoch rates).
 //! * [`json`] — a deterministic JSON document builder used for the
 //!   machine-readable run/sweep reports (the vendored `serde` is a
 //!   trait-only stub, so serialization is hand-rolled here).
@@ -22,6 +27,7 @@
 
 pub mod events;
 pub mod json;
+pub mod ledger;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -29,6 +35,7 @@ pub mod units;
 
 pub use events::{Event, EventKind, TraceLog};
 pub use json::Json;
+pub use ledger::{BwLedger, LoadSplit};
 pub use rng::DetRng;
 pub use stats::{OnlineStats, Summary};
 pub use time::{VDur, VTime};

@@ -187,8 +187,9 @@ mod tests {
             .collect();
         let core: u64 = objs
             .iter()
-            .filter(|o| ["u", "rhs", "us", "vs", "ws", "qs", "rho_i", "square"]
-                .contains(&o.name.as_str()))
+            .filter(|o| {
+                ["u", "rhs", "us", "vs", "ws", "qs", "rho_i", "square"].contains(&o.name.as_str())
+            })
             .map(|o| o.size.get())
             .sum();
         let total: u64 = objs.iter().map(|o| o.size.get()).sum();

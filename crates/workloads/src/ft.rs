@@ -85,9 +85,7 @@ impl Workload for Ft {
                 accesses: vec![stream_rw(U1, st, 3.0, 0.5), stream(U, roots, 2.0)],
             }),
             // global transpose
-            StepSpec::Alltoall {
-                bytes: Bytes(a2a),
-            },
+            StepSpec::Alltoall { bytes: Bytes(a2a) },
             // FFT along the distributed dimension into u2
             StepSpec::Compute(ComputeSpec {
                 label: "fft-transposed",

@@ -40,9 +40,7 @@ pub mod sp;
 pub mod suite;
 
 pub use classes::Class;
-pub use corun::{
-    dedup_mixes, parse_mixes, reduced_mixes, standard_mixes, CorunMember, CorunMix,
-};
+pub use corun::{dedup_mixes, parse_mixes, reduced_mixes, standard_mixes, CorunMember, CorunMix};
 pub use suite::{
     all_npb, by_name, canonical_name, canonicalize_names, npb_and_nek, select, SUITE_NAMES,
 };

@@ -76,8 +76,7 @@ impl Workload for Nek {
         }
         for w in 0..N_WORK {
             objs.push(
-                ObjectSpec::new(format!("work{w}"), Bytes(work))
-                    .est_refs(it * work as f64 / 16.0),
+                ObjectSpec::new(format!("work{w}"), Bytes(work)).est_refs(it * work as f64 / 16.0),
             );
         }
         objs

@@ -74,12 +74,10 @@ impl Workload for Sp {
         let it = self.class.iterations() as f64;
         let grid5 = s(GRID5_C);
         let grid1 = s(GRID1_C);
-        let mut objs = vec![ObjectSpec::new("u", Bytes(grid5))
-            .est_refs(it * 2.0 * grid5 as f64 / 8.0)];
+        let mut objs =
+            vec![ObjectSpec::new("u", Bytes(grid5)).est_refs(it * 2.0 * grid5 as f64 / 8.0)];
         for name in ["us", "vs", "ws", "qs", "rho_i", "square", "speed"] {
-            objs.push(
-                ObjectSpec::new(name, Bytes(grid1)).est_refs(it * 2.0 * grid1 as f64 / 8.0),
-            );
+            objs.push(ObjectSpec::new(name, Bytes(grid1)).est_refs(it * 2.0 * grid1 as f64 / 8.0));
         }
         objs.push(ObjectSpec::new("rhs", Bytes(grid5)).est_refs(it * 5.0 * grid5 as f64 / 8.0));
         objs.push(ObjectSpec::new("forcing", Bytes(grid5)).est_refs(it * grid5 as f64 / 8.0));

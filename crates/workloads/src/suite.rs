@@ -120,7 +120,10 @@ mod tests {
         assert_eq!(sel.len(), 7);
         let names: Vec<&str> = sel.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, SUITE_NAMES);
-        assert!(select(&["CG", "EP"], Class::S).is_err(), "unknown name is an error");
+        assert!(
+            select(&["CG", "EP"], Class::S).is_err(),
+            "unknown name is an error"
+        );
     }
 
     #[test]
@@ -159,8 +162,7 @@ mod tests {
         use unimem_cache::CacheModel;
         use unimem_hms::MachineConfig;
         let cache = CacheModel::new(unimem_sim::Bytes::kib(512));
-        let m = MachineConfig::nvm_bw_fraction(0.5)
-            .with_dram_capacity(unimem_sim::Bytes::mib(4));
+        let m = MachineConfig::nvm_bw_fraction(0.5).with_dram_capacity(unimem_sim::Bytes::mib(4));
         for w in npb_and_nek(Class::S) {
             for policy in [Policy::DramOnly, Policy::NvmOnly, Policy::unimem()] {
                 let rep = run_workload(w.as_ref(), &m, &cache, 2, &policy);

@@ -56,9 +56,7 @@ pub enum PatternClass {
 
 fn classify(p: &AccessPattern) -> PatternClass {
     match p {
-        AccessPattern::Streaming { .. } | AccessPattern::Stencil { .. } => {
-            PatternClass::Streaming
-        }
+        AccessPattern::Streaming { .. } | AccessPattern::Stencil { .. } => PatternClass::Streaming,
         AccessPattern::Random | AccessPattern::Gather { .. } => PatternClass::Random,
         AccessPattern::PointerChase => PatternClass::PointerChasing,
     }

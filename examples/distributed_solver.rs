@@ -13,12 +13,7 @@ const N_PER_RANK: usize = 2048;
 const RANKS: usize = 4;
 
 /// y = A·x for the 1-D Laplacian [-1, 2, -1] with halo exchange.
-fn matvec(
-    ctx: &mut unimem_repro::mpi::RankCtx,
-    x: &[f64],
-    y: &mut [f64],
-    tag: u64,
-) {
+fn matvec(ctx: &mut unimem_repro::mpi::RankCtx, x: &[f64], y: &mut [f64], tag: u64) {
     let rank = ctx.rank();
     let n = x.len();
     let mut left_halo = 0.0;

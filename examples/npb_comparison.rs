@@ -29,14 +29,17 @@ fn main() {
         Policy::unimem(),
     ] {
         let rep = run_workload(w.as_ref(), &machine, &cache, nranks, &policy);
+        let overlap = rep
+            .job
+            .overlap_pct()
+            .map_or_else(|| "   n/a".into(), |p| format!("{p:>5.1}%"));
         println!(
-            "{:10} {:>8.3}s  normalized {:>6.3}  migrations {:>4}  moved {:>10}  overlap {:>6.1}%  runtime-cost {:>5.2}%",
+            "{:10} {:>8.3}s  normalized {:>6.3}  migrations {:>4}  moved {:>10}  overlap {overlap}  runtime-cost {:>5.2}%",
             rep.policy,
             rep.time().secs(),
             rep.time().secs() / base,
             rep.job.migration_count(),
             format!("{}", rep.job.migrated_bytes()),
-            rep.job.overlap_pct(),
             rep.job.pure_runtime_cost() * 100.0,
         );
     }

@@ -21,7 +21,11 @@ fn main() {
     let cold = rt.malloc("cold_archive", Bytes::mib(8));
 
     // Fill them so we can verify migration preserves contents.
-    hot.with_write(|b| b.iter_mut().enumerate().for_each(|(i, x)| *x = (i % 251) as u8));
+    hot.with_write(|b| {
+        b.iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = (i % 251) as u8)
+    });
 
     rt.start(); // unimem_start: main computation loop begins
     for iter in 0..5 {

@@ -8,7 +8,7 @@
 //! cargo run --release --example sweep -- --check           # + conformance
 //! cargo run --release --example sweep -- --out MY.json
 //! cargo run --release --example sweep -- --workloads CG,Nek5000 \
-//!     --profiles bw-half,pcram --ranks 1,4 --class C
+//!     --profiles bw-half,pcram --ranks 1,4 --rpn 1,2 --class C
 //! cargo run --release --example sweep -- --full --jobs 8   # worker pool
 //! cargo run --release --example sweep -- --mixes LU+MG,FT+BT+MG \
 //!     --arbiters fair-share,priority                       # co-run axes
@@ -25,8 +25,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use unimem_repro::bench::sweep::{
-    check_determinism, check_report, default_workers, run_sweep_jobs, ArbiterPolicy, NvmProfile,
-    PolicyKind, SweepConfig, Tolerances,
+    check_contention, check_determinism, check_report, default_workers, run_sweep_jobs,
+    ArbiterPolicy, NvmProfile, PolicyKind, SweepConfig, Tolerances,
 };
 use unimem_repro::workloads::{corun, Class};
 
@@ -34,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sweep [--full] [--check] [--out PATH] [--class S|C|D] [--jobs N]\n\
          \x20            [--workloads CSV] [--policies CSV] [--profiles CSV] [--ranks CSV]\n\
-         \x20            [--mixes CSV of A+B[+C]] [--arbiters CSV]"
+         \x20            [--rpn CSV of ranks-per-node] [--mixes CSV of A+B[+C]] [--arbiters CSV]"
     );
     std::process::exit(2)
 }
@@ -57,6 +57,7 @@ fn main() -> ExitCode {
     let mut full = false;
     let mut jobs = default_workers();
     let (mut explicit_profiles, mut explicit_ranks, mut explicit_mixes) = (false, false, false);
+    let mut explicit_rpn = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -109,6 +110,12 @@ fn main() -> ExitCode {
                 });
                 explicit_ranks = true;
             }
+            "--rpn" => {
+                cfg.ranks_per_node = parse_csv(&value("--rpn"), "ranks-per-node", |s| {
+                    s.parse().ok().filter(|&r| r > 0)
+                });
+                explicit_rpn = true;
+            }
             "--mixes" => {
                 let arg = value("--mixes");
                 let specs: Vec<&str> = arg.split(',').map(str::trim).collect();
@@ -122,8 +129,11 @@ fn main() -> ExitCode {
                 explicit_mixes = true;
             }
             "--arbiters" => {
-                cfg.arbiters =
-                    parse_csv(&value("--arbiters"), "arbitration policy", ArbiterPolicy::parse)
+                cfg.arbiters = parse_csv(
+                    &value("--arbiters"),
+                    "arbitration policy",
+                    ArbiterPolicy::parse,
+                )
             }
             _ => usage(),
         }
@@ -136,6 +146,9 @@ fn main() -> ExitCode {
         }
         if !explicit_ranks {
             cfg.ranks = SweepConfig::full().ranks;
+        }
+        if !explicit_rpn {
+            cfg.ranks_per_node = SweepConfig::full().ranks_per_node;
         }
         if !explicit_mixes {
             cfg.coruns = SweepConfig::full().coruns;
@@ -159,12 +172,12 @@ fn main() -> ExitCode {
     cfg.normalize_axes();
 
     println!(
-        "sweep: {} workloads x {} policies x {} profiles x {} rank counts = {} cells \
+        "sweep: {} workloads x {} policies x {} profiles x {} node layouts = {} cells \
          + {} co-run cells (CLASS {}, {jobs} jobs)",
         cfg.workloads.len(),
         cfg.policies.len(),
         cfg.profiles.len(),
-        cfg.ranks.len(),
+        cfg.rank_layouts().len(),
         cfg.n_cells(),
         cfg.n_corun_cells(),
         cfg.class.name(),
@@ -179,16 +192,22 @@ fn main() -> ExitCode {
         }
     };
 
-    // Per-(profile, ranks) summary: normalized time per policy, averaged
-    // over workloads — the shape of the paper's Fig. 9/10 bars.
+    // Per-(profile, layout) summary: normalized time per policy, averaged
+    // over workloads — the shape of the paper's Fig. 9/10 bars, with the
+    // packed layouts exposing the contention axis.
     for &profile in &cfg.profiles {
-        for &nranks in &cfg.ranks {
-            print!("{:8} r={nranks}:", profile.name());
+        for &(nranks, rpn) in &cfg.rank_layouts() {
+            print!("{:8} r={nranks}x{rpn}:", profile.name());
             for &policy in &cfg.policies {
                 let cells: Vec<f64> = report
                     .cells
                     .iter()
-                    .filter(|c| c.profile == profile && c.nranks == nranks && c.policy == policy)
+                    .filter(|c| {
+                        c.profile == profile
+                            && c.nranks == nranks
+                            && c.ranks_per_node == rpn
+                            && c.policy == policy
+                    })
                     .map(|c| c.normalized_to_dram)
                     .collect();
                 if !cells.is_empty() {
@@ -208,9 +227,7 @@ fn main() -> ExitCode {
                 let cells: Vec<_> = report
                     .corun_cells
                     .iter()
-                    .filter(|c| {
-                        c.profile == profile && c.mix == mix.label() && c.arbiter == arb
-                    })
+                    .filter(|c| c.profile == profile && c.mix == mix.label() && c.arbiter == arb)
                     .collect();
                 if cells.is_empty() {
                     continue;
@@ -242,6 +259,7 @@ fn main() -> ExitCode {
         let tol = Tolerances::default();
         let mut violations = check_report(&report, &tol);
         violations.extend(check_determinism(&cfg));
+        violations.extend(check_contention(&cfg));
         if violations.is_empty() {
             println!("conformance: all paper-claim checks passed");
         } else {

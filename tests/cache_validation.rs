@@ -59,8 +59,19 @@ fn overflowing_stream_misses_once_per_line_in_both_models() {
     let cache = Bytes::kib(64);
     let span = Bytes::kib(1024); // 16x the cache
     let n = 262_144; // two full traversals at 8-byte stride
-    let sim = simulate(AccessPattern::Streaming { stride: Bytes(8) }, span, n, cache, 2);
-    let ana = analytic(AccessPattern::Streaming { stride: Bytes(8) }, span, n, cache);
+    let sim = simulate(
+        AccessPattern::Streaming { stride: Bytes(8) },
+        span,
+        n,
+        cache,
+        2,
+    );
+    let ana = analytic(
+        AccessPattern::Streaming { stride: Bytes(8) },
+        span,
+        n,
+        cache,
+    );
     // Expected: one miss per 64-byte line per traversal = n/8.
     let expected = (n / 8) as f64;
     assert!(

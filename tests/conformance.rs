@@ -33,16 +33,23 @@ fn reduced_matrix_has_full_coverage() {
     let rep = reduced();
     let cfg = &rep.config;
     assert!(cfg.policies.len() >= 4, "matrix covers all four policies");
-    assert!(cfg.workloads.len() >= 5, "matrix covers at least five workloads");
+    assert!(
+        cfg.workloads.len() >= 5,
+        "matrix covers at least five workloads"
+    );
     assert_eq!(rep.cells.len(), cfg.n_cells(), "no cell silently dropped");
+    assert!(
+        cfg.rank_layouts().iter().any(|&(_, rpn)| rpn >= 2),
+        "reduced matrix exercises a packed node layout"
+    );
     // Every coordinate is actually present.
     for &profile in &cfg.profiles {
-        for &nranks in &cfg.ranks {
+        for &(nranks, rpn) in &cfg.rank_layouts() {
             for w in &cfg.workloads {
                 for &policy in &cfg.policies {
                     assert!(
-                        rep.get(w, policy, profile, nranks).is_some(),
-                        "missing cell {w}/{}/r{nranks}/{}",
+                        rep.get(w, policy, profile, nranks, rpn).is_some(),
+                        "missing cell {w}/{}/r{nranks}x{rpn}/{}",
                         profile.name(),
                         policy.name()
                     );
@@ -68,44 +75,100 @@ fn paper_claims_hold_on_reduced_matrix() {
 
 /// The acceptance-level inequalities, asserted directly (not only through
 /// the checker) so a bug in the checker's scoping cannot mask a miss.
+/// They hold at every node layout — packed nodes (shared bandwidth,
+/// contended migration traffic) included.
 #[test]
 fn unimem_between_dram_and_nvm_and_beats_xmem_on_nek() {
     let rep = reduced();
     let tol = Tolerances::default();
     for &profile in &rep.config.profiles {
-        for w in &rep.config.workloads {
-            let t = |policy| {
-                rep.get(w, policy, profile, 4)
-                    .unwrap_or_else(|| panic!("cell {w}/{}", profile.name()))
-                    .time_s()
-            };
-            let (uni, dram, nvm) = (
-                t(PolicyKind::Unimem),
-                t(PolicyKind::DramOnly),
-                t(PolicyKind::NvmOnly),
-            );
-            assert!(
-                uni <= dram * tol.dram_tracking,
-                "{w}/{}: unimem {uni:.4}s exceeds dram-only {dram:.4}s x {}",
-                profile.name(),
-                tol.dram_tracking
-            );
-            assert!(
-                uni <= nvm * tol.nvm_win,
-                "{w}/{}: unimem {uni:.4}s loses to nvm-only {nvm:.4}s",
-                profile.name()
-            );
+        for &(nranks, rpn) in &rep.config.rank_layouts() {
+            for w in &rep.config.workloads {
+                let t = |policy| {
+                    rep.get(w, policy, profile, nranks, rpn)
+                        .unwrap_or_else(|| panic!("cell {w}/{}", profile.name()))
+                        .time_s()
+                };
+                let (uni, dram, nvm) = (
+                    t(PolicyKind::Unimem),
+                    t(PolicyKind::DramOnly),
+                    t(PolicyKind::NvmOnly),
+                );
+                // The nvm-win claim holds everywhere, packed nodes included.
+                assert!(
+                    uni <= nvm * tol.nvm_win,
+                    "{w}/{}/r{nranks}x{rpn}: unimem {uni:.4}s loses to nvm-only {nvm:.4}s",
+                    profile.name()
+                );
+                // DRAM tracking is the paper's claim at its one-rank-per-node
+                // setup; shared bandwidth amplifies the NVM bottleneck, so
+                // packed layouts are out of its scope (see docs/CONFORMANCE.md).
+                if rpn == 1 {
+                    assert!(
+                        uni <= dram * tol.dram_tracking,
+                        "{w}/{}/r{nranks}: unimem {uni:.4}s exceeds dram-only {dram:.4}s x {}",
+                        profile.name(),
+                        tol.dram_tracking
+                    );
+                }
+            }
+            if rpn == 1 {
+                let nek_uni = rep
+                    .get("Nek5000", PolicyKind::Unimem, profile, nranks, rpn)
+                    .unwrap();
+                let nek_xmem = rep
+                    .get("Nek5000", PolicyKind::Xmem, profile, nranks, rpn)
+                    .unwrap();
+                assert!(
+                    nek_uni.time_s() <= nek_xmem.time_s() * tol.xmem_drift,
+                    "Nek5000/{}/r{nranks}: unimem {:.4}s loses to xmem {:.4}s on the drifting pattern",
+                    profile.name(),
+                    nek_uni.time_s(),
+                    nek_xmem.time_s()
+                );
+            }
         }
-        let nek_uni = rep.get("Nek5000", PolicyKind::Unimem, profile, 4).unwrap();
-        let nek_xmem = rep.get("Nek5000", PolicyKind::Xmem, profile, 4).unwrap();
+    }
+}
+
+/// The contention acceptance criteria, asserted directly: packed nodes
+/// run slower than spread ones for the same job, at least one packed
+/// Unimem cell is measurably slowed by *neighbor* migration traffic, and
+/// migration-free DRAM-only cells are byte-identical with the helper
+/// contention model on and off.
+#[test]
+fn packed_nodes_contend_and_dram_only_is_invariant() {
+    use unimem_repro::bench::sweep::check_contention;
+
+    let rep = reduced();
+    // Packed DRAM-only baselines are slower: two ranks share one node's
+    // bandwidth instead of having a node each.
+    for &profile in &rep.config.profiles {
+        let t = |rpn| {
+            rep.get("CG", PolicyKind::DramOnly, profile, 4, rpn)
+                .expect("baseline cell")
+                .time_s()
+        };
         assert!(
-            nek_uni.time_s() <= nek_xmem.time_s() * tol.xmem_drift,
-            "Nek5000/{}: unimem {:.4}s loses to xmem {:.4}s on the drifting pattern",
-            profile.name(),
-            nek_uni.time_s(),
-            nek_xmem.time_s()
+            t(2) > t(1),
+            "{}: packing 2 ranks per node did not slow CG down",
+            profile.name()
         );
     }
+    // Neighbor helper traffic measurably slowed a co-located rank.
+    let evidence = rep
+        .cells
+        .iter()
+        .filter(|c| c.policy == PolicyKind::Unimem && c.ranks_per_node >= 2)
+        .map(|c| c.report.job.neighbor_contention_time.secs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        evidence > 0.0,
+        "no packed Unimem cell shows neighbor-induced contention"
+    );
+    // DRAM-only invariance probe (byte-level, per profile).
+    let violations = check_contention(&rep.config);
+    assert!(violations.is_empty(), "{violations:?}");
 }
 
 #[test]
@@ -122,7 +185,7 @@ fn runtime_cost_bounded_and_nek_adapts() {
     }
     // The drifting workload must actually exercise adaptation.
     let nek = rep
-        .get("Nek5000", PolicyKind::Unimem, NvmProfile::BwHalf, 4)
+        .get("Nek5000", PolicyKind::Unimem, NvmProfile::BwHalf, 4, 1)
         .unwrap();
     assert!(
         nek.report.job.reprofiles > 0,
@@ -167,7 +230,10 @@ fn corun_cells_present_and_priority_tenants_protected() {
 
     let rep = reduced();
     let cfg = &rep.config;
-    assert!(!cfg.coruns.is_empty(), "reduced matrix carries a co-run mix");
+    assert!(
+        !cfg.coruns.is_empty(),
+        "reduced matrix carries a co-run mix"
+    );
     assert_eq!(cfg.arbiters.len(), 3, "all three arbitration policies run");
     assert_eq!(
         rep.corun_cells.len(),
@@ -213,7 +279,9 @@ fn corun_cells_present_and_priority_tenants_protected() {
         "no co-run tenant slowed down; the mix does not contend"
     );
     assert!(
-        rep.corun_cells.iter().any(|c| c.report.job.lease_replans > 0),
+        rep.corun_cells
+            .iter()
+            .any(|c| c.report.job.lease_replans > 0),
         "no lease re-plans; the arbiter never moved a lease"
     );
 }
@@ -223,31 +291,52 @@ fn sweep_json_matches_schema() {
     let j = reduced().to_json();
     assert_eq!(
         j.get("schema").and_then(Json::as_str),
-        Some("unimem-bench-sweep/v2")
+        Some("unimem-bench-sweep/v3")
     );
+    // v3: the node-layout axis.
+    assert!(j
+        .get("ranks_per_node")
+        .and_then(Json::as_arr)
+        .is_some_and(|r| !r.is_empty()));
     let cells = j.get("cells").and_then(Json::as_arr).expect("cells array");
-    assert_eq!(cells.len() as f64, j.get("n_cells").and_then(Json::as_f64).unwrap());
+    assert_eq!(
+        cells.len() as f64,
+        j.get("n_cells").and_then(Json::as_f64).unwrap()
+    );
     for c in cells {
         for key in [
             "workload",
             "policy",
             "profile",
             "nranks",
+            "ranks_per_node",
             "time_s",
             "normalized_to_dram",
             "migration_count",
             "migrated_bytes",
             "overlap_pct",
+            "contention_time_s",
+            "neighbor_contention_time_s",
             "pure_runtime_cost",
             "reprofiles",
         ] {
             assert!(c.get(key).is_some(), "cell missing {key:?}: {c}");
         }
+        // A cell that never migrated must not claim an overlap figure.
+        if c.get("migration_count").and_then(Json::as_f64) == Some(0.0) {
+            assert_eq!(
+                c.get("overlap_pct"),
+                Some(&Json::Null),
+                "migration-free cell claims an overlap figure: {c}"
+            );
+        }
         let run = c.get("run").expect("embedded RunReport");
         assert!(run.get("job").is_some());
         let nranks = c.get("nranks").and_then(Json::as_f64).unwrap() as usize;
         assert_eq!(
-            run.get("per_rank").and_then(Json::as_arr).map(<[Json]>::len),
+            run.get("per_rank")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
             Some(nranks)
         );
     }
@@ -260,8 +349,14 @@ fn sweep_json_matches_schema() {
         corun.len() as f64,
         j.get("n_corun_cells").and_then(Json::as_f64).unwrap()
     );
-    assert!(j.get("mixes").and_then(Json::as_arr).is_some_and(|m| !m.is_empty()));
-    assert!(j.get("arbiters").and_then(Json::as_arr).is_some_and(|a| !a.is_empty()));
+    assert!(j
+        .get("mixes")
+        .and_then(Json::as_arr)
+        .is_some_and(|m| !m.is_empty()));
+    assert!(j
+        .get("arbiters")
+        .and_then(Json::as_arr)
+        .is_some_and(|a| !a.is_empty()));
     for c in corun {
         for key in [
             "mix",

@@ -40,7 +40,11 @@ fn unimem_stays_within_paper_band_of_dram_only() {
         let dram = run_workload(w.as_ref(), &m, &cache, 4, &Policy::DramOnly).time();
         let uni = run_workload(w.as_ref(), &m, &cache, 4, &Policy::unimem()).time();
         let gap = uni.secs() / dram.secs() - 1.0;
-        let band = if w.name().starts_with("FT") { 0.20 } else { 0.14 };
+        let band = if w.name().starts_with("FT") {
+            0.20
+        } else {
+            0.14
+        };
         assert!(
             gap <= band,
             "{}: Unimem gap {:.1}% exceeds {:.0}%",
@@ -75,11 +79,14 @@ fn migration_overlap_is_substantial_where_migrations_happen() {
     for w in npb_and_nek(Class::C) {
         let rep = run_workload(w.as_ref(), &m, &cache, 4, &Policy::unimem());
         if rep.job.migration_count() > 0 {
+            let pct = rep
+                .job
+                .overlap_pct()
+                .expect("runs with migrations report an overlap figure");
             assert!(
-                rep.job.overlap_pct() >= 50.0,
-                "{}: only {:.0}% of movement overlapped",
-                w.name(),
-                rep.job.overlap_pct()
+                pct >= 50.0,
+                "{}: only {pct:.0}% of movement overlapped",
+                w.name()
             );
         }
     }

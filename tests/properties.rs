@@ -70,7 +70,7 @@ proptest! {
         sizes in prop::collection::vec(1u64..(64 << 20), 1..20),
         req_offsets in prop::collection::vec(0.0f64..0.2, 1..20),
     ) {
-        let mut e = MigrationEngine::new(Bandwidth::gb_per_s(2.0));
+        let mut e = MigrationEngine::with_copy_bw(Bandwidth::gb_per_s(2.0));
         let mut now = VTime::ZERO;
         let n = sizes.len().min(req_offsets.len());
         for i in 0..n {
@@ -86,6 +86,44 @@ proptest! {
         let accounted = stats.overlapped.secs() + stats.exposed.secs();
         prop_assert!((accounted - total_copy).abs() < 1e-6,
             "overlap {} + exposed {} != copies {}", stats.overlapped.secs(), stats.exposed.secs(), total_copy);
+    }
+
+    /// A single migration record's accounting invariant holds for every
+    /// ordering of (enqueued, start, done, required_at): the copy time
+    /// splits exactly into overlapped + exposed, both non-negative, with
+    /// requirements before the copy start fully exposed.
+    #[test]
+    fn mig_record_overlap_partitions_duration(
+        enqueued in 0.0f64..10.0,
+        start_off in 0.0f64..10.0,
+        dur in 0.0f64..10.0,
+        has_required in any::<bool>(),
+        required_raw in 0.0f64..30.0,
+    ) {
+        let required = has_required.then_some(required_raw);
+        use unimem_repro::hms::migration::MigRecord;
+        let start = VTime(enqueued + start_off);
+        let rec = MigRecord {
+            unit: UnitId::whole(ObjId(0)),
+            to: TierKind::Dram,
+            bytes: Bytes(1),
+            enqueued: VTime(enqueued),
+            start,
+            done: start + VDur(dur),
+            required_at: required.map(VTime),
+        };
+        let (ov, ex, total) = (rec.overlapped(), rec.exposed(), rec.duration());
+        prop_assert!(ov.secs() >= 0.0 && ex.secs() >= 0.0);
+        prop_assert!((ov.secs() + ex.secs() - total.secs()).abs() < 1e-12,
+            "overlapped {} + exposed {} != duration {}", ov, ex, total);
+        match required {
+            None => prop_assert_eq!(ov, total, "never-required copies are fully hidden"),
+            Some(req) if req <= rec.start.secs() =>
+                prop_assert_eq!(ex, total, "required before start must be fully exposed"),
+            Some(req) if req >= rec.done.secs() =>
+                prop_assert_eq!(ov, total, "required after completion is fully hidden"),
+            _ => {}
+        }
     }
 
     /// Binomial sampling never exceeds its population and is deterministic

@@ -69,7 +69,10 @@ fn xmem_placement_is_frozen_across_iterations() {
     for (name, w) in select(&SUITE_NAMES, Class::C).unwrap() {
         let policy = xmem_policy(w.as_ref(), &machine, &cache, nranks);
         let rep = run_workload(w.as_ref(), &machine, &cache, nranks, &policy);
-        assert!(rep.job.iterations > 1, "{name}: needs iterations to freeze over");
+        assert!(
+            rep.job.iterations > 1,
+            "{name}: needs iterations to freeze over"
+        );
         assert_eq!(
             rep.job.migration_count(),
             0,
@@ -80,8 +83,14 @@ fn xmem_placement_is_frozen_across_iterations() {
             Bytes::ZERO,
             "{name}: static placement moved bytes"
         );
-        assert_eq!(rep.job.reprofiles, 0, "{name}: static placement re-profiled");
-        assert!(rep.plan_kind.is_none(), "{name}: static run reported a plan");
+        assert_eq!(
+            rep.job.reprofiles, 0,
+            "{name}: static placement re-profiled"
+        );
+        assert!(
+            rep.plan_kind.is_none(),
+            "{name}: static run reported a plan"
+        );
     }
 }
 
