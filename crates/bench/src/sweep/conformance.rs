@@ -51,6 +51,18 @@ pub struct Tolerances {
     /// means the solo baseline or the lease plumbing is broken. Checked
     /// as `slowdown ≥ corun_sanity` on every co-run cell.
     pub corun_sanity: f64,
+    /// Placement-philosophy ordering (docs/CONFORMANCE.md): on the
+    /// emulation-anchor profiles at basic-setup scale with one rank per
+    /// node, phase-aware planning with overlapped migration (Unimem)
+    /// beats phase-blind interval guidance (online-guidance, after
+    /// Olson et al.), which in turn beats never promoting (NVM-only).
+    /// Checked both ways per online-guidance cell:
+    /// `unimem ≤ online-guidance × policy_ordering` and
+    /// `online-guidance ≤ nvm-only × policy_ordering`. The slack absorbs
+    /// near-tie cells where the working set fits the budget either way.
+    /// Reproduction worst case: 1.007 (MG, lat-4x, 8 ranks — guidance
+    /// ties Unimem once the hot set stabilizes).
+    pub policy_ordering: f64,
     /// Migration-contention evidence floor, in seconds: when the matrix
     /// carries a multi-rank-per-node layout, at least one Unimem cell at
     /// `ranks_per_node ≥ 2` must report at least this much
@@ -72,6 +84,7 @@ impl Default for Tolerances {
             max_runtime_cost: 0.031,
             tenant_qos: 1.02,
             corun_sanity: 0.98,
+            policy_ordering: 1.02,
             contention_evidence_min: 1e-6,
             min_ranks: 4,
         }
@@ -83,7 +96,7 @@ impl Default for Tolerances {
 pub struct Violation {
     /// Which check fired ("dram-tracking", "nvm-win", "xmem-drift",
     /// "runtime-cost", "determinism", "corun-sanity", "tenant-qos",
-    /// "migration-contention").
+    /// "migration-contention", "policy-ordering").
     pub check: &'static str,
     /// Cell coordinates ("CG/bw-half/r4/unimem").
     pub cell: String,
@@ -210,8 +223,90 @@ pub fn check_report(report: &SweepReport, tol: &Tolerances) -> Vec<Violation> {
             }
         }
     }
+    violations.extend(check_policy_ordering(report, tol));
     violations.extend(check_contention_cells(report, tol));
     violations.extend(check_coruns(report, tol));
+    violations
+}
+
+/// The `policy-ordering` check: on the emulation-anchor profiles at
+/// basic-setup scale with one rank per node, the three placement
+/// philosophies order as `unimem ≤ online-guidance ≤ nvm-only`, each
+/// within `policy_ordering` slack — phase-aware planning beats
+/// phase-blind interval guidance beats never promoting. Scoped to
+/// matrices that carry the `online-guidance` axis; an eligible matrix
+/// that evaluated no comparison is a failure, not a vacuous pass.
+fn check_policy_ordering(report: &SweepReport, tol: &Tolerances) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if !report.config.policies.contains(&PolicyKind::OnlineGuidance) {
+        return violations;
+    }
+    let mut evaluated = 0usize;
+    for cell in &report.cells {
+        if cell.policy != PolicyKind::OnlineGuidance
+            || !cell.profile.tracks_dram()
+            || cell.ranks_per_node != 1
+            || cell.nranks < tol.min_ranks
+        {
+            continue;
+        }
+        let at = |policy| {
+            report.get(
+                &cell.workload,
+                policy,
+                cell.profile,
+                cell.nranks,
+                cell.ranks_per_node,
+            )
+        };
+        match at(PolicyKind::Unimem) {
+            Some(uni) => {
+                evaluated += 1;
+                violations.extend(ratio_violation(
+                    "policy-ordering",
+                    uni,
+                    cell,
+                    tol.policy_ordering,
+                ));
+            }
+            None => violations.push(missing_baseline(
+                "policy-ordering",
+                cell,
+                PolicyKind::Unimem,
+            )),
+        }
+        match at(PolicyKind::NvmOnly) {
+            Some(nvm) => {
+                evaluated += 1;
+                violations.extend(ratio_violation(
+                    "policy-ordering",
+                    cell,
+                    nvm,
+                    tol.policy_ordering,
+                ));
+            }
+            None => violations.push(missing_baseline(
+                "policy-ordering",
+                cell,
+                PolicyKind::NvmOnly,
+            )),
+        }
+    }
+    let scope_requested = report.config.profiles.iter().any(|p| p.tracks_dram())
+        && report
+            .config
+            .rank_layouts()
+            .iter()
+            .any(|&(r, rpn)| rpn == 1 && r >= tol.min_ranks);
+    if scope_requested && evaluated == 0 && violations.is_empty() {
+        violations.push(Violation {
+            check: "policy-ordering",
+            cell: "(matrix)".into(),
+            detail: "online-guidance requested with anchor profiles and a basic-setup \
+                     layout in scope, but no ordering comparison was evaluated"
+                .into(),
+        });
+    }
     violations
 }
 
@@ -445,17 +540,30 @@ pub fn check_determinism(cfg: &SweepConfig) -> Vec<Violation> {
         if let Some(cap) = cfg.dram_capacity {
             machine = machine.with_dram_capacity(cap);
         }
-        let run = || {
-            run_workload(w.as_ref(), &machine, &cache, nranks, &Policy::unimem())
-                .to_json()
-                .to_pretty()
-        };
-        if run() != run() {
-            violations.push(Violation {
-                check: "determinism",
-                cell: format!("{canon}/{}/r{nranks}/unimem", profile.name()),
-                detail: "repeated runs produced different RunReport JSON bytes".into(),
-            });
+        // Unimem always probes (it exercises the most machinery); the
+        // new-in-v4 policies probe when the matrix carries them —
+        // hw-cache's fractional hit splitting and online-guidance's
+        // thinned sampling must replay byte-identically too.
+        let mut probes: Vec<(&str, Policy)> = vec![("unimem", Policy::unimem())];
+        if cfg.policies.contains(&PolicyKind::HwCache) {
+            probes.push(("hw-cache", Policy::hw_cache()));
+        }
+        if cfg.policies.contains(&PolicyKind::OnlineGuidance) {
+            probes.push(("online-guidance", Policy::online_guidance()));
+        }
+        for (name, policy) in &probes {
+            let run = || {
+                run_workload(w.as_ref(), &machine, &cache, nranks, policy)
+                    .to_json()
+                    .to_pretty()
+            };
+            if run() != run() {
+                violations.push(Violation {
+                    check: "determinism",
+                    cell: format!("{canon}/{}/r{nranks}/{name}", profile.name()),
+                    detail: "repeated runs produced different RunReport JSON bytes".into(),
+                });
+            }
         }
     }
     violations
@@ -567,6 +675,78 @@ mod tests {
         assert!(
             violations.iter().any(|v| v.check == "xmem-drift"),
             "drift check not evaluated for alias: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn impossible_ordering_tolerance_fires_both_directions() {
+        let rep = run_sweep(&small_matrix()).unwrap();
+        let strict = Tolerances {
+            policy_ordering: 0.0, // no finite ratio can pass
+            ..Tolerances::default()
+        };
+        let violations = check_report(&rep, &strict);
+        let ordering: Vec<&Violation> = violations
+            .iter()
+            .filter(|v| v.check == "policy-ordering")
+            .collect();
+        // Both inequalities fire per in-scope cell: the unimem-side cell
+        // names unimem coordinates, the nvm-side cell names
+        // online-guidance coordinates.
+        assert!(
+            ordering.iter().any(|v| v.cell.ends_with("/unimem")),
+            "unimem ≤ online side did not fire: {ordering:?}"
+        );
+        assert!(
+            ordering
+                .iter()
+                .any(|v| v.cell.ends_with("/online-guidance")),
+            "online ≤ nvm side did not fire: {ordering:?}"
+        );
+        // Out-of-scope packed cells are not judged.
+        assert!(ordering.iter().all(|v| !v.cell.contains("x2")));
+    }
+
+    #[test]
+    fn matrix_without_online_guidance_skips_the_ordering_check() {
+        let mut cfg = small_matrix();
+        cfg.policies = vec![
+            PolicyKind::Unimem,
+            PolicyKind::Xmem,
+            PolicyKind::DramOnly,
+            PolicyKind::NvmOnly,
+        ];
+        let rep = run_sweep(&cfg).unwrap();
+        let strict = Tolerances {
+            policy_ordering: 0.0,
+            ..Tolerances::default()
+        };
+        let violations = check_report(&rep, &strict);
+        assert!(
+            violations.iter().all(|v| v.check != "policy-ordering"),
+            "ordering judged a matrix without the online-guidance axis: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn ordering_without_evaluated_cells_is_not_a_vacuous_pass() {
+        // A report whose config promises the axis but whose cells lost
+        // the online-guidance rows (e.g. a mis-filtered rerun) must fail
+        // coverage, not pass silently.
+        let rep = run_sweep(&small_matrix()).unwrap();
+        let kept: Vec<_> = rep
+            .cells
+            .iter()
+            .filter(|c| c.policy != PolicyKind::OnlineGuidance)
+            .cloned()
+            .collect();
+        let rep = SweepReport::new(rep.config.clone(), kept, rep.corun_cells.clone());
+        let violations = check_report(&rep, &Tolerances::default());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.check == "policy-ordering" && v.detail.contains("evaluated")),
+            "missing online-guidance cells passed silently: {violations:?}"
         );
     }
 

@@ -3,51 +3,18 @@
 
 pub use unimem_hms::arbiter::ArbiterPolicy;
 
+/// Placement policy axis: the canonical registry from
+/// `unimem::policy`. The sweep, the `--policies` CLI, and the JSON
+/// report all use [`PolicyKind::name`] / [`PolicyKind::from_name`] —
+/// there is no second name table to keep in sync. `Xmem` is
+/// materialized per (workload, machine) by the offline training
+/// profile; the others come from [`PolicyKind::default_policy`].
+pub use unimem::policy::PolicyId as PolicyKind;
+
 use unimem_hms::{profiles, MachineConfig};
 use unimem_sim::Bytes;
 use unimem_workloads::corun::CorunMix;
 use unimem_workloads::{corun, Class, SUITE_NAMES};
-
-/// Placement policy axis. `Xmem` is materialized per (workload, machine)
-/// by the offline training profile; the others are workload-independent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum PolicyKind {
-    /// The full Unimem runtime (default configuration).
-    Unimem,
-    /// The X-Mem offline-profiled static baseline.
-    Xmem,
-    /// Unlimited DRAM (the normalization baseline).
-    DramOnly,
-    /// Everything in NVM.
-    NvmOnly,
-}
-
-impl PolicyKind {
-    /// Every policy, in report order.
-    pub const ALL: [PolicyKind; 4] = [
-        PolicyKind::Unimem,
-        PolicyKind::Xmem,
-        PolicyKind::DramOnly,
-        PolicyKind::NvmOnly,
-    ];
-
-    /// Stable lower-case name used in reports and on the CLI.
-    pub fn name(self) -> &'static str {
-        match self {
-            PolicyKind::Unimem => "unimem",
-            PolicyKind::Xmem => "xmem",
-            PolicyKind::DramOnly => "dram-only",
-            PolicyKind::NvmOnly => "nvm-only",
-        }
-    }
-
-    /// Inverse of [`PolicyKind::name`] (case-insensitive).
-    pub fn parse(s: &str) -> Option<PolicyKind> {
-        Self::ALL
-            .into_iter()
-            .find(|p| p.name() == s.to_ascii_lowercase())
-    }
-}
 
 /// NVM profile axis: the paper's two emulation anchors plus the Table-1
 /// technology rows paired with the simulation DRAM.
@@ -196,7 +163,7 @@ pub struct SweepConfig {
 impl SweepConfig {
     /// The reduced matrix the tier-1 conformance suite and the default CLI
     /// invocation run: paper basic setup (CLASS C, 4 ranks) on both
-    /// emulation anchors, all 7 workloads, all 4 policies, at 1 and 2
+    /// emulation anchors, all 7 workloads, all 6 policies, at 1 and 2
     /// ranks per node so migration-vs-compute contention is exercised on
     /// every push.
     pub fn reduced() -> SweepConfig {
@@ -213,7 +180,7 @@ impl SweepConfig {
         }
     }
 
-    /// The full matrix: all 7 workloads × 4 policies × 5 NVM profiles ×
+    /// The full matrix: all 7 workloads × 6 policies × 5 NVM profiles ×
     /// rank counts {1, 4, 8} × ranks-per-node {1, 2, 4}, plus the
     /// standard co-run mixes.
     pub fn full() -> SweepConfig {
@@ -292,21 +259,31 @@ mod tests {
     #[test]
     fn names_round_trip() {
         for p in PolicyKind::ALL {
-            assert_eq!(PolicyKind::parse(p.name()), Some(p));
+            assert_eq!(PolicyKind::from_name(p.name()), Some(p));
         }
         for p in NvmProfile::ALL {
             assert_eq!(NvmProfile::parse(p.name()), Some(p));
         }
-        assert_eq!(PolicyKind::parse("quartz"), None);
+        assert_eq!(PolicyKind::from_name("quartz"), None);
         assert_eq!(NvmProfile::parse("flash"), None);
+    }
+
+    #[test]
+    fn reduced_matrix_covers_the_whole_policy_registry() {
+        // Registry exhaustiveness: a policy added to `unimem::policy`
+        // without sweep wiring must fail loudly, not vanish from the
+        // matrix. (The runner's exhaustive match is the compile-time
+        // half of this guard.)
+        assert_eq!(SweepConfig::reduced().policies, PolicyKind::ALL.to_vec());
+        assert_eq!(SweepConfig::full().policies, PolicyKind::ALL.to_vec());
     }
 
     #[test]
     fn matrix_sizes() {
         // Reduced: 4 ranks at 1 and 2 ranks per node.
-        assert_eq!(SweepConfig::reduced().n_cells(), 7 * 4 * 2 * 2);
+        assert_eq!(SweepConfig::reduced().n_cells(), 7 * 6 * 2 * 2);
         // Full: layouts = r1×{1} + r4×{1,2,4} + r8×{1,2,4} = 7 pairs.
-        assert_eq!(SweepConfig::full().n_cells(), 7 * 4 * 5 * 7);
+        assert_eq!(SweepConfig::full().n_cells(), 7 * 6 * 5 * 7);
         // Co-run cells: tenants × arbitration policies × profiles.
         assert_eq!(SweepConfig::reduced().n_corun_cells(), 2 * 3 * 2);
         assert_eq!(SweepConfig::full().n_corun_cells(), (2 + 2 + 3) * 3 * 5);

@@ -6,7 +6,9 @@
 //! This subsystem instead runs the *whole* evaluation matrix —
 //!
 //! * workloads: the 7-member suite (CG/FT/BT/LU/SP/MG + Nek5000-eddy),
-//! * policies: `unimem`, `xmem`, `dram-only`, `nvm-only`,
+//! * policies: the whole placement-policy registry
+//!   (`unimem::policy::PolicyId`) — `unimem`, `xmem`, `dram-only`,
+//!   `nvm-only`, `online-guidance`, `hw-cache`,
 //! * NVM profiles: the Fig. 9/10 emulation anchors (½ DRAM bandwidth,
 //!   4× DRAM latency) and the Table-1 technology rows (STT-RAM, PCRAM,
 //!   ReRAM),

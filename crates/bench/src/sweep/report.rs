@@ -1,11 +1,11 @@
 //! `BENCH_sweep.json` emission: a deterministic, machine-readable form of
 //! a [`SweepReport`].
 //!
-//! Schema (`unimem-bench-sweep/v3`):
+//! Schema (`unimem-bench-sweep/v4`):
 //!
 //! ```text
 //! {
-//!   "schema":    "unimem-bench-sweep/v3",
+//!   "schema":    "unimem-bench-sweep/v4",
 //!   "class":     "C",
 //!   "workloads": ["CG", ...],
 //!   "policies":  ["unimem", ...],
@@ -43,6 +43,13 @@
 //! }
 //! ```
 //!
+//! v4 widens the `policies` axis to the full placement-policy registry
+//! (`unimem::policy::PolicyId`): two new entries, `online-guidance`
+//! (interval-sampled hotness promotion, Olson et al.) and `hw-cache`
+//! (hardware-managed DRAM cache over NVM, Wen et al.). No per-cell
+//! field changed — a v3 reader that ignores unknown policy names can
+//! read a v4 report.
+//!
 //! v3 adds the shared-bandwidth contention axis: a `ranks_per_node` axis
 //! list, per-cell `ranks_per_node`, and per-cell contention stats
 //! (`contention_time_s`, `neighbor_contention_time_s` — extra compute
@@ -64,7 +71,7 @@ use std::path::Path;
 use unimem_sim::Json;
 
 /// The schema tag written to `BENCH_sweep.json`.
-pub const SCHEMA: &str = "unimem-bench-sweep/v3";
+pub const SCHEMA: &str = "unimem-bench-sweep/v4";
 
 impl SweepCell {
     /// Deterministic JSON form of one single-tenant cell.

@@ -289,6 +289,10 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
                 let w = workload.as_ref();
                 let m = machine(job.row.profile, ranks_per_node);
                 let dram = &baselines[job.baseline];
+                // Exhaustive over the policy registry on purpose: adding
+                // a PolicyId variant without deciding how the sweep
+                // instantiates it must fail to compile, not silently
+                // drop the policy from the matrix.
                 let report = match job.policy {
                     PolicyKind::DramOnly => dram.clone(),
                     PolicyKind::NvmOnly => run_workload(w, &m, &cache, nranks, &Policy::NvmOnly),
@@ -297,6 +301,10 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
                         run_workload(w, &m, &cache, nranks, &p)
                     }
                     PolicyKind::Unimem => run_workload(w, &m, &cache, nranks, &Policy::unimem()),
+                    PolicyKind::OnlineGuidance => {
+                        run_workload(w, &m, &cache, nranks, &Policy::online_guidance())
+                    }
+                    PolicyKind::HwCache => run_workload(w, &m, &cache, nranks, &Policy::hw_cache()),
                 };
                 Ok(SweepCell {
                     workload: short.clone(),

@@ -5,34 +5,32 @@
 //! steps — computation (with per-object access descriptors at class scale)
 //! or communication. The driver replays the script on the mini-MPI
 //! substrate, computing ground-truth phase times from the cache model and
-//! tier parameters under the *current* placement, while the Unimem runtime
-//! (when enabled) watches through the sampling profiler and manages
+//! tier parameters under the *current* placement. Placement itself is a
+//! [`crate::policy::PlacementPolicy`]: the driver calls the same
+//! lifecycle hooks for every policy (iteration begin, phase begin,
+//! observe, iteration end), and the policy's [`crate::policy::TierView`]
+//! is what the timing model charges. The Unimem implementation manages
 //! placement exactly as §3.1 prescribes: profile the first iteration,
 //! decide at its end, enforce thereafter, re-profile on variation.
 //!
 //! Every figure in the paper is a ratio of the run times this driver
 //! produces under different policies and machine configurations.
 
-use crate::adapt::VariationMonitor;
-use crate::deps::PhaseRefTable;
-use crate::enforce::Enforcer;
-use crate::initial::initial_placement;
-use crate::model::ModelParams;
-use crate::partition::{partition_large_objects, PartitionPolicy};
-use crate::profile::{IterationProfile, PhaseRecord};
-use crate::search::{best_plan, SearchInput, SearchKind};
+use crate::policy::{PlacementPolicy, RankInit, StepEnv, TierView};
+use crate::search::SearchKind;
 use crate::stats::RunStats;
-use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use unimem_cache::{CacheModel, ObjAccess};
-use unimem_hms::contention::{BwClient, FlowScope, HelperLink, SharedBandwidth};
+use unimem_hms::contention::{BwClient, FlowScope, SharedBandwidth};
 use unimem_hms::object::{ObjectRegistry, ObjectSpec, UnitId};
 use unimem_hms::tier::{AccessMix, TierKind, TierParams};
-use unimem_hms::{DramService, MachineConfig, MigrationEngine};
-use unimem_mpi::{CommWorld, NetParams, PhaseId, PhaseTracker, RankCtx};
+use unimem_hms::{DramService, MachineConfig};
+use unimem_mpi::{CommWorld, NetParams, PhaseTracker, RankCtx};
+use unimem_perf::calibrate;
 use unimem_perf::sampler::GroundTruth;
-use unimem_perf::{calibrate, Sampler, SamplerConfig};
 use unimem_sim::{Bytes, VDur, VTime};
+
+pub use crate::policy::{Policy, UnimemConfig};
 
 /// A computation phase of the script.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,100 +87,6 @@ pub trait Workload: Sync {
     fn script(&self, rank: usize, nranks: usize, iter: usize) -> Vec<StepSpec>;
     /// Main-loop iterations to simulate.
     fn iterations(&self) -> usize;
-}
-
-/// Runtime configuration for the Unimem policy, with ablation toggles
-/// matching Fig. 11's four techniques.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct UnimemConfig {
-    /// Enable the cross-phase global search.
-    pub use_global: bool,
-    /// Enable the phase-local search.
-    pub use_local: bool,
-    /// Enable large-object partitioning (§3.2).
-    pub partitioning: bool,
-    /// Enable estimate-driven initial placement (§3.2).
-    pub initial_placement: bool,
-    /// Enable re-profiling on workload variation (§3.2).
-    pub adaptation: bool,
-    /// Hardware-counter sampling configuration.
-    pub sampler: SamplerConfig,
-    /// Seed for the sampler's deterministic thinning.
-    pub seed: u64,
-    /// Cost charged per placement decision (model + knapsack solve).
-    pub modeling_cost: VDur,
-    /// Cost charged per phase boundary (helper-queue status check).
-    pub sync_cost: VDur,
-    /// How large objects split into chunks (§3.2).
-    pub partition_policy: PartitionPolicy,
-}
-
-impl Default for UnimemConfig {
-    fn default() -> UnimemConfig {
-        UnimemConfig {
-            use_global: true,
-            use_local: true,
-            partitioning: true,
-            initial_placement: true,
-            adaptation: true,
-            sampler: SamplerConfig::default(),
-            seed: 0x5eed,
-            modeling_cost: VDur::from_micros(120.0),
-            sync_cost: VDur::from_nanos(250.0),
-            partition_policy: PartitionPolicy::default(),
-        }
-    }
-}
-
-impl UnimemConfig {
-    /// Fig. 11 ablation rungs: 1 = global only, 2 = +local, 3 =
-    /// +partitioning, 4 = +initial placement (full system sans adaptation
-    /// toggles, which stay on).
-    pub fn ablation(rung: u8) -> UnimemConfig {
-        UnimemConfig {
-            use_global: rung >= 1,
-            use_local: rung >= 2,
-            partitioning: rung >= 3,
-            initial_placement: rung >= 4,
-            ..UnimemConfig::default()
-        }
-    }
-}
-
-/// Placement policy for a run.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Policy {
-    /// Unlimited DRAM (the paper's DRAM-only baseline machine).
-    DramOnly,
-    /// Everything in NVM.
-    NvmOnly,
-    /// Named objects pinned in DRAM for the whole run (Fig. 4 and the
-    /// X-Mem baseline feed this).
-    Static {
-        /// Object names pinned in DRAM for the whole run.
-        in_dram: Vec<String>,
-        /// Display label for reports.
-        label: String,
-    },
-    /// The paper's runtime, with its ablation/config toggles.
-    Unimem(UnimemConfig),
-}
-
-impl Policy {
-    /// Display label used in reports.
-    pub fn label(&self) -> String {
-        match self {
-            Policy::DramOnly => "DRAM-only".into(),
-            Policy::NvmOnly => "NVM-only".into(),
-            Policy::Static { label, .. } => label.clone(),
-            Policy::Unimem(_) => "Unimem".into(),
-        }
-    }
-
-    /// The full Unimem runtime at its default configuration.
-    pub fn unimem() -> Policy {
-        Policy::Unimem(UnimemConfig::default())
-    }
 }
 
 /// Per-iteration DRAM lease for one run: the *node* byte budget the
@@ -308,42 +212,6 @@ impl RunReport {
     }
 }
 
-/// Per-rank placement state.
-enum RankPolicy {
-    /// Fixed tier assignment: units in the set are in DRAM; `all_dram`
-    /// short-circuits for the DRAM-only machine.
-    Fixed {
-        in_dram: BTreeSet<UnitId>,
-        all_dram: bool,
-    },
-    Unimem(Box<UnimemState>),
-}
-
-struct UnimemState {
-    cfg: UnimemConfig,
-    model: ModelParams,
-    sampler: Sampler,
-    engine: MigrationEngine,
-    monitor: Option<VariationMonitor>,
-    profile: IterationProfile,
-    refs: Option<PhaseRefTable>,
-    enforcer: Option<Enforcer>,
-    /// Pre-plan DRAM contents (initial placement) and their grants.
-    committed: BTreeSet<UnitId>,
-    grants: HashMap<UnitId, unimem_hms::alloc::Region>,
-    profiling: bool,
-    cap_per_rank: Bytes,
-}
-
-impl UnimemState {
-    fn dram_units(&self) -> &BTreeSet<UnitId> {
-        self.enforcer
-            .as_ref()
-            .map(|e| e.committed())
-            .unwrap_or(&self.committed)
-    }
-}
-
 /// Run `workload` on `nranks` ranks of the machine under `policy`, with
 /// the machine's whole DRAM leased for the whole run (the single-tenant
 /// case every paper experiment uses).
@@ -371,11 +239,12 @@ pub fn run_workload(
 /// and granted budget is used. The multi-tenant co-run driver
 /// ([`crate::tenancy::run_corun`]) is the main caller.
 ///
-/// Only the Unimem policy *manages* placement, so only it can honour a
-/// moving lease; the fixed policies (DRAM-only, NVM-only, static pins)
-/// have nothing to evict with. Passing a non-constant lease with a fixed
-/// policy panics rather than silently reporting full-budget performance
-/// under a schedule that claims the budget was revoked.
+/// Only a policy that *manages* placement can honour a moving lease
+/// ([`PlacementPolicy::supports_moving_lease`]); the fixed policies
+/// (DRAM-only, NVM-only, static pins) have nothing to evict with.
+/// Passing a non-constant lease with a fixed policy panics rather than
+/// silently reporting full-budget performance under a schedule that
+/// claims the budget was revoked.
 pub fn run_workload_leased(
     workload: &dyn Workload,
     machine: &MachineConfig,
@@ -384,10 +253,11 @@ pub fn run_workload_leased(
     policy: &Policy,
     lease: &CapacitySchedule,
 ) -> RunReport {
+    let built = policy.build();
     assert!(
-        lease.is_constant() || matches!(policy, Policy::Unimem(_)),
-        "a moving DRAM lease requires the Unimem policy ({} cannot evict)",
-        policy.label()
+        lease.is_constant() || built.supports_moving_lease(),
+        "a moving DRAM lease requires a placement-managing policy ({} cannot evict)",
+        built.label()
     );
     // The service is sized for the lease's peak: grants beyond the
     // *current* lease are prevented by the knapsack capacity, and a
@@ -404,8 +274,8 @@ pub fn run_workload_leased(
     // has a different occupancy (and thus a different share) than the
     // full ones, so calibrate once per distinct occupancy and let each
     // rank pick its node's entry.
-    let cals: HashMap<usize, unimem_perf::Calibration> = match policy {
-        Policy::Unimem(cfg) => {
+    let cals: HashMap<usize, unimem_perf::Calibration> = match built.sampler_calibration() {
+        Some((sampler, seed)) => {
             let full = machine.ranks_per_node.min(nranks);
             let straggler = match nranks % machine.ranks_per_node {
                 0 => full,
@@ -413,22 +283,30 @@ pub fn run_workload_leased(
             };
             [full, straggler]
                 .into_iter()
-                .collect::<BTreeSet<_>>()
+                .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .map(|occ| {
                     let mut share = machine.clone();
                     share.dram = machine.rank_share(TierKind::Dram, occ);
                     share.nvm = machine.rank_share(TierKind::Nvm, occ);
-                    (occ, calibrate(&share, cache, cfg.sampler, cfg.seed))
+                    (occ, calibrate(&share, cache, sampler, seed))
                 })
                 .collect()
         }
-        _ => HashMap::new(),
+        None => HashMap::new(),
     };
 
     let outcomes = CommWorld::run(nranks, NetParams::default(), |ctx| {
         run_rank(
-            ctx, workload, machine, cache, policy, &service, &bw, lease, &cals,
+            ctx,
+            workload,
+            machine,
+            cache,
+            built.as_ref(),
+            &service,
+            &bw,
+            lease,
+            &cals,
         )
     });
 
@@ -444,7 +322,7 @@ pub fn run_workload_leased(
     }
     RunReport {
         workload: workload.name(),
-        policy: policy.label(),
+        policy: built.label().to_string(),
         per_rank,
         job,
         plan_kind,
@@ -457,7 +335,7 @@ fn run_rank(
     workload: &dyn Workload,
     machine: &MachineConfig,
     cache: &CacheModel,
-    policy: &Policy,
+    policy: &dyn PlacementPolicy,
     service: &DramService,
     bw: &SharedBandwidth,
     lease: &CapacitySchedule,
@@ -466,7 +344,6 @@ fn run_rank(
     let rank = ctx.rank();
     let nranks = ctx.nranks();
     let client = bw.client(rank);
-    let per_rank = |node_budget: Bytes| Bytes(node_budget.get() / machine.ranks_per_node as u64);
 
     // Register target data objects (unimem_malloc).
     let mut registry = ObjectRegistry::new();
@@ -474,95 +351,16 @@ fn run_rank(
         registry.register(spec);
     }
 
-    // Set up the placement policy.
-    let mut rp = match policy {
-        Policy::DramOnly => RankPolicy::Fixed {
-            in_dram: BTreeSet::new(),
-            all_dram: true,
-        },
-        Policy::NvmOnly => RankPolicy::Fixed {
-            in_dram: BTreeSet::new(),
-            all_dram: false,
-        },
-        Policy::Static { in_dram, .. } => {
-            let set = in_dram
-                .iter()
-                .filter_map(|name| registry.lookup(name))
-                .flat_map(|id| registry.get(id).units().collect::<Vec<_>>())
-                .collect();
-            RankPolicy::Fixed {
-                in_dram: set,
-                all_dram: false,
-            }
-        }
-        Policy::Unimem(cfg) => {
-            if cfg.partitioning {
-                // Chunks are sized against the lease's peak: a chunk that
-                // fits DRAM at the high-water lease simply stays in NVM
-                // while the lease is lower.
-                partition_large_objects(
-                    &mut registry,
-                    per_rank(lease.peak()),
-                    cfg.partition_policy,
-                );
-            }
-            // The models reason about this rank's share of the node: tier
-            // bandwidth over occupancy and the helper's fair copy-path
-            // slice. The Eq. 4 contention terms charge hidden copies for
-            // the load they put on the pools each direction actually
-            // touches — an admission reads NVM and writes DRAM, an
-            // eviction the reverse (which is far harsher on
-            // write-asymmetric technologies).
-            let occ = client.occupancy();
-            let rho = client.copy_rate().bytes_per_s();
-            let pressure = |read_pool: unimem_sim::Bandwidth, write_pool: unimem_sim::Bandwidth| {
-                if machine.helper_contention {
-                    rho / read_pool.bytes_per_s().min(write_pool.bytes_per_s())
-                } else {
-                    0.0
-                }
-            };
-            let model = ModelParams::new(
-                machine.rank_share(TierKind::Dram, occ),
-                machine.rank_share(TierKind::Nvm, occ),
-                client.copy_rate(),
-                *cals
-                    .get(&occ)
-                    .expect("calibration computed per node occupancy for Unimem runs"),
-            )
-            .with_contention_penalties(
-                pressure(machine.nvm.read_bw, machine.dram.write_bw),
-                pressure(machine.dram.read_bw, machine.nvm.write_bw),
-            );
-            let mut committed = BTreeSet::new();
-            let mut grants = HashMap::new();
-            if cfg.initial_placement {
-                for u in initial_placement(&registry, per_rank(lease.at(0))) {
-                    if let Some(g) = service.reserve(rank, registry.unit_size(u)) {
-                        committed.insert(u);
-                        grants.insert(u, g);
-                    }
-                }
-            }
-            RankPolicy::Unimem(Box::new(UnimemState {
-                sampler: Sampler::new(
-                    cfg.sampler,
-                    cfg.seed ^ (rank as u64).wrapping_mul(0x9e3779b9),
-                ),
-                engine: MigrationEngine::new(HelperLink::Shared(client.clone())),
-                monitor: None,
-                profile: IterationProfile::new(),
-                refs: None,
-                enforcer: None,
-                committed,
-                grants,
-                profiling: true,
-                cap_per_rank: per_rank(lease.at(0)),
-                model,
-                cfg: cfg.clone(),
-            }))
-        }
-    };
+    // Set up the placement policy (partitioning + initial placement).
+    let mut state = policy.init_rank(RankInit {
+        machine,
+        registry: &mut registry,
+        service,
+        client: &client,
+        lease,
+        cals,
+        rank,
+    });
 
     let mut tracker = PhaseTracker::new();
     let mut stats = RunStats::default();
@@ -572,99 +370,60 @@ fn run_rank(
         tracker.begin_iteration();
         let steps = workload.script(rank, nranks, it);
 
-        // Build the reference table from the first iteration's structure
-        // (the directive-declared dependency information of §3.3).
-        if let RankPolicy::Unimem(st) = &mut rp {
-            if st.refs.is_none() {
-                st.refs = Some(build_refs(&steps, &registry));
-            }
-
-            // Lease boundary: the arbiter may have granted or revoked
-            // DRAM since the previous iteration. The knapsack capacity
-            // follows the lease; with a complete profile in hand the
-            // placement re-runs immediately, evicting revoked budget
-            // (the new plan fits the new capacity) or putting granted
-            // budget to use.
-            let cap_now = per_rank(lease.at(it));
-            if cap_now != st.cap_per_rank {
-                st.cap_per_rank = cap_now;
-                if !st.profiling && st.profile.len() == steps.len() {
-                    replace_plan(
-                        st,
-                        &registry,
-                        service,
-                        ctx,
-                        &mut stats,
-                        rank,
-                        steps.len(),
-                        (iterations - it).max(1) as u64,
-                    );
-                    stats.lease_replans += 1;
-                }
-            }
-        }
+        state.iteration_begin(
+            it,
+            &steps,
+            &mut StepEnv {
+                ctx,
+                stats: &mut stats,
+                registry: &registry,
+                service,
+                machine,
+                lease,
+                iterations,
+            },
+        );
 
         for (step_idx, step) in steps.iter().enumerate() {
             let phase = tracker.next_phase();
 
-            // Phase boundary: enforcement + queue sync.
-            if let RankPolicy::Unimem(st) = &mut rp {
-                if let (Some(enf), Some(refs)) = (st.enforcer.as_mut(), st.refs.as_ref()) {
-                    let phase_est = st.profile.get(phase).map(|r| r.time).unwrap_or(VDur::ZERO);
-                    let cost = enf.phase_begin(
-                        phase,
-                        ctx.now(),
-                        phase_est,
-                        refs,
-                        &registry,
-                        &mut st.engine,
-                        service,
-                    );
-                    ctx.advance(cost.sync + cost.stall);
-                    stats.sync_overhead += cost.sync;
-                    stats.migration_stall += cost.stall;
-                }
-            }
+            state.phase_begin(
+                phase,
+                &mut StepEnv {
+                    ctx,
+                    stats: &mut stats,
+                    registry: &registry,
+                    service,
+                    machine,
+                    lease,
+                    iterations,
+                },
+            );
 
             match step {
                 StepSpec::Compute(spec) => {
-                    let dram_units: &BTreeSet<UnitId> = match &rp {
-                        RankPolicy::Fixed { in_dram, .. } => in_dram,
-                        RankPolicy::Unimem(st) => st.dram_units(),
-                    };
-                    let all_dram = matches!(&rp, RankPolicy::Fixed { all_dram: true, .. });
-                    let (phase_time, truths, contention) = ground_truth(
-                        spec,
-                        &registry,
-                        dram_units,
-                        all_dram,
-                        cache,
-                        &client,
-                        ctx.now(),
-                    );
+                    let view = state.view();
+                    let (phase_time, truths, contention) =
+                        ground_truth(spec, &registry, view, cache, &client, ctx.now());
                     ctx.advance(phase_time);
                     stats.app_time += phase_time;
                     stats.contention_time += contention.total;
                     stats.neighbor_contention_time += contention.neighbors;
 
-                    if let RankPolicy::Unimem(st) = &mut rp {
-                        if st.profiling {
-                            let prof = st.sampler.sample_phase(phase_time, &truths);
-                            ctx.advance(prof.overhead);
-                            stats.profiling_overhead += prof.overhead;
-                            let mut rec = PhaseRecord::from_profile(&prof);
-                            rec.time = phase_time;
-                            st.profile.insert(phase, rec);
-                        }
-                        if !st.profiling {
-                            if let Some(mon) = &mut st.monitor {
-                                if mon.observe(phase, phase_time) && st.cfg.adaptation {
-                                    st.profiling = true;
-                                    stats.reprofiles += 1;
-                                }
-                            }
-                        }
-                    }
+                    state.observe_compute(
+                        phase,
+                        phase_time,
+                        &truths,
+                        &mut StepEnv {
+                            ctx,
+                            stats: &mut stats,
+                            registry: &registry,
+                            service,
+                            machine,
+                            lease,
+                            iterations,
+                        },
+                    );
                 }
                 comm => {
                     let t0 = ctx.now();
@@ -681,102 +440,42 @@ fn run_rank(
                     if !matches!(comm, StepSpec::Halo { .. }) {
                         client.fence(ctx.now());
                     }
-                    if let RankPolicy::Unimem(st) = &mut rp {
-                        if st.profiling {
-                            st.profile.insert(
-                                phase,
-                                PhaseRecord {
-                                    units: Vec::new(),
-                                    windows: st.sampler.windows_in(dt),
-                                    time: dt,
-                                },
-                            );
-                        }
-                    }
+                    state.observe_comm(
+                        phase,
+                        dt,
+                        &mut StepEnv {
+                            ctx,
+                            stats: &mut stats,
+                            registry: &registry,
+                            service,
+                            machine,
+                            lease,
+                            iterations,
+                        },
+                    );
                 }
             }
         }
 
-        // End of a profiled iteration: build models, decide, enforce.
-        if let RankPolicy::Unimem(st) = &mut rp {
-            if st.profiling && st.profile.len() == steps.len() {
-                replace_plan(
-                    st,
-                    &registry,
-                    service,
-                    ctx,
-                    &mut stats,
-                    rank,
-                    steps.len(),
-                    (iterations - it).max(1) as u64,
-                );
-            }
-        }
+        state.iteration_end(
+            it,
+            &steps,
+            &mut StepEnv {
+                ctx,
+                stats: &mut stats,
+                registry: &registry,
+                service,
+                machine,
+                lease,
+                iterations,
+            },
+        );
     }
 
     stats.total_time = ctx.now() - unimem_sim::VTime::ZERO;
     stats.iterations = iterations as u64;
-    let plan_kind = match &rp {
-        RankPolicy::Unimem(st) => {
-            stats.migrations = st.engine.stats();
-            st.enforcer.as_ref().map(|e| e.plan().kind)
-        }
-        _ => None,
-    };
+    let plan_kind = state.finish(&mut stats);
     (stats, plan_kind)
-}
-
-/// The placement decision step, shared by the end-of-profiling path and
-/// lease re-plans: charge the modeling cost, solve for the best plan at
-/// the *current* capacity (`st.cap_per_rank`), and swap in a fresh
-/// enforcer that transitions from the current DRAM contents. Resets the
-/// variation monitor — the new placement legitimately changes phase
-/// times, which must not read as workload variation.
-#[allow(clippy::too_many_arguments)]
-fn replace_plan(
-    st: &mut UnimemState,
-    registry: &ObjectRegistry,
-    service: &DramService,
-    ctx: &mut RankCtx,
-    stats: &mut RunStats,
-    rank: usize,
-    steps_len: usize,
-    remaining_iters: u64,
-) {
-    ctx.advance(st.cfg.modeling_cost);
-    stats.modeling_overhead += st.cfg.modeling_cost;
-    let refs = st.refs.as_ref().expect("refs built in first iteration");
-    let (committed, grants) = match st.enforcer.take() {
-        Some(e) => e.into_state(),
-        None => (
-            std::mem::take(&mut st.committed),
-            std::mem::take(&mut st.grants),
-        ),
-    };
-    let input = SearchInput {
-        registry,
-        profile: &st.profile,
-        refs,
-        model: &st.model,
-        capacity: st.cap_per_rank,
-        profiled_dram: &committed,
-        remaining_iters,
-    };
-    let plan = best_plan(&input, st.cfg.use_global, st.cfg.use_local);
-    let mut enf = Enforcer::new(
-        plan,
-        refs,
-        registry,
-        st.cap_per_rank,
-        committed,
-        grants,
-        rank,
-        st.cfg.sync_cost,
-    );
-    enf.enter_plan(ctx.now(), refs, registry, &mut st.engine, service);
-    st.enforcer = Some(enf);
-    st.monitor = Some(VariationMonitor::paper_default(steps_len));
-    st.profiling = false;
 }
 
 /// Extra phase time attributable to shared-bandwidth contention, split
@@ -808,11 +507,15 @@ struct AccessSite {
 /// from the uncontended time — a one-shot resolution of the
 /// time-depends-on-window circularity, documented in
 /// `unimem_hms::contention`.
+///
+/// The placement [`TierView`] decides each site's tier: explicit
+/// residency sets route a unit wholly to one tier, while the hardware
+/// cache's hit fraction splits a site into a DRAM part and an NVM part
+/// (misses rounded, bytes conserved).
 fn ground_truth(
     spec: &ComputeSpec,
     registry: &ObjectRegistry,
-    dram_units: &BTreeSet<UnitId>,
-    all_dram: bool,
+    view: TierView<'_>,
     cache: &CacheModel,
     bw: &BwClient,
     now: VTime,
@@ -829,19 +532,46 @@ fn ground_truth(
             if est.misses == 0 {
                 continue;
             }
-            let tier = if all_dram || dram_units.contains(&unit) {
-                TierKind::Dram
-            } else {
-                TierKind::Nvm
-            };
-            sites.push(AccessSite {
-                unit,
-                tier,
-                misses: est.misses,
-                miss_bytes: est.miss_bytes,
-                mlp: a.pattern.mlp(),
-                mix: a.mix,
-            });
+            match view {
+                TierView::Sets { in_dram, all_dram } => {
+                    let tier = if all_dram || in_dram.contains(&unit) {
+                        TierKind::Dram
+                    } else {
+                        TierKind::Nvm
+                    };
+                    sites.push(AccessSite {
+                        unit,
+                        tier,
+                        misses: est.misses,
+                        miss_bytes: est.miss_bytes,
+                        mlp: a.pattern.mlp(),
+                        mix: a.mix,
+                    });
+                }
+                TierView::Fraction(hit) => {
+                    let hit = hit.clamp(0.0, 1.0);
+                    let dram_misses = ((est.misses as f64) * hit).round() as u64;
+                    let dram_bytes = Bytes((est.miss_bytes.as_f64() * hit).round() as u64);
+                    let nvm_misses = est.misses - dram_misses;
+                    let nvm_bytes = est.miss_bytes - dram_bytes;
+                    for (tier, misses, miss_bytes) in [
+                        (TierKind::Dram, dram_misses, dram_bytes),
+                        (TierKind::Nvm, nvm_misses, nvm_bytes),
+                    ] {
+                        if misses == 0 {
+                            continue;
+                        }
+                        sites.push(AccessSite {
+                            unit,
+                            tier,
+                            misses,
+                            miss_bytes,
+                            mlp: a.pattern.mlp(),
+                            mix: a.mix,
+                        });
+                    }
+                }
+            }
         }
     }
     let site_time = |s: &AccessSite, dram: &TierParams, nvm: &TierParams| {
@@ -920,23 +650,6 @@ fn run_comm(ctx: &mut RankCtx, step: &StepSpec, iter: usize, step_idx: usize) {
         }
         StepSpec::Compute(_) => unreachable!("compute handled by caller"),
     }
-}
-
-/// Reference table from the script: a phase references the units of every
-/// object its descriptors touch. Communication phases reference nothing
-/// (packing traffic lives in the adjacent compute descriptors).
-fn build_refs(steps: &[StepSpec], registry: &ObjectRegistry) -> PhaseRefTable {
-    let mut refs = PhaseRefTable::new(steps.len());
-    for (i, step) in steps.iter().enumerate() {
-        if let StepSpec::Compute(spec) = step {
-            for acc in &spec.accesses {
-                for unit in registry.get(acc.obj).units() {
-                    refs.add_ref(PhaseId(i as u32), unit);
-                }
-            }
-        }
-    }
-    refs
 }
 
 #[cfg(test)]
@@ -1092,5 +805,58 @@ mod tests {
         assert!(c0.use_global && !c0.use_local && !c0.partitioning && !c0.initial_placement);
         let c3 = UnimemConfig::ablation(4);
         assert!(c3.use_global && c3.use_local && c3.partitioning && c3.initial_placement);
+    }
+
+    #[test]
+    fn online_guidance_lands_between_dram_and_nvm() {
+        let w = Synth { iters: 10 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let dram = run_workload(&w, &m, &c, 2, &Policy::DramOnly).time();
+        let nvm = run_workload(&w, &m, &c, 2, &Policy::NvmOnly).time();
+        let online = run_workload(&w, &m, &c, 2, &Policy::online_guidance());
+        assert_eq!(online.policy, "Online-guidance");
+        let t = online.time();
+        assert!(t.secs() <= nvm.secs() * 1.001, "online={t} nvm={nvm}");
+        assert!(t.secs() >= dram.secs() * 0.999, "online={t} dram={dram}");
+        // The first interval runs cold, but promotion of `hot` must
+        // close most of the gap afterwards.
+        let gap_closed = (nvm.secs() - t.secs()) / (nvm.secs() - dram.secs());
+        assert!(gap_closed > 0.4, "gap closed only {gap_closed:.2}");
+        assert!(online.job.migrations.count > 0, "no promotions happened");
+    }
+
+    #[test]
+    fn hw_cache_lands_between_dram_and_nvm_with_zero_software_cost() {
+        let w = Synth { iters: 10 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        let dram = run_workload(&w, &m, &c, 2, &Policy::DramOnly).time();
+        let nvm = run_workload(&w, &m, &c, 2, &Policy::NvmOnly).time();
+        let hw = run_workload(&w, &m, &c, 2, &Policy::hw_cache());
+        assert_eq!(hw.policy, "HW-cache");
+        let t = hw.time();
+        assert!(t.secs() <= nvm.secs() * 1.001, "hw={t} nvm={nvm}");
+        assert!(t.secs() >= dram.secs() * 0.999, "hw={t} dram={dram}");
+        // Hardware management charges the software nothing.
+        assert_eq!(hw.job.pure_runtime_cost(), 0.0);
+        assert_eq!(hw.job.migrations.count, 0);
+    }
+
+    #[test]
+    fn new_policies_replay_deterministically() {
+        let w = Synth { iters: 6 };
+        let m = machine();
+        let c = CacheModel::platform_a();
+        for policy in [Policy::online_guidance(), Policy::hw_cache()] {
+            let a = run_workload(&w, &m, &c, 4, &policy);
+            let b = run_workload(&w, &m, &c, 4, &policy);
+            assert_eq!(
+                a.to_json().to_pretty(),
+                b.to_json().to_pretty(),
+                "{} replay diverged",
+                policy.label()
+            );
+        }
     }
 }

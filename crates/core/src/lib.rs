@@ -27,6 +27,10 @@
 //! * [`adapt`] — workload-variation monitor (>10% phase-time deviation
 //!   re-triggers profiling, §3.2).
 //! * [`stats`] — run statistics: Table 4 counters and "pure runtime cost".
+//! * [`policy`] — the pluggable placement-policy framework: the
+//!   [`policy::PlacementPolicy`] trait, the [`policy::PolicyId`] name
+//!   registry, and every competitor implementation (DRAM-only, NVM-only,
+//!   static pins, Unimem, online guidance, hardware DRAM cache).
 //! * [`exec`] — the driver: runs a [`exec::Workload`] under a
 //!   [`exec::Policy`] on a machine model and reports times + stats.
 //! * [`tenancy`] — multi-tenant co-runs: N independent Unimem instances
@@ -42,6 +46,7 @@ pub mod initial;
 pub mod knapsack;
 pub mod model;
 pub mod partition;
+pub mod policy;
 pub mod profile;
 pub mod search;
 pub mod stats;
@@ -53,5 +58,6 @@ pub use exec::{
     Workload,
 };
 pub use model::{ModelParams, Sensitivity};
+pub use policy::{PlacementPolicy, PolicyId};
 pub use stats::RunStats;
 pub use tenancy::{run_corun, run_corun_with_solos, CorunTenant, TenantOutcome};

@@ -1,0 +1,144 @@
+//! DRAM as a hardware-managed cache over NVM (after Wen et al.,
+//! "Hardware Memory Management for Future Mobile Hybrid Memory
+//! Systems"): no software placement at all — every miss from the CPU
+//! cache hierarchy probes a set-associative DRAM cache in front of NVM.
+//!
+//! The hit model is deliberately simple and fully analytic. Each
+//! iteration observes the footprint actually touched (the union of
+//! units with main-memory misses) and serves the *next* iteration with
+//! a uniform DRAM-hit fraction
+//!
+//! ```text
+//! h = min(1, C_eff / W),   C_eff = per-rank DRAM share · (1 − 1/(2a))
+//! ```
+//!
+//! where `a` is the associativity — the `1/(2a)` term is the standard
+//! conflict-miss discount for a set-associative array under a uniform
+//! working set. The first iteration runs cold (`h = 0`). Fill traffic
+//! for NVM-served misses is charged through the existing shared
+//! `BwLedger` channels as an NVM-read + DRAM-write flow over the phase
+//! window, so co-located ranks pay for cache fills exactly as they pay
+//! for helper-thread copies.
+//!
+//! There is no sampling, no RNG, and no decision thread: zero software
+//! overhead (the paper's selling point for hardware management), at the
+//! price of no phase awareness and cache-filtered hit behaviour that
+//! tracks the footprint, not the benefit.
+
+use super::{PlacementPolicy, PolicyId, RankInit, RankState, StepEnv, TierView};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use unimem_hms::contention::BwClient;
+use unimem_hms::object::UnitId;
+use unimem_hms::tier::TierKind;
+use unimem_mpi::PhaseId;
+use unimem_perf::sampler::GroundTruth;
+use unimem_sim::{Bytes, VDur, VTime};
+
+/// Configuration for the hardware DRAM-cache policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HwCacheConfig {
+    /// Set associativity of the DRAM cache (the conflict-miss discount
+    /// is `1 − 1/(2·assoc)`).
+    pub assoc: u32,
+}
+
+impl Default for HwCacheConfig {
+    fn default() -> HwCacheConfig {
+        HwCacheConfig { assoc: 8 }
+    }
+}
+
+/// The hardware DRAM-cache policy.
+pub struct HwCache(pub HwCacheConfig);
+
+impl PlacementPolicy for HwCache {
+    fn id(&self) -> PolicyId {
+        PolicyId::HwCache
+    }
+
+    fn label(&self) -> &str {
+        "HW-cache"
+    }
+
+    fn init_rank(&self, init: RankInit<'_>) -> Box<dyn RankState> {
+        let assoc = f64::from(self.0.assoc.max(1));
+        let cap_eff = init.per_rank(init.lease.at(0)).as_f64() * (1.0 - 1.0 / (2.0 * assoc));
+        Box::new(HwCacheRank {
+            cap_eff,
+            frac: 0.0,
+            touched: BTreeSet::new(),
+            client: init.client.clone(),
+            phase_start: VTime::ZERO,
+        })
+    }
+}
+
+/// Per-rank hardware-cache state.
+struct HwCacheRank {
+    /// Effective cache capacity in bytes (associativity-discounted
+    /// per-rank DRAM share).
+    cap_eff: f64,
+    /// DRAM-hit fraction served during the current iteration.
+    frac: f64,
+    /// Units with main-memory misses this iteration (next iteration's
+    /// resident-footprint estimate).
+    touched: BTreeSet<UnitId>,
+    client: BwClient,
+    phase_start: VTime,
+}
+
+impl RankState for HwCacheRank {
+    fn phase_begin(&mut self, _phase: PhaseId, env: &mut StepEnv<'_>) {
+        // Hardware management costs the software nothing; remember the
+        // phase window for the fill-traffic flows.
+        self.phase_start = env.ctx.now();
+    }
+
+    fn view(&self) -> TierView<'_> {
+        TierView::Fraction(self.frac)
+    }
+
+    fn observe_compute(
+        &mut self,
+        _phase: PhaseId,
+        _time: VDur,
+        truths: &[GroundTruth],
+        env: &mut StepEnv<'_>,
+    ) {
+        let mut nvm_bytes = 0.0;
+        for t in truths {
+            if t.misses > 0 {
+                self.touched.insert(t.unit);
+                nvm_bytes += t.miss_bytes.as_f64() * (1.0 - self.frac);
+            }
+        }
+        // Cache fills copy the NVM-served bytes into DRAM during the
+        // phase; post them on the shared ledger so co-located ranks'
+        // overlapping phases contend with the fill stream.
+        let fill = Bytes(nvm_bytes as u64);
+        if !fill.is_zero() {
+            self.client
+                .post_copy(TierKind::Dram, self.phase_start, env.ctx.now(), fill);
+        }
+    }
+
+    fn iteration_end(
+        &mut self,
+        _it: usize,
+        _steps: &[crate::exec::StepSpec],
+        env: &mut StepEnv<'_>,
+    ) {
+        let footprint: f64 = self
+            .touched
+            .iter()
+            .map(|&u| env.registry.unit_size(u).as_f64())
+            .sum();
+        self.frac = if footprint > 0.0 {
+            (self.cap_eff / footprint).min(1.0)
+        } else {
+            1.0
+        };
+        self.touched.clear();
+    }
+}

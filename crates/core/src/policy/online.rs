@@ -1,0 +1,267 @@
+//! Interval-based online application guidance (after Olson et al.,
+//! "Online Application Guidance for Heterogeneous Memory Systems"):
+//! sample object hotness while the application runs, and at every
+//! iteration boundary greedily promote the hottest bytes-per-reference
+//! winners into the leased DRAM budget.
+//!
+//! The contrast with Unimem is deliberate and faithful to both papers:
+//! this policy sees *aggregate per-object* hotness over a whole
+//! interval — no phase structure, no cross-phase dependency windows, no
+//! movement-cost model — so it keeps chasing the working set one
+//! interval behind, pays cold-start misses during the first interval,
+//! and cannot overlap migrations with the phases that do not touch the
+//! moving unit. Its sampling is deterministic: hotness counts are
+//! binomial-thinned through `unimem_sim::DetRng`, seeded per rank, so
+//! runs replay byte-identically at any worker count.
+
+use super::{build_refs, PlacementPolicy, PolicyId, RankInit, RankState, StepEnv, TierView};
+use crate::deps::PhaseRefTable;
+use crate::exec::StepSpec;
+use crate::search::SearchKind;
+use crate::stats::RunStats;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use unimem_hms::contention::HelperLink;
+use unimem_hms::object::UnitId;
+use unimem_hms::tier::TierKind;
+use unimem_hms::MigrationEngine;
+use unimem_mpi::PhaseId;
+use unimem_perf::sampler::GroundTruth;
+use unimem_sim::{Bytes, DetRng, VDur};
+
+/// Configuration for the online-guidance policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Per-miss sampling probability of the hotness profiler.
+    pub sample_prob: f64,
+    /// EWMA retention of previous intervals' hotness (0 forgets
+    /// instantly, 1 never forgets).
+    pub decay: f64,
+    /// Residency hysteresis: a challenger must beat a resident unit's
+    /// reference density by this factor to displace it. Guards against
+    /// boundary ping-pong when sampled counts jitter between intervals
+    /// (small per-rank miss counts make the thinned samples noisy at
+    /// scale, and an oscillating hot set would migrate the same bytes
+    /// back and forth every interval).
+    pub hysteresis: f64,
+    /// Seed for the deterministic sampling thinning.
+    pub seed: u64,
+    /// Cost charged per interval decision (sort + greedy fill).
+    pub decision_cost: VDur,
+    /// Cost charged per phase boundary (migration-queue check).
+    pub sync_cost: VDur,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> OnlineConfig {
+        OnlineConfig {
+            sample_prob: 1e-3,
+            decay: 0.5,
+            hysteresis: 2.0,
+            seed: 0x01_5eed,
+            decision_cost: VDur::from_micros(60.0),
+            sync_cost: VDur::from_nanos(250.0),
+        }
+    }
+}
+
+/// The online-guidance policy.
+pub struct OnlineGuidance(pub OnlineConfig);
+
+impl PlacementPolicy for OnlineGuidance {
+    fn id(&self) -> PolicyId {
+        PolicyId::OnlineGuidance
+    }
+
+    fn label(&self) -> &str {
+        "Online-guidance"
+    }
+
+    fn supports_moving_lease(&self) -> bool {
+        true
+    }
+
+    fn init_rank(&self, init: RankInit<'_>) -> Box<dyn RankState> {
+        Box::new(OnlineRank {
+            rng: DetRng::seed(self.0.seed ^ (init.rank as u64).wrapping_mul(0x9e3779b9)),
+            hotness: BTreeMap::new(),
+            interval: BTreeMap::new(),
+            in_dram: BTreeSet::new(),
+            grants: HashMap::new(),
+            engine: MigrationEngine::new(HelperLink::Shared(init.client.clone())),
+            refs: None,
+            cap_per_rank: init.per_rank(init.lease.at(0)),
+            rank: init.rank,
+            decided: false,
+            cfg: self.0.clone(),
+        })
+    }
+}
+
+/// Per-rank online-guidance state.
+struct OnlineRank {
+    cfg: OnlineConfig,
+    rng: DetRng,
+    /// EWMA-decayed sampled reference counts per unit.
+    hotness: BTreeMap<UnitId, f64>,
+    /// Samples accumulated during the current interval.
+    interval: BTreeMap<UnitId, u64>,
+    /// Units currently resident in DRAM (always within the lease).
+    in_dram: BTreeSet<UnitId>,
+    grants: HashMap<UnitId, unimem_hms::alloc::Region>,
+    engine: MigrationEngine,
+    refs: Option<PhaseRefTable>,
+    cap_per_rank: Bytes,
+    rank: usize,
+    /// True once the first interval decision has run.
+    decided: bool,
+}
+
+impl OnlineRank {
+    /// The interval decision: greedily fill the leased budget with the
+    /// hottest units by sampled references per byte, then enqueue the
+    /// placement diff on the migration helper (evictions first, so the
+    /// freed grants can back the admissions).
+    fn replan(&mut self, env: &mut StepEnv<'_>) {
+        env.ctx.advance(self.cfg.decision_cost);
+        env.stats.modeling_overhead += self.cfg.decision_cost;
+
+        let mut scored: Vec<(UnitId, f64)> = self
+            .hotness
+            .iter()
+            .filter(|&(_, &h)| h > 0.0)
+            .map(|(&u, &h)| {
+                let boost = if self.in_dram.contains(&u) {
+                    self.cfg.hysteresis
+                } else {
+                    1.0
+                };
+                (u, h * boost / env.registry.unit_size(u).as_f64().max(1.0))
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite hotness densities")
+                .then(a.0.cmp(&b.0))
+        });
+        let cap = self.cap_per_rank.get();
+        let mut used = 0u64;
+        let mut target = BTreeSet::new();
+        for (u, _) in scored {
+            let sz = env.registry.unit_size(u).get();
+            if used + sz <= cap {
+                used += sz;
+                target.insert(u);
+            }
+        }
+
+        let evict: Vec<UnitId> = self.in_dram.difference(&target).copied().collect();
+        for u in evict {
+            self.in_dram.remove(&u);
+            if let Some(g) = self.grants.remove(&u) {
+                env.service.release(self.rank, g);
+            }
+            self.engine
+                .enqueue(u, TierKind::Nvm, env.registry.unit_size(u), env.ctx.now());
+        }
+        let admit: Vec<UnitId> = target.difference(&self.in_dram).copied().collect();
+        for u in admit {
+            let sz = env.registry.unit_size(u);
+            // A refused grant (another tenant holds the node's slack)
+            // simply leaves the unit in NVM until the next interval.
+            if let Some(g) = env.service.reserve(self.rank, sz) {
+                self.grants.insert(u, g);
+                self.in_dram.insert(u);
+                self.engine.enqueue(u, TierKind::Dram, sz, env.ctx.now());
+            }
+        }
+        self.decided = true;
+
+        // The lease is a hard budget: residency beyond it would be
+        // stolen DRAM under multi-tenant arbitration. The greedy fill
+        // above guarantees this; keep it guaranteed.
+        let resident: u64 = self
+            .in_dram
+            .iter()
+            .map(|&u| env.registry.unit_size(u).get())
+            .sum();
+        assert!(
+            resident <= cap,
+            "online-guidance residency {resident} B exceeds the leased budget {cap} B"
+        );
+    }
+}
+
+impl RankState for OnlineRank {
+    fn iteration_begin(&mut self, it: usize, steps: &[StepSpec], env: &mut StepEnv<'_>) {
+        if self.refs.is_none() {
+            self.refs = Some(build_refs(steps, env.registry));
+        }
+        // Lease boundary: re-run the interval decision at the new
+        // budget so revoked DRAM is evicted immediately (granted budget
+        // is also picked up here rather than an interval late).
+        let cap_now = env.per_rank(env.lease.at(it));
+        if cap_now != self.cap_per_rank {
+            self.cap_per_rank = cap_now;
+            if self.decided {
+                self.replan(env);
+                env.stats.lease_replans += 1;
+            }
+        }
+    }
+
+    fn phase_begin(&mut self, phase: PhaseId, env: &mut StepEnv<'_>) {
+        // Guidance is phase-blind, but correctness is not: a phase that
+        // touches a unit still in the helper's queue must wait for the
+        // copy, exactly like Unimem's enforcement stall.
+        let Some(refs) = self.refs.as_ref() else {
+            return;
+        };
+        let mut stall = VDur::ZERO;
+        for u in refs.units_of(phase) {
+            stall += self.engine.require(u, env.ctx.now() + stall);
+        }
+        env.ctx.advance(self.cfg.sync_cost + stall);
+        env.stats.sync_overhead += self.cfg.sync_cost;
+        env.stats.migration_stall += stall;
+    }
+
+    fn view(&self) -> TierView<'_> {
+        TierView::Sets {
+            in_dram: &self.in_dram,
+            all_dram: false,
+        }
+    }
+
+    fn observe_compute(
+        &mut self,
+        _phase: PhaseId,
+        _time: VDur,
+        truths: &[GroundTruth],
+        _env: &mut StepEnv<'_>,
+    ) {
+        for t in truths {
+            let sampled = self.rng.binomial(t.misses, self.cfg.sample_prob);
+            if sampled > 0 {
+                *self.interval.entry(t.unit).or_insert(0) += sampled;
+            }
+        }
+    }
+
+    fn iteration_end(&mut self, _it: usize, _steps: &[StepSpec], env: &mut StepEnv<'_>) {
+        // Interval boundary: decay history, fold in this interval's
+        // samples, and re-decide the placement.
+        for h in self.hotness.values_mut() {
+            *h *= self.cfg.decay;
+        }
+        for (u, c) in std::mem::take(&mut self.interval) {
+            *self.hotness.entry(u).or_insert(0.0) += c as f64;
+        }
+        self.replan(env);
+    }
+
+    fn finish(&mut self, stats: &mut RunStats) -> Option<SearchKind> {
+        stats.migrations = self.engine.stats();
+        None
+    }
+}

@@ -1,0 +1,359 @@
+//! The paper's runtime as a [`PlacementPolicy`]: sampled profiling,
+//! knapsack-guided search, proactive enforcement, re-profiling on
+//! variation — §3.1's profile → decide → enforce loop, driven through
+//! the policy lifecycle hooks.
+
+use super::{build_refs, PlacementPolicy, PolicyId, RankInit, RankState, StepEnv, TierView};
+use crate::adapt::VariationMonitor;
+use crate::deps::PhaseRefTable;
+use crate::enforce::Enforcer;
+use crate::exec::StepSpec;
+use crate::initial::initial_placement;
+use crate::model::ModelParams;
+use crate::partition::{partition_large_objects, PartitionPolicy};
+use crate::profile::{IterationProfile, PhaseRecord};
+use crate::search::{best_plan, SearchInput, SearchKind};
+use crate::stats::RunStats;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use unimem_hms::contention::HelperLink;
+use unimem_hms::object::UnitId;
+use unimem_hms::tier::TierKind;
+use unimem_hms::MigrationEngine;
+use unimem_mpi::PhaseId;
+use unimem_perf::sampler::GroundTruth;
+use unimem_perf::{Sampler, SamplerConfig};
+use unimem_sim::{Bytes, VDur};
+
+/// Runtime configuration for the Unimem policy, with ablation toggles
+/// matching Fig. 11's four techniques.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnimemConfig {
+    /// Enable the cross-phase global search.
+    pub use_global: bool,
+    /// Enable the phase-local search.
+    pub use_local: bool,
+    /// Enable large-object partitioning (§3.2).
+    pub partitioning: bool,
+    /// Enable estimate-driven initial placement (§3.2).
+    pub initial_placement: bool,
+    /// Enable re-profiling on workload variation (§3.2).
+    pub adaptation: bool,
+    /// Hardware-counter sampling configuration.
+    pub sampler: SamplerConfig,
+    /// Seed for the sampler's deterministic thinning.
+    pub seed: u64,
+    /// Cost charged per placement decision (model + knapsack solve).
+    pub modeling_cost: VDur,
+    /// Cost charged per phase boundary (helper-queue status check).
+    pub sync_cost: VDur,
+    /// How large objects split into chunks (§3.2).
+    pub partition_policy: PartitionPolicy,
+}
+
+impl Default for UnimemConfig {
+    fn default() -> UnimemConfig {
+        UnimemConfig {
+            use_global: true,
+            use_local: true,
+            partitioning: true,
+            initial_placement: true,
+            adaptation: true,
+            sampler: SamplerConfig::default(),
+            seed: 0x5eed,
+            modeling_cost: VDur::from_micros(120.0),
+            sync_cost: VDur::from_nanos(250.0),
+            partition_policy: PartitionPolicy::default(),
+        }
+    }
+}
+
+impl UnimemConfig {
+    /// Fig. 11 ablation rungs: 1 = global only, 2 = +local, 3 =
+    /// +partitioning, 4 = +initial placement (full system sans adaptation
+    /// toggles, which stay on).
+    pub fn ablation(rung: u8) -> UnimemConfig {
+        UnimemConfig {
+            use_global: rung >= 1,
+            use_local: rung >= 2,
+            partitioning: rung >= 3,
+            initial_placement: rung >= 4,
+            ..UnimemConfig::default()
+        }
+    }
+}
+
+/// The paper's runtime.
+pub struct UnimemPolicy(pub UnimemConfig);
+
+impl PlacementPolicy for UnimemPolicy {
+    fn id(&self) -> PolicyId {
+        PolicyId::Unimem
+    }
+
+    fn label(&self) -> &str {
+        "Unimem"
+    }
+
+    fn supports_moving_lease(&self) -> bool {
+        true
+    }
+
+    fn sampler_calibration(&self) -> Option<(SamplerConfig, u64)> {
+        Some((self.0.sampler, self.0.seed))
+    }
+
+    fn init_rank(&self, init: RankInit<'_>) -> Box<dyn RankState> {
+        let cfg = &self.0;
+        if cfg.partitioning {
+            // Chunks are sized against the lease's peak: a chunk that
+            // fits DRAM at the high-water lease simply stays in NVM
+            // while the lease is lower.
+            partition_large_objects(
+                init.registry,
+                init.per_rank(init.lease.peak()),
+                cfg.partition_policy,
+            );
+        }
+        // The models reason about this rank's share of the node: tier
+        // bandwidth over occupancy and the helper's fair copy-path
+        // slice. The Eq. 4 contention terms charge hidden copies for
+        // the load they put on the pools each direction actually
+        // touches — an admission reads NVM and writes DRAM, an
+        // eviction the reverse (which is far harsher on
+        // write-asymmetric technologies).
+        let machine = init.machine;
+        let occ = init.client.occupancy();
+        let rho = init.client.copy_rate().bytes_per_s();
+        let pressure = |read_pool: unimem_sim::Bandwidth, write_pool: unimem_sim::Bandwidth| {
+            if machine.helper_contention {
+                rho / read_pool.bytes_per_s().min(write_pool.bytes_per_s())
+            } else {
+                0.0
+            }
+        };
+        let model = ModelParams::new(
+            machine.rank_share(TierKind::Dram, occ),
+            machine.rank_share(TierKind::Nvm, occ),
+            init.client.copy_rate(),
+            *init
+                .cals
+                .get(&occ)
+                .expect("calibration computed per node occupancy for Unimem runs"),
+        )
+        .with_contention_penalties(
+            pressure(machine.nvm.read_bw, machine.dram.write_bw),
+            pressure(machine.dram.read_bw, machine.nvm.write_bw),
+        );
+        let mut committed = BTreeSet::new();
+        let mut grants = HashMap::new();
+        if cfg.initial_placement {
+            for u in initial_placement(init.registry, init.per_rank(init.lease.at(0))) {
+                if let Some(g) = init.service.reserve(init.rank, init.registry.unit_size(u)) {
+                    committed.insert(u);
+                    grants.insert(u, g);
+                }
+            }
+        }
+        Box::new(UnimemRank {
+            sampler: Sampler::new(
+                cfg.sampler,
+                cfg.seed ^ (init.rank as u64).wrapping_mul(0x9e3779b9),
+            ),
+            engine: MigrationEngine::new(HelperLink::Shared(init.client.clone())),
+            monitor: None,
+            profile: IterationProfile::new(),
+            refs: None,
+            enforcer: None,
+            committed,
+            grants,
+            profiling: true,
+            cap_per_rank: init.per_rank(init.lease.at(0)),
+            model,
+            cfg: cfg.clone(),
+            rank: init.rank,
+        })
+    }
+}
+
+/// Per-rank Unimem state: the profile → decide → enforce pipeline.
+struct UnimemRank {
+    cfg: UnimemConfig,
+    model: ModelParams,
+    sampler: Sampler,
+    engine: MigrationEngine,
+    monitor: Option<VariationMonitor>,
+    profile: IterationProfile,
+    refs: Option<PhaseRefTable>,
+    enforcer: Option<Enforcer>,
+    /// Pre-plan DRAM contents (initial placement) and their grants.
+    committed: BTreeSet<UnitId>,
+    grants: HashMap<UnitId, unimem_hms::alloc::Region>,
+    profiling: bool,
+    cap_per_rank: Bytes,
+    rank: usize,
+}
+
+impl UnimemRank {
+    fn dram_units(&self) -> &BTreeSet<UnitId> {
+        self.enforcer
+            .as_ref()
+            .map(|e| e.committed())
+            .unwrap_or(&self.committed)
+    }
+
+    /// The placement decision step, shared by the end-of-profiling path
+    /// and lease re-plans: charge the modeling cost, solve for the best
+    /// plan at the *current* capacity (`self.cap_per_rank`), and swap in
+    /// a fresh enforcer that transitions from the current DRAM contents.
+    /// Resets the variation monitor — the new placement legitimately
+    /// changes phase times, which must not read as workload variation.
+    fn replace_plan(&mut self, env: &mut StepEnv<'_>, steps_len: usize, remaining_iters: u64) {
+        env.ctx.advance(self.cfg.modeling_cost);
+        env.stats.modeling_overhead += self.cfg.modeling_cost;
+        let refs = self.refs.as_ref().expect("refs built in first iteration");
+        let (committed, grants) = match self.enforcer.take() {
+            Some(e) => e.into_state(),
+            None => (
+                std::mem::take(&mut self.committed),
+                std::mem::take(&mut self.grants),
+            ),
+        };
+        let input = SearchInput {
+            registry: env.registry,
+            profile: &self.profile,
+            refs,
+            model: &self.model,
+            capacity: self.cap_per_rank,
+            profiled_dram: &committed,
+            remaining_iters,
+        };
+        let plan = best_plan(&input, self.cfg.use_global, self.cfg.use_local);
+        let mut enf = Enforcer::new(
+            plan,
+            refs,
+            env.registry,
+            self.cap_per_rank,
+            committed,
+            grants,
+            self.rank,
+            self.cfg.sync_cost,
+        );
+        enf.enter_plan(
+            env.ctx.now(),
+            refs,
+            env.registry,
+            &mut self.engine,
+            env.service,
+        );
+        self.enforcer = Some(enf);
+        self.monitor = Some(VariationMonitor::paper_default(steps_len));
+        self.profiling = false;
+    }
+}
+
+impl RankState for UnimemRank {
+    fn iteration_begin(&mut self, it: usize, steps: &[StepSpec], env: &mut StepEnv<'_>) {
+        // Build the reference table from the first iteration's structure
+        // (the directive-declared dependency information of §3.3).
+        if self.refs.is_none() {
+            self.refs = Some(build_refs(steps, env.registry));
+        }
+
+        // Lease boundary: the arbiter may have granted or revoked
+        // DRAM since the previous iteration. The knapsack capacity
+        // follows the lease; with a complete profile in hand the
+        // placement re-runs immediately, evicting revoked budget
+        // (the new plan fits the new capacity) or putting granted
+        // budget to use.
+        let cap_now = env.per_rank(env.lease.at(it));
+        if cap_now != self.cap_per_rank {
+            self.cap_per_rank = cap_now;
+            if !self.profiling && self.profile.len() == steps.len() {
+                self.replace_plan(env, steps.len(), (env.iterations - it).max(1) as u64);
+                env.stats.lease_replans += 1;
+            }
+        }
+    }
+
+    fn phase_begin(&mut self, phase: PhaseId, env: &mut StepEnv<'_>) {
+        // Phase boundary: enforcement + queue sync.
+        if let (Some(enf), Some(refs)) = (self.enforcer.as_mut(), self.refs.as_ref()) {
+            let phase_est = self
+                .profile
+                .get(phase)
+                .map(|r| r.time)
+                .unwrap_or(VDur::ZERO);
+            let cost = enf.phase_begin(
+                phase,
+                env.ctx.now(),
+                phase_est,
+                refs,
+                env.registry,
+                &mut self.engine,
+                env.service,
+            );
+            env.ctx.advance(cost.sync + cost.stall);
+            env.stats.sync_overhead += cost.sync;
+            env.stats.migration_stall += cost.stall;
+        }
+    }
+
+    fn view(&self) -> TierView<'_> {
+        TierView::Sets {
+            in_dram: self.dram_units(),
+            all_dram: false,
+        }
+    }
+
+    fn observe_compute(
+        &mut self,
+        phase: PhaseId,
+        time: VDur,
+        truths: &[GroundTruth],
+        env: &mut StepEnv<'_>,
+    ) {
+        if self.profiling {
+            let prof = self.sampler.sample_phase(time, truths);
+            env.ctx.advance(prof.overhead);
+            env.stats.profiling_overhead += prof.overhead;
+            let mut rec = PhaseRecord::from_profile(&prof);
+            rec.time = time;
+            self.profile.insert(phase, rec);
+        }
+        if !self.profiling {
+            if let Some(mon) = &mut self.monitor {
+                if mon.observe(phase, time) && self.cfg.adaptation {
+                    self.profiling = true;
+                    env.stats.reprofiles += 1;
+                }
+            }
+        }
+    }
+
+    fn observe_comm(&mut self, phase: PhaseId, dt: VDur, env: &mut StepEnv<'_>) {
+        let _ = env;
+        if self.profiling {
+            self.profile.insert(
+                phase,
+                PhaseRecord {
+                    units: Vec::new(),
+                    windows: self.sampler.windows_in(dt),
+                    time: dt,
+                },
+            );
+        }
+    }
+
+    fn iteration_end(&mut self, it: usize, steps: &[StepSpec], env: &mut StepEnv<'_>) {
+        // End of a profiled iteration: build models, decide, enforce.
+        if self.profiling && self.profile.len() == steps.len() {
+            self.replace_plan(env, steps.len(), (env.iterations - it).max(1) as u64);
+        }
+    }
+
+    fn finish(&mut self, stats: &mut RunStats) -> Option<SearchKind> {
+        stats.migrations = self.engine.stats();
+        self.enforcer.as_ref().map(|e| e.plan().kind)
+    }
+}

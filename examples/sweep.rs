@@ -98,7 +98,7 @@ fn main() -> ExitCode {
                     .collect()
             }
             "--policies" => {
-                cfg.policies = parse_csv(&value("--policies"), "policy", PolicyKind::parse)
+                cfg.policies = parse_csv(&value("--policies"), "policy", PolicyKind::from_name)
             }
             "--profiles" => {
                 cfg.profiles = parse_csv(&value("--profiles"), "profile", NvmProfile::parse);

@@ -32,7 +32,10 @@ fn reduced() -> &'static SweepReport {
 fn reduced_matrix_has_full_coverage() {
     let rep = reduced();
     let cfg = &rep.config;
-    assert!(cfg.policies.len() >= 4, "matrix covers all four policies");
+    assert!(
+        cfg.policies.len() >= 6,
+        "matrix covers the whole policy registry"
+    );
     assert!(
         cfg.workloads.len() >= 5,
         "matrix covers at least five workloads"
@@ -109,6 +112,20 @@ fn unimem_between_dram_and_nvm_and_beats_xmem_on_nek() {
                         "{w}/{}/r{nranks}: unimem {uni:.4}s exceeds dram-only {dram:.4}s x {}",
                         profile.name(),
                         tol.dram_tracking
+                    );
+                    // Placement-philosophy ordering (v4 axis): phase-aware
+                    // planning ≤ phase-blind interval guidance ≤ never
+                    // promoting, each within slack.
+                    let online = t(PolicyKind::OnlineGuidance);
+                    assert!(
+                        uni <= online * tol.policy_ordering,
+                        "{w}/{}/r{nranks}: unimem {uni:.4}s loses to online-guidance {online:.4}s",
+                        profile.name()
+                    );
+                    assert!(
+                        online <= nvm * tol.policy_ordering,
+                        "{w}/{}/r{nranks}: online-guidance {online:.4}s loses to nvm-only {nvm:.4}s",
+                        profile.name()
                     );
                 }
             }
@@ -291,9 +308,9 @@ fn sweep_json_matches_schema() {
     let j = reduced().to_json();
     assert_eq!(
         j.get("schema").and_then(Json::as_str),
-        Some("unimem-bench-sweep/v3")
+        Some("unimem-bench-sweep/v4")
     );
-    // v3: the node-layout axis.
+    // v3: the node-layout axis (v4 only widened the policy vocabulary).
     assert!(j
         .get("ranks_per_node")
         .and_then(Json::as_arr)

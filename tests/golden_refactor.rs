@@ -1,0 +1,47 @@
+//! Refactor guard for the placement-policy extraction: the four legacy
+//! policies, regenerated through the `PlacementPolicy` trait machinery,
+//! must reproduce the pre-refactor `BENCH_sweep.json` byte-for-byte.
+//!
+//! `tests/golden/BENCH_sweep_v3.json` is the committed v3 baseline —
+//! the reduced matrix as emitted by the enum-dispatch implementation
+//! the trait replaced. Restricting today's reduced matrix to the same
+//! four policies must produce the same bytes (modulo only the schema
+//! tag, which moved to v4 when the axis widened). Any drift here means
+//! the refactor changed simulated behavior, not just code structure.
+
+use unimem_repro::bench::sweep::{run_sweep_jobs, PolicyKind, SweepConfig};
+
+#[test]
+fn legacy_policies_reproduce_the_v3_golden_bytes() {
+    let mut cfg = SweepConfig::reduced();
+    cfg.policies = vec![
+        PolicyKind::Unimem,
+        PolicyKind::Xmem,
+        PolicyKind::DramOnly,
+        PolicyKind::NvmOnly,
+    ];
+    let report = run_sweep_jobs(&cfg, 4).expect("reduced legacy sweep runs");
+    let mut got = report.to_json().to_pretty();
+
+    // The only sanctioned difference: the schema tag. v4 changed the
+    // axis vocabulary, not any per-cell byte.
+    let swapped = got.replacen("unimem-bench-sweep/v4", "unimem-bench-sweep/v3", 1);
+    assert!(swapped != got, "schema tag missing from the report");
+    got = swapped;
+
+    let golden = include_str!("golden/BENCH_sweep_v3.json");
+    if got != golden {
+        let line = got
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1);
+        panic!(
+            "regenerated report diverges from the v3 golden baseline \
+             ({} vs {} bytes; first differing line: {line:?}) — the \
+             policy refactor changed simulated behavior",
+            got.len(),
+            golden.len(),
+        );
+    }
+}
