@@ -73,6 +73,24 @@ pub struct Tolerances {
     /// Rank count from which the scale-scoped checks apply (the paper's
     /// basic tests use 4 nodes).
     pub min_ranks: usize,
+    /// Recovery-cost bound (docs/CONFORMANCE.md `recovery-cost`): for
+    /// the durable journal modes (Buffered, Strict), recovering from a
+    /// crash — replaying the durable journal, then re-executing to
+    /// completion — must never cost more than this multiple of simply
+    /// restarting the job from scratch. Replay substitutes journaled
+    /// observations for live modeling, so even a crash at t=0 recovers
+    /// in about the restart time; the slack absorbs journal read/apply
+    /// overhead. Reproduction worst case: 1.001.
+    pub recovery_bound: f64,
+    /// Non-vacuous arm of `recovery-cost`: a *late* Strict-mode crash
+    /// (75% through the run) must show restart costing at least this
+    /// multiple of recovery — proof the journal actually shortened the
+    /// redo, not just that the bound above never fired. Reproduction
+    /// worst case (minimum observed advantage): 3.2.
+    pub recovery_advantage_min: f64,
+    /// Seeded kill points sampled per (workload, durability mode) in the
+    /// crash-injection probe, on top of the forced late crash.
+    pub crash_samples: usize,
 }
 
 impl Default for Tolerances {
@@ -87,6 +105,9 @@ impl Default for Tolerances {
             policy_ordering: 1.02,
             contention_evidence_min: 1e-6,
             min_ranks: 4,
+            recovery_bound: 1.05,
+            recovery_advantage_min: 1.2,
+            crash_samples: 3,
         }
     }
 }
@@ -96,7 +117,8 @@ impl Default for Tolerances {
 pub struct Violation {
     /// Which check fired ("dram-tracking", "nvm-win", "xmem-drift",
     /// "runtime-cost", "determinism", "corun-sanity", "tenant-qos",
-    /// "migration-contention", "policy-ordering").
+    /// "migration-contention", "policy-ordering", "recovery-equivalence",
+    /// "recovery-cost", "recovery-advantage", "recovery-coverage").
     pub check: &'static str,
     /// Cell coordinates ("CG/bw-half/r4/unimem").
     pub cell: String,
@@ -569,6 +591,175 @@ pub fn check_determinism(cfg: &SweepConfig) -> Vec<Violation> {
     violations
 }
 
+/// Crash-consistency probe (the `recovery-*` checks): journal a clean
+/// run under Unimem on the matrix's first profile, inject seeded crashes
+/// at sampled virtual-time points in every durability mode, and require
+///
+/// 1. **recovery-equivalence** — the recovered run's `RunReport` JSON
+///    and regenerated journals are byte-identical to the clean run's,
+///    for every sampled kill point and mode;
+/// 2. **recovery-cost** — for the durable modes (Buffered, Strict),
+///    `recovery_time ≤ recovery_bound × restart_time`;
+/// 3. **recovery-advantage** — the non-vacuous arm: a forced *late*
+///    Strict crash (75% through the run) must show
+///    `restart_time / recovery_time ≥ recovery_advantage_min`, proving
+///    the journal genuinely shortened the redo.
+///
+/// Like [`check_determinism`] this is a standalone probe over the sweep
+/// *configuration*, not the report: it runs its own small jobs. A
+/// configuration that cannot evaluate the claim (no workloads, zero
+/// `crash_samples`) yields a `recovery-coverage` violation rather than
+/// passing vacuously.
+pub fn check_recovery(cfg: &SweepConfig, tol: &Tolerances) -> Vec<Violation> {
+    use unimem::exec::Policy;
+    use unimem::recovery::RecoverySetup;
+    use unimem_cache::CacheModel;
+    use unimem_hms::journal::DurabilityMode;
+    use unimem_sim::{sample_kill_points, CrashSpec, VDur, VTime};
+    use unimem_workloads::{canonical_name, select};
+
+    let mut violations = Vec::new();
+    if tol.crash_samples == 0 {
+        violations.push(Violation {
+            check: "recovery-coverage",
+            cell: "(matrix)".into(),
+            detail: "crash_samples is 0; no kill point was injected".into(),
+        });
+        return violations;
+    }
+    let Some(&nranks) = cfg.ranks.iter().max() else {
+        violations.push(Violation {
+            check: "recovery-coverage",
+            cell: "(matrix)".into(),
+            detail: "matrix has no rank counts; no crash was injected".into(),
+        });
+        return violations;
+    };
+    // Two workloads: Nek5000 (drift → re-profiling → migration, the most
+    // journal traffic) plus the first other workload in the matrix.
+    let mut names: Vec<&String> = Vec::new();
+    if let Some(nek) = cfg
+        .workloads
+        .iter()
+        .find(|w| canonical_name(w) == Some("Nek5000"))
+    {
+        names.push(nek);
+    }
+    if let Some(other) = cfg.workloads.iter().find(|w| !names.contains(w)) {
+        names.push(other);
+    }
+    if names.is_empty() {
+        violations.push(Violation {
+            check: "recovery-coverage",
+            cell: "(matrix)".into(),
+            detail: "matrix has no workloads; no crash was injected".into(),
+        });
+        return violations;
+    }
+    let Some(&profile) = cfg.profiles.first() else {
+        violations.push(Violation {
+            check: "recovery-coverage",
+            cell: "(matrix)".into(),
+            detail: "matrix has no NVM profiles; no crash was injected".into(),
+        });
+        return violations;
+    };
+    let mut machine = profile.machine();
+    if let Some(cap) = cfg.dram_capacity {
+        machine = machine.with_dram_capacity(cap);
+    }
+    let cache = CacheModel::platform_a();
+    let policy = Policy::unimem();
+
+    let mut advantage_checked = false;
+    for name in names {
+        let Ok(selection) = select(&[name.as_str()], cfg.class) else {
+            continue; // unknown names are run_sweep's error to report
+        };
+        let (canon, w) = &selection[0];
+        let setup = RecoverySetup {
+            workload: w.as_ref(),
+            machine: &machine,
+            cache: &cache,
+            nranks,
+            policy: &policy,
+        };
+        for mode in DurabilityMode::ALL {
+            let clean = setup.run_journaled(mode);
+            let horizon = VTime::ZERO + clean.report.time();
+            // Seeded kill points, plus a forced late Strict crash for
+            // the advantage arm.
+            let mut crashes = sample_kill_points(0xC4A5_u64, horizon, tol.crash_samples);
+            if mode == DurabilityMode::Strict {
+                crashes.push(CrashSpec::at(
+                    VTime::ZERO + VDur(clean.report.time().secs() * 0.75),
+                ));
+            }
+            for (i, crash) in crashes.iter().enumerate() {
+                let cell = format!(
+                    "{canon}/{}/r{nranks}/{}/kill{}@{:.4}s{}",
+                    profile.name(),
+                    mode.name(),
+                    i,
+                    crash.at.secs(),
+                    if crash.torn { "+torn" } else { "" },
+                );
+                let out = setup.crash_and_recover(mode, *crash, &clean);
+                if !out.equivalent() {
+                    let mismatches: u64 = out.summaries.iter().map(|s| s.comm_mismatches).sum();
+                    violations.push(Violation {
+                        check: "recovery-equivalence",
+                        cell,
+                        detail: format!(
+                            "recovered run differs from clean run \
+                             (report_equal={}, journals_equal={}, comm_mismatches={})",
+                            out.report_equal, out.journals_equal, mismatches,
+                        ),
+                    });
+                    continue;
+                }
+                let ratio = out.stats.recovery_time.secs() / out.stats.restart_time.secs();
+                if mode != DurabilityMode::InMemory && ratio > tol.recovery_bound {
+                    violations.push(Violation {
+                        check: "recovery-cost",
+                        cell: cell.clone(),
+                        detail: format!(
+                            "recovery {:.4}s vs restart {:.4}s — ratio {ratio:.3} exceeds {:.3}",
+                            out.stats.recovery_time.secs(),
+                            out.stats.restart_time.secs(),
+                            tol.recovery_bound,
+                        ),
+                    });
+                }
+                let late = mode == DurabilityMode::Strict && i == crashes.len() - 1;
+                if late {
+                    advantage_checked = true;
+                    if out.stats.advantage() < tol.recovery_advantage_min {
+                        violations.push(Violation {
+                            check: "recovery-advantage",
+                            cell,
+                            detail: format!(
+                                "late-crash advantage {:.3} below {:.3} — \
+                                 the journal did not shorten the redo",
+                                out.stats.advantage(),
+                                tol.recovery_advantage_min,
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if !advantage_checked {
+        violations.push(Violation {
+            check: "recovery-coverage",
+            cell: "(matrix)".into(),
+            detail: "the late Strict crash (non-vacuous arm) never ran".into(),
+        });
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -760,6 +951,49 @@ mod tests {
     fn contention_probe_passes_dram_only_invariance() {
         let violations = check_contention(&small_matrix());
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn recovery_probe_passes() {
+        // One sample per mode keeps the probe cheap; the forced late
+        // Strict crash (the non-vacuous arm) is always added on top.
+        let tol = Tolerances {
+            crash_samples: 1,
+            ..Tolerances::default()
+        };
+        let violations = check_recovery(&small_matrix(), &tol);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn recovery_probe_refuses_vacuous_configurations() {
+        let no_samples = Tolerances {
+            crash_samples: 0,
+            ..Tolerances::default()
+        };
+        let violations = check_recovery(&small_matrix(), &no_samples);
+        assert!(violations.iter().any(|v| v.check == "recovery-coverage"));
+
+        let mut empty = small_matrix();
+        empty.workloads.clear();
+        let violations = check_recovery(&empty, &Tolerances::default());
+        assert!(violations.iter().any(|v| v.check == "recovery-coverage"));
+    }
+
+    #[test]
+    fn impossible_recovery_advantage_fires() {
+        // No recovery can beat restart by 1000×: the advantage arm must
+        // fire, proving it really measures something.
+        let tol = Tolerances {
+            crash_samples: 1,
+            recovery_advantage_min: 1000.0,
+            ..Tolerances::default()
+        };
+        let violations = check_recovery(&small_matrix(), &tol);
+        assert!(
+            violations.iter().any(|v| v.check == "recovery-advantage"),
+            "{violations:?}"
+        );
     }
 
     #[test]

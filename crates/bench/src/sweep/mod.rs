@@ -46,7 +46,9 @@ pub mod matrix;
 pub mod report;
 pub mod runner;
 
-pub use conformance::{check_contention, check_determinism, check_report, Tolerances, Violation};
+pub use conformance::{
+    check_contention, check_determinism, check_recovery, check_report, Tolerances, Violation,
+};
 pub use jobs::{default_workers, run_pool};
 pub use matrix::{ArbiterPolicy, NvmProfile, PolicyKind, SweepConfig};
 pub use runner::{run_sweep, run_sweep_jobs, CorunCell, SweepCell, SweepReport};

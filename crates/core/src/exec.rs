@@ -19,9 +19,11 @@
 use crate::policy::{PlacementPolicy, RankInit, StepEnv, TierView};
 use crate::search::SearchKind;
 use crate::stats::RunStats;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
 use unimem_cache::{CacheModel, ObjAccess};
 use unimem_hms::contention::{BwClient, FlowScope, SharedBandwidth};
+use unimem_hms::journal::{DurabilityMode, Journal, JournalHandle, JournalStats, ObsUnit, Record};
 use unimem_hms::object::{ObjectRegistry, ObjectSpec, UnitId};
 use unimem_hms::tier::{AccessMix, TierKind, TierParams};
 use unimem_hms::{DramService, MachineConfig};
@@ -253,6 +255,111 @@ pub fn run_workload_leased(
     policy: &Policy,
     lease: &CapacitySchedule,
 ) -> RunReport {
+    run_workload_rig(workload, machine, cache, nranks, policy, lease, None)
+}
+
+/// Per-rank compute/comm observations recovered from a durable journal:
+/// during a recovery re-run the driver substitutes these for the
+/// ground-truth computation (the journal already proved what those
+/// phases did), falling back to live execution when the log runs out.
+/// Communication steps always execute for real — collectives must
+/// rendezvous every rank, and ranks exhaust their logs at different
+/// points — so the journaled durations are only verified, never
+/// substituted.
+pub(crate) struct RankOracle {
+    observes: VecDeque<(VDur, Vec<GroundTruth>, PhaseContention)>,
+    comms: VecDeque<f64>,
+    consumed: u64,
+    comm_mismatches: u64,
+}
+
+impl RankOracle {
+    /// `observes`: per compute phase in journal order — `(phase_time,
+    /// truths, (contention_total, contention_neighbors))`. `comms`:
+    /// journaled comm durations in seconds, in order.
+    pub(crate) fn new(
+        observes: Vec<(VDur, Vec<GroundTruth>, (f64, f64))>,
+        comms: Vec<f64>,
+    ) -> RankOracle {
+        RankOracle {
+            observes: observes
+                .into_iter()
+                .map(|(t, g, (total, neighbors))| {
+                    (
+                        t,
+                        g,
+                        PhaseContention {
+                            total: VDur(total),
+                            neighbors: VDur(neighbors),
+                        },
+                    )
+                })
+                .collect(),
+            comms: comms.into_iter().collect(),
+            consumed: 0,
+            comm_mismatches: 0,
+        }
+    }
+
+    fn next_observe(&mut self) -> Option<(VDur, Vec<GroundTruth>, PhaseContention)> {
+        let obs = self.observes.pop_front();
+        if obs.is_some() {
+            self.consumed += 1;
+        }
+        obs
+    }
+
+    /// Bitwise-compare a live comm duration against the journaled one;
+    /// any divergence means the replay is not tracking the clean run.
+    fn check_comm(&mut self, dt: VDur) {
+        if let Some(expect) = self.comms.pop_front() {
+            if expect.to_bits() != dt.secs().to_bits() {
+                self.comm_mismatches += 1;
+            }
+        }
+    }
+}
+
+/// What one rank's journaling produced, handed back to the recovery
+/// layer after the run.
+pub(crate) struct RankJournalOut {
+    pub bytes: Vec<u8>,
+    pub stats: JournalStats,
+    pub replayed_observes: u64,
+    pub comm_mismatches: u64,
+}
+
+/// The journaling harness for one run: durability mode in, per-rank
+/// oracles in (recovery re-runs only), per-rank journal bytes out.
+pub(crate) struct JournalRig {
+    pub mode: DurabilityMode,
+    pub oracles: Mutex<Vec<Option<RankOracle>>>,
+    pub outs: Mutex<Vec<Option<RankJournalOut>>>,
+}
+
+impl JournalRig {
+    pub(crate) fn new(mode: DurabilityMode, nranks: usize) -> JournalRig {
+        JournalRig {
+            mode,
+            oracles: Mutex::new((0..nranks).map(|_| None).collect()),
+            outs: Mutex::new((0..nranks).map(|_| None).collect()),
+        }
+    }
+}
+
+/// [`run_workload_leased`] with an optional journaling rig — the shared
+/// implementation. With `rig == None` no journal exists and the run is
+/// byte-identical to the pre-journal driver (the v4 golden guard pins
+/// this).
+pub(crate) fn run_workload_rig(
+    workload: &dyn Workload,
+    machine: &MachineConfig,
+    cache: &CacheModel,
+    nranks: usize,
+    policy: &Policy,
+    lease: &CapacitySchedule,
+    rig: Option<&JournalRig>,
+) -> RunReport {
     let built = policy.build();
     assert!(
         lease.is_constant() || built.supports_moving_lease(),
@@ -307,6 +414,7 @@ pub fn run_workload_leased(
             &bw,
             lease,
             &cals,
+            rig,
         )
     });
 
@@ -329,6 +437,18 @@ pub fn run_workload_leased(
     }
 }
 
+/// Drain virtual time the journal owes (record formatting + NVM
+/// flushes) into the rank's clock. No-op without a journal — the
+/// non-journaled path never pays a nanosecond.
+fn drain_journal(journal: &Option<JournalHandle>, ctx: &mut RankCtx) {
+    if let Some(j) = journal {
+        let cost = j.borrow_mut().take_cost();
+        if !cost.is_zero() {
+            ctx.advance(cost);
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_rank(
     ctx: &mut RankCtx,
@@ -340,10 +460,27 @@ fn run_rank(
     bw: &SharedBandwidth,
     lease: &CapacitySchedule,
     cals: &HashMap<usize, unimem_perf::Calibration>,
+    rig: Option<&JournalRig>,
 ) -> (RunStats, Option<SearchKind>) {
     let rank = ctx.rank();
     let nranks = ctx.nranks();
     let client = bw.client(rank);
+
+    // Crash-consistency rig: a per-rank redo journal timed against this
+    // rank's share of the node NVM write path, and (on recovery re-runs)
+    // the oracle replayed from the durable journal.
+    let (journal, mut oracle): (Option<JournalHandle>, Option<RankOracle>) = match rig {
+        Some(r) => {
+            let nvm_share = machine.rank_share(TierKind::Nvm, client.occupancy());
+            let j = Journal::new(r.mode)
+                .with_write_bw(nvm_share.write_bw)
+                .with_link(client.clone())
+                .into_handle();
+            let oracle = r.oracles.lock().expect("oracle lock")[rank].take();
+            (Some(j), oracle)
+        }
+        None => (None, None),
+    };
 
     // Register target data objects (unimem_malloc).
     let mut registry = ObjectRegistry::new();
@@ -359,8 +496,53 @@ fn run_rank(
         client: &client,
         lease,
         cals,
+        journal: journal.clone(),
         rank,
     });
+
+    // Journal the run identity, the object table (with its final
+    // chunking — the policy may have partitioned), and the initial DRAM
+    // residency, so recovery can rebuild the placement state machine
+    // from the log alone.
+    if let Some(j) = &journal {
+        let t0 = ctx.now();
+        let mut jm = j.borrow_mut();
+        jm.append(
+            &Record::RunHeader {
+                rank: rank as u32,
+                nranks: nranks as u32,
+                iterations: workload.iterations() as u64,
+            },
+            t0,
+        );
+        for obj in registry.iter() {
+            jm.append(
+                &Record::ObjectReg {
+                    obj: obj.id.0,
+                    size: obj.size.get(),
+                    chunks: obj.chunks,
+                },
+                t0,
+            );
+        }
+        if let TierView::Sets { in_dram, all_dram } = state.view() {
+            let initial: Vec<UnitId> = if all_dram {
+                registry.units()
+            } else {
+                in_dram.iter().copied().collect()
+            };
+            for u in initial {
+                jm.append(
+                    &Record::InitPlace {
+                        obj: u.obj.0,
+                        chunk: u.chunk,
+                    },
+                    t0,
+                );
+            }
+        }
+    }
+    drain_journal(&journal, ctx);
 
     let mut tracker = PhaseTracker::new();
     let mut stats = RunStats::default();
@@ -400,11 +582,47 @@ fn run_rank(
                 },
             );
 
+            drain_journal(&journal, ctx);
+
             match step {
                 StepSpec::Compute(spec) => {
-                    let view = state.view();
+                    // On recovery re-runs the oracle substitutes the
+                    // journaled observation for the ground-truth model;
+                    // once the durable log runs out (the crash point) the
+                    // live model takes over seamlessly — determinism
+                    // guarantees the two agree on the shared prefix.
                     let (phase_time, truths, contention) =
-                        ground_truth(spec, &registry, view, cache, &client, ctx.now());
+                        match oracle.as_mut().and_then(|o| o.next_observe()) {
+                            Some(replayed) => replayed,
+                            None => {
+                                let view = state.view();
+                                ground_truth(spec, &registry, view, cache, &client, ctx.now())
+                            }
+                        };
+                    if let Some(j) = &journal {
+                        let mut jm = j.borrow_mut();
+                        let seq = jm.next_seq();
+                        jm.append(
+                            &Record::Observe {
+                                seq,
+                                phase: phase.0,
+                                time: phase_time.secs(),
+                                cont_total: contention.total.secs(),
+                                cont_neighbors: contention.neighbors.secs(),
+                                units: truths
+                                    .iter()
+                                    .map(|g| ObsUnit {
+                                        obj: g.unit.obj.0,
+                                        chunk: g.unit.chunk,
+                                        misses: g.misses,
+                                        miss_bytes: g.miss_bytes.get(),
+                                        mem_time: g.mem_time.secs(),
+                                    })
+                                    .collect(),
+                            },
+                            ctx.now(),
+                        );
+                    }
                     ctx.advance(phase_time);
                     stats.app_time += phase_time;
                     stats.contention_time += contention.total;
@@ -430,6 +648,25 @@ fn run_rank(
                     run_comm(ctx, comm, it, step_idx);
                     let dt = ctx.now() - t0;
                     stats.app_time += dt;
+                    // Communication executes for real even on recovery
+                    // re-runs — collectives need every rank at the
+                    // rendezvous — so the journaled duration is only a
+                    // consistency check against the log.
+                    if let Some(o) = oracle.as_mut() {
+                        o.check_comm(dt);
+                    }
+                    if let Some(j) = &journal {
+                        let mut jm = j.borrow_mut();
+                        let seq = jm.next_seq();
+                        jm.append(
+                            &Record::Comm {
+                                seq,
+                                phase: phase.0,
+                                dt: dt.secs(),
+                            },
+                            ctx.now(),
+                        );
+                    }
                     // Global collectives rendezvous every rank before any
                     // leaves, and their departure time is synchronized —
                     // exactly the deterministic visibility fence the
@@ -438,7 +675,14 @@ fn run_rank(
                     // excluded: a future collective step kind should
                     // fence by default, not silently go dark.
                     if !matches!(comm, StepSpec::Halo { .. }) {
-                        client.fence(ctx.now());
+                        let epoch = client.fence(ctx.now());
+                        // The fence is the journal's commit point: every
+                        // record ahead of it becomes durable under
+                        // Buffered mode, stamped with the ledger epoch.
+                        if let Some(j) = &journal {
+                            j.borrow_mut().commit(epoch, ctx.now());
+                        }
+                        drain_journal(&journal, ctx);
                     }
                     state.observe_comm(
                         phase,
@@ -470,11 +714,23 @@ fn run_rank(
                 iterations,
             },
         );
+        drain_journal(&journal, ctx);
     }
 
+    drain_journal(&journal, ctx);
     stats.total_time = ctx.now() - unimem_sim::VTime::ZERO;
     stats.iterations = iterations as u64;
     let plan_kind = state.finish(&mut stats);
+
+    if let (Some(r), Some(j)) = (rig, &journal) {
+        let jm = j.borrow();
+        r.outs.lock().expect("journal out lock")[rank] = Some(RankJournalOut {
+            bytes: jm.bytes().to_vec(),
+            stats: jm.stats(),
+            replayed_observes: oracle.as_ref().map(|o| o.consumed).unwrap_or(0),
+            comm_mismatches: oracle.as_ref().map(|o| o.comm_mismatches).unwrap_or(0),
+        });
+    }
     (stats, plan_kind)
 }
 

@@ -33,6 +33,9 @@
 //!   static pins, Unimem, online guidance, hardware DRAM cache).
 //! * [`exec`] — the driver: runs a [`exec::Workload`] under a
 //!   [`exec::Policy`] on a machine model and reports times + stats.
+//! * [`recovery`] — crash-consistent recovery over the
+//!   `unimem_hms::journal` redo log: journaled runs, deterministic
+//!   crash injection, and replay back to an equivalent execution.
 //! * [`tenancy`] — multi-tenant co-runs: N independent Unimem instances
 //!   whose knapsack capacities are leased from the
 //!   `unimem_hms::arbiter` broker and re-planned when leases move.
@@ -48,6 +51,7 @@ pub mod model;
 pub mod partition;
 pub mod policy;
 pub mod profile;
+pub mod recovery;
 pub mod search;
 pub mod stats;
 pub mod tenancy;
@@ -59,5 +63,8 @@ pub use exec::{
 };
 pub use model::{ModelParams, Sensitivity};
 pub use policy::{PlacementPolicy, PolicyId};
+pub use recovery::{
+    CrashOutcome, JournaledRun, RecoveredRun, RecoverySetup, RecoveryStats, ReplaySummary,
+};
 pub use stats::RunStats;
 pub use tenancy::{run_corun, run_corun_with_solos, CorunTenant, TenantOutcome};

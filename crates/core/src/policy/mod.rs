@@ -214,6 +214,11 @@ pub struct RankInit<'a> {
     /// Offline calibrations, keyed by node occupancy (empty unless the
     /// policy requested them via [`PlacementPolicy::sampler_calibration`]).
     pub cals: &'a HashMap<usize, Calibration>,
+    /// The rank's crash-consistency redo journal, when journaling is on.
+    /// Policies that own a [`unimem_hms::MigrationEngine`] must attach it
+    /// (`engine.with_journal(...)`) so migration intents are journaled
+    /// before their copies start.
+    pub journal: Option<unimem_hms::journal::JournalHandle>,
     /// This rank's id.
     pub rank: usize,
 }

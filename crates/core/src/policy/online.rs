@@ -88,7 +88,8 @@ impl PlacementPolicy for OnlineGuidance {
             interval: BTreeMap::new(),
             in_dram: BTreeSet::new(),
             grants: HashMap::new(),
-            engine: MigrationEngine::new(HelperLink::Shared(init.client.clone())),
+            engine: MigrationEngine::new(HelperLink::Shared(init.client.clone()))
+                .with_journal(init.journal.clone()),
             refs: None,
             cap_per_rank: init.per_rank(init.lease.at(0)),
             rank: init.rank,

@@ -160,7 +160,8 @@ impl PlacementPolicy for UnimemPolicy {
                 cfg.sampler,
                 cfg.seed ^ (init.rank as u64).wrapping_mul(0x9e3779b9),
             ),
-            engine: MigrationEngine::new(HelperLink::Shared(init.client.clone())),
+            engine: MigrationEngine::new(HelperLink::Shared(init.client.clone()))
+                .with_journal(init.journal.clone()),
             monitor: None,
             profile: IterationProfile::new(),
             refs: None,

@@ -1,0 +1,483 @@
+//! Crash-consistent recovery: journaled runs, deterministic crash
+//! injection, and replay back to an equivalent execution.
+//!
+//! The redo journal (`unimem_hms::journal`) records, per rank, every
+//! placement-relevant event — the object table, the initial placement,
+//! migration intents and requirement stalls, compute observations, comm
+//! durations — committed at MPI-fence epochs. Because the simulator is
+//! deterministic, a crash at virtual time `T` leaves exactly the durable
+//! prefix the chosen [`DurabilityMode`] guarantees by `T`; recovery
+//! replays that prefix into a [`ReplayedState`], then *re-runs* the
+//! workload with each rank's journaled compute observations substituted
+//! for the ground-truth model (an oracle). Replayed work skips the
+//! expensive modeling; once a rank's log runs out — the crash point —
+//! it falls back to live execution seamlessly, which is safe precisely
+//! because the clean run and the recovery run are the same deterministic
+//! function of the same inputs. Communication always executes for real
+//! (collectives must rendezvous every rank); the journaled durations are
+//! verified bitwise against the re-run instead.
+//!
+//! Equivalence is therefore checkable in the strongest possible sense:
+//! the recovered run's full [`RunReport`] JSON and its regenerated
+//! per-rank journals must be byte-identical to the uninterrupted run's.
+
+use crate::exec::{run_workload_rig, CapacitySchedule, JournalRig, Policy, RunReport, Workload};
+use unimem_cache::CacheModel;
+use unimem_hms::journal::{durable_prefix, DurabilityMode, JournalStats, ReplayedState};
+use unimem_hms::object::{ObjId, UnitId};
+use unimem_hms::tier::TierKind;
+use unimem_hms::MachineConfig;
+use unimem_perf::sampler::GroundTruth;
+use unimem_sim::{Bytes, CrashSpec, Json, VDur, VTime};
+
+/// CPU cost modeled per journal record during replay (decode + apply).
+const REPLAY_CPU: VDur = VDur(2.0e-6);
+
+/// Everything needed to run, crash, and recover one job.
+pub struct RecoverySetup<'a> {
+    pub workload: &'a dyn Workload,
+    pub machine: &'a MachineConfig,
+    pub cache: &'a CacheModel,
+    pub nranks: usize,
+    pub policy: &'a Policy,
+}
+
+/// A completed journaled run: the report plus each rank's full journal.
+pub struct JournaledRun {
+    pub report: RunReport,
+    /// Per-rank journal byte streams, in rank order.
+    pub journals: Vec<Vec<u8>>,
+    /// Per-rank journal accounting.
+    pub stats: Vec<JournalStats>,
+}
+
+/// What one rank's durable journal replayed into, plus how the oracle
+/// fared during the recovery re-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaySummary {
+    /// Durable journal bytes surviving the crash (torn tail included).
+    pub durable_bytes: u64,
+    /// Records reconstructed by replay.
+    pub records: u64,
+    /// Torn trailing bytes detected and discarded by the frame parser.
+    pub torn_bytes_discarded: u64,
+    /// Append vtime of the last durable record.
+    pub last_at: f64,
+    /// Latest committed epoch generation, if any survived.
+    pub last_commit: Option<u64>,
+    /// Compute phases served from the journal during the re-run.
+    pub replayed_observes: u64,
+    /// Journaled comm durations that did not match the re-run bitwise.
+    /// Any non-zero count means the replay was not tracking the clean
+    /// run — equivalence has already failed.
+    pub comm_mismatches: u64,
+}
+
+/// Result of a recovery re-run from durable journal prefixes.
+pub struct RecoveredRun {
+    pub report: RunReport,
+    /// The journals the *recovery* run wrote (should equal the clean
+    /// run's journals byte-for-byte).
+    pub journals: Vec<Vec<u8>>,
+    pub summaries: Vec<ReplaySummary>,
+}
+
+/// Analytic cost of one recovery, against the restart-from-scratch
+/// baseline. All times are job-level (slowest rank).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryStats {
+    pub mode: DurabilityMode,
+    /// Virtual time of the injected crash.
+    pub crash_at: VTime,
+    /// Whether the crash tore the in-flight record.
+    pub torn: bool,
+    /// Durable journal bytes across all ranks.
+    pub durable_bytes: u64,
+    /// Records replayed across all ranks.
+    pub replayed_records: u64,
+    /// Reading + applying the durable journal (slowest rank).
+    pub replay_time: VDur,
+    /// Re-executing from the last journaled point to completion.
+    pub redo_time: VDur,
+    /// `replay_time + redo_time`.
+    pub recovery_time: VDur,
+    /// The baseline: rerunning the whole job from scratch.
+    pub restart_time: VDur,
+}
+
+impl RecoveryStats {
+    /// Restart-over-recovery speedup. `1.0` means journaling bought
+    /// nothing (e.g. `InMemory` mode, whose journal never survives).
+    pub fn advantage(&self) -> f64 {
+        if self.recovery_time.is_zero() {
+            f64::INFINITY
+        } else {
+            self.restart_time.secs() / self.recovery_time.secs()
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.push("mode", self.mode.name())
+            .push("crash_at_s", self.crash_at.secs())
+            .push("torn", self.torn)
+            .push("durable_bytes", self.durable_bytes)
+            .push("replayed_records", self.replayed_records)
+            .push("replay_time_s", self.replay_time)
+            .push("redo_time_s", self.redo_time)
+            .push("recovery_time_s", self.recovery_time)
+            .push("restart_time_s", self.restart_time)
+            .push("advantage", self.advantage());
+        o
+    }
+}
+
+/// Outcome of one injected crash: the recovered run, its equivalence
+/// verdicts against the clean run, and the analytic cost model.
+pub struct CrashOutcome {
+    pub crash: CrashSpec,
+    pub mode: DurabilityMode,
+    pub recovered: RunReport,
+    pub summaries: Vec<ReplaySummary>,
+    pub stats: RecoveryStats,
+    /// Recovered report JSON is byte-identical to the clean run's.
+    pub report_equal: bool,
+    /// Recovery re-run regenerated every rank's journal byte-for-byte.
+    pub journals_equal: bool,
+}
+
+impl CrashOutcome {
+    /// The crash-consistency contract: report and journals identical,
+    /// and every journaled comm duration matched the re-run bitwise.
+    pub fn equivalent(&self) -> bool {
+        self.report_equal
+            && self.journals_equal
+            && self.summaries.iter().all(|s| s.comm_mismatches == 0)
+    }
+}
+
+/// Turn a replayed per-rank state into the oracle the execution driver
+/// consumes: compute observations in journal-sequence order, comm
+/// durations likewise.
+fn oracle_from(st: &ReplayedState) -> crate::exec::RankOracle {
+    let observes = st
+        .observes
+        .values()
+        .map(|o| {
+            (
+                VDur(o.time),
+                o.units
+                    .iter()
+                    .map(|u| GroundTruth {
+                        unit: UnitId {
+                            obj: ObjId(u.obj),
+                            chunk: u.chunk,
+                        },
+                        misses: u.misses,
+                        miss_bytes: Bytes(u.miss_bytes),
+                        mem_time: VDur(u.mem_time),
+                    })
+                    .collect(),
+                (o.cont_total, o.cont_neighbors),
+            )
+        })
+        .collect();
+    let comms = st.comms.values().map(|&(_, dt)| dt).collect();
+    crate::exec::RankOracle::new(observes, comms)
+}
+
+impl RecoverySetup<'_> {
+    fn lease(&self) -> CapacitySchedule {
+        CapacitySchedule::constant(self.machine.dram_capacity)
+    }
+
+    fn run_with(&self, rig: &JournalRig) -> RunReport {
+        run_workload_rig(
+            self.workload,
+            self.machine,
+            self.cache,
+            self.nranks,
+            self.policy,
+            &self.lease(),
+            Some(rig),
+        )
+    }
+
+    /// Run the job uninterrupted with journaling enabled.
+    pub fn run_journaled(&self, mode: DurabilityMode) -> JournaledRun {
+        let rig = JournalRig::new(mode, self.nranks);
+        let report = self.run_with(&rig);
+        let mut journals = Vec::with_capacity(self.nranks);
+        let mut stats = Vec::with_capacity(self.nranks);
+        for out in rig.outs.lock().expect("journal outs").iter_mut() {
+            let out = out.take().expect("every rank journals");
+            journals.push(out.bytes);
+            stats.push(out.stats);
+        }
+        JournaledRun {
+            report,
+            journals,
+            stats,
+        }
+    }
+
+    /// Recover from per-rank durable journal prefixes: replay each into
+    /// a [`ReplayedState`], build oracles, and re-run to completion.
+    pub fn recover(&self, mode: DurabilityMode, durable: &[Vec<u8>]) -> RecoveredRun {
+        assert_eq!(durable.len(), self.nranks, "one durable journal per rank");
+        let states: Vec<ReplayedState> = durable.iter().map(|b| ReplayedState::replay(b)).collect();
+        let rig = JournalRig::new(mode, self.nranks);
+        {
+            let mut oracles = rig.oracles.lock().expect("oracle slots");
+            for (slot, st) in oracles.iter_mut().zip(&states) {
+                *slot = Some(oracle_from(st));
+            }
+        }
+        let report = self.run_with(&rig);
+        let mut journals = Vec::with_capacity(self.nranks);
+        let mut summaries = Vec::with_capacity(self.nranks);
+        for (out, (st, bytes)) in rig
+            .outs
+            .lock()
+            .expect("journal outs")
+            .iter_mut()
+            .zip(states.iter().zip(durable))
+        {
+            let out = out.take().expect("every rank journals");
+            summaries.push(ReplaySummary {
+                durable_bytes: bytes.len() as u64,
+                records: st.records() as u64,
+                torn_bytes_discarded: st.torn_bytes_discarded as u64,
+                last_at: st.last_at,
+                last_commit: st.last_commit().map(|(g, _)| g),
+                replayed_observes: out.replayed_observes,
+                comm_mismatches: out.comm_mismatches,
+            });
+            journals.push(out.bytes);
+        }
+        RecoveredRun {
+            report,
+            journals,
+            summaries,
+        }
+    }
+
+    /// Inject `crash` into `clean` and recover: truncate every rank's
+    /// journal to its durable prefix at the crash instant, replay, re-run,
+    /// and judge equivalence against the uninterrupted run.
+    pub fn crash_and_recover(
+        &self,
+        mode: DurabilityMode,
+        crash: CrashSpec,
+        clean: &JournaledRun,
+    ) -> CrashOutcome {
+        let durable: Vec<Vec<u8>> = clean
+            .journals
+            .iter()
+            .map(|j| durable_prefix(j, mode, crash))
+            .collect();
+        let rec = self.recover(mode, &durable);
+
+        let report_equal = rec.report.to_json().to_pretty() == clean.report.to_json().to_pretty();
+        let journals_equal = rec.journals == clean.journals;
+
+        // Analytic cost model. Replay reads this rank's durable prefix
+        // from its share of the node NVM read path and applies each
+        // record; redo re-executes from the last journaled instant to
+        // the clean completion time. Restart is the full clean run.
+        let occ = self.machine.ranks_per_node.min(self.nranks.max(1));
+        let nvm_share = self.machine.rank_share(TierKind::Nvm, occ);
+        let restart_time = clean.report.time();
+        let mut replay_time = VDur::ZERO;
+        let mut redo_time = VDur::ZERO;
+        for s in &rec.summaries {
+            let read = Bytes(s.durable_bytes) / nvm_share.read_bw;
+            let apply = VDur(REPLAY_CPU.secs() * s.records as f64);
+            replay_time = replay_time.max(read + apply);
+            redo_time = redo_time.max(VDur(restart_time.secs() - s.last_at).max(VDur::ZERO));
+        }
+        let stats = RecoveryStats {
+            mode,
+            crash_at: crash.at,
+            torn: crash.torn,
+            durable_bytes: rec.summaries.iter().map(|s| s.durable_bytes).sum(),
+            replayed_records: rec.summaries.iter().map(|s| s.records).sum(),
+            replay_time,
+            redo_time,
+            recovery_time: replay_time + redo_time,
+            restart_time,
+        };
+        CrashOutcome {
+            crash,
+            mode,
+            recovered: rec.report,
+            summaries: rec.summaries,
+            stats,
+            report_equal,
+            journals_equal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_workload, ComputeSpec, StepSpec};
+    use unimem_cache::{AccessPattern, ObjAccess};
+    use unimem_hms::object::{ObjId, ObjectSpec};
+    use unimem_sim::sample_kill_points;
+
+    struct Synth {
+        iters: usize,
+    }
+
+    impl Workload for Synth {
+        fn name(&self) -> String {
+            "synth".into()
+        }
+
+        fn objects(&self, _rank: usize, _nranks: usize) -> Vec<ObjectSpec> {
+            vec![
+                ObjectSpec::new("hot", Bytes::mib(100)).est_refs(1e9),
+                ObjectSpec::new("cold", Bytes::mib(100)).est_refs(1e6),
+            ]
+        }
+
+        fn script(&self, _rank: usize, _nranks: usize, _iter: usize) -> Vec<StepSpec> {
+            vec![
+                StepSpec::Compute(ComputeSpec {
+                    label: "sweep",
+                    cpu: VDur::from_millis(5.0),
+                    accesses: vec![
+                        ObjAccess::new(
+                            ObjId(0),
+                            40_000_000,
+                            Bytes::mib(100),
+                            AccessPattern::Streaming { stride: Bytes(8) },
+                        ),
+                        ObjAccess::new(ObjId(1), 400_000, Bytes::mib(100), AccessPattern::Random),
+                    ],
+                }),
+                StepSpec::AllreduceSum { bytes: Bytes(64) },
+            ]
+        }
+
+        fn iterations(&self) -> usize {
+            self.iters
+        }
+    }
+
+    fn setup<'a>(
+        w: &'a Synth,
+        m: &'a MachineConfig,
+        c: &'a CacheModel,
+        policy: &'a Policy,
+    ) -> RecoverySetup<'a> {
+        RecoverySetup {
+            workload: w,
+            machine: m,
+            cache: c,
+            nranks: 2,
+            policy,
+        }
+    }
+
+    #[test]
+    fn journaled_run_matches_plain_run_in_memory_mode() {
+        let w = Synth { iters: 4 };
+        let m = MachineConfig::nvm_bw_fraction(0.5);
+        let c = CacheModel::platform_a();
+        let p = Policy::unimem();
+        let plain = run_workload(&w, &m, &c, 2, &p);
+        let journaled = setup(&w, &m, &c, &p).run_journaled(DurabilityMode::InMemory);
+        assert_eq!(
+            plain.to_json().to_pretty(),
+            journaled.report.to_json().to_pretty(),
+            "InMemory journaling must not perturb timing"
+        );
+        assert!(journaled.journals.iter().all(|j| !j.is_empty()));
+    }
+
+    #[test]
+    fn recovery_from_full_journal_is_equivalent() {
+        let w = Synth { iters: 4 };
+        let m = MachineConfig::nvm_bw_fraction(0.5);
+        let c = CacheModel::platform_a();
+        let p = Policy::unimem();
+        let s = setup(&w, &m, &c, &p);
+        let clean = s.run_journaled(DurabilityMode::Strict);
+        // Crash after completion: everything durable, pure replay.
+        let crash = CrashSpec::at(VTime::ZERO + clean.report.time() + VDur(1.0));
+        let out = s.crash_and_recover(DurabilityMode::Strict, crash, &clean);
+        assert!(
+            out.equivalent(),
+            "report={} journals={}",
+            out.report_equal,
+            out.journals_equal
+        );
+        assert!(out.summaries.iter().all(|s| s.replayed_observes > 0));
+    }
+
+    #[test]
+    fn sampled_crashes_recover_equivalently_in_every_mode() {
+        let w = Synth { iters: 4 };
+        let m = MachineConfig::nvm_bw_fraction(0.5);
+        let c = CacheModel::platform_a();
+        let p = Policy::unimem();
+        let s = setup(&w, &m, &c, &p);
+        for mode in DurabilityMode::ALL {
+            let clean = s.run_journaled(mode);
+            let horizon = VTime::ZERO + clean.report.time();
+            for crash in sample_kill_points(7, horizon, 2) {
+                let out = s.crash_and_recover(mode, crash, &clean);
+                assert!(
+                    out.equivalent(),
+                    "mode={mode:?} crash={crash:?}: report_equal={} journals_equal={} \
+                     mismatches={:?}",
+                    out.report_equal,
+                    out.journals_equal,
+                    out.summaries
+                        .iter()
+                        .map(|s| s.comm_mismatches)
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn late_strict_crash_beats_restart() {
+        let w = Synth { iters: 6 };
+        let m = MachineConfig::nvm_bw_fraction(0.5);
+        let c = CacheModel::platform_a();
+        let p = Policy::unimem();
+        let s = setup(&w, &m, &c, &p);
+        let clean = s.run_journaled(DurabilityMode::Strict);
+        let crash = CrashSpec::at(VTime::ZERO + VDur(clean.report.time().secs() * 0.75));
+        let out = s.crash_and_recover(DurabilityMode::Strict, crash, &clean);
+        assert!(out.equivalent());
+        assert!(
+            out.stats.advantage() > 1.2,
+            "late-crash recovery should clearly beat restart: advantage={}",
+            out.stats.advantage()
+        );
+    }
+
+    #[test]
+    fn in_memory_mode_recovers_by_rerunning_from_scratch() {
+        let w = Synth { iters: 3 };
+        let m = MachineConfig::nvm_bw_fraction(0.5);
+        let c = CacheModel::platform_a();
+        let p = Policy::unimem();
+        let s = setup(&w, &m, &c, &p);
+        let clean = s.run_journaled(DurabilityMode::InMemory);
+        let crash = CrashSpec::at(VTime::ZERO + VDur(clean.report.time().secs() * 0.5));
+        let out = s.crash_and_recover(DurabilityMode::InMemory, crash, &clean);
+        assert!(out.equivalent());
+        assert_eq!(
+            out.stats.durable_bytes, 0,
+            "InMemory journal never survives"
+        );
+        assert!((out.stats.advantage() - 1.0).abs() < 1e-9);
+    }
+}

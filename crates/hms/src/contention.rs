@@ -170,8 +170,11 @@ impl BwClient {
 
     /// Record passage of a globally synchronizing MPI collective at the
     /// synchronized instant `now` (makes earlier neighbor flows visible).
-    pub fn fence(&self, now: VTime) {
-        self.node().ledger.fence(self.owner, now);
+    /// Returns this rank's new visibility generation — the epoch the
+    /// placement journal stamps on the commit record it appends at the
+    /// same fence.
+    pub fn fence(&self, now: VTime) -> u64 {
+        self.node().ledger.fence(self.owner, now)
     }
 
     /// Post one helper copy: `bytes` moved to `to` over `[start, end]`,
@@ -186,6 +189,23 @@ impl BwClient {
         let (_, dst_write) = channels_of(to);
         ledger.post(self.owner, src_read, start, end, bytes.as_f64());
         ledger.post(self.owner, dst_write, start, end, bytes.as_f64());
+    }
+
+    /// Post one journal flush: `bytes` of redo-log records written to the
+    /// NVM tier over `[start, end]`. Journal durability is not free
+    /// bandwidth — the flush draws from the same NVM write pool the
+    /// application and the helper thread use, so overlapping compute pays
+    /// for it exactly as it pays for migration copies. No-op when helper
+    /// contention is off (the same gate `post_copy` honours, which keeps
+    /// the `migration-contention` A/B byte-identity intact).
+    pub fn post_journal_write(&self, start: VTime, end: VTime, bytes: Bytes) {
+        if !self.shared.inner.helper_contention {
+            return;
+        }
+        let (_, nvm_write) = channels_of(TierKind::Nvm);
+        self.node()
+            .ledger
+            .post(self.owner, nvm_write, start, end, bytes.as_f64());
     }
 
     /// This rank's effective tier parameters over the window `[w0, w1]`:

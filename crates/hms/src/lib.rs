@@ -16,6 +16,10 @@
 //!   DRAM allowance among MPI ranks on the same node.
 //! * [`migration`] — the virtual-time migration engine modelling the helper
 //!   thread: FIFO queue, serial copies at `copy_bw`, overlap accounting.
+//! * [`journal`] — the crash-consistent redo journal for the object table
+//!   and in-flight migrations: records appended before any copy starts,
+//!   committed at MPI-fence epochs, with InMemory/Buffered/Strict
+//!   durability modes charged as NVM-write traffic through the ledger.
 //! * [`pools`] — a *real* two-pool backing store plus a *real* helper thread
 //!   with a FIFO queue, used by wall-clock benches and examples so the
 //!   concurrency machinery is exercised for real, not only in virtual time.
@@ -31,6 +35,7 @@ pub mod alloc;
 pub mod arbiter;
 pub mod contention;
 pub mod dram_service;
+pub mod journal;
 pub mod migration;
 pub mod object;
 pub mod pools;
@@ -41,6 +46,7 @@ pub use alloc::SpaceAllocator;
 pub use arbiter::{ArbiterPolicy, DramArbiter, LeaseChange, TenantId, TenantSpec};
 pub use contention::{BwClient, FlowScope, HelperLink, SharedBandwidth};
 pub use dram_service::DramService;
+pub use journal::{DurabilityMode, Journal, JournalHandle, JournalStats, ReplayedState};
 pub use migration::{MigrationEngine, MigrationStats};
 pub use object::{DataObject, ObjId, ObjectRegistry, Placement};
 pub use profiles::MachineConfig;

@@ -21,6 +21,7 @@
 //! pays for the bandwidth the copy consumes.
 
 use crate::contention::HelperLink;
+use crate::journal::{JournalHandle, Record};
 use crate::object::UnitId;
 use crate::tier::TierKind;
 use serde::{Deserialize, Serialize};
@@ -109,6 +110,9 @@ pub struct MigrationEngine {
     records: Vec<MigRecord>,
     /// Index of the most recent record per unit.
     latest: HashMap<UnitId, usize>,
+    /// Redo journal: every intent is appended *before* its copy is
+    /// posted, so a crash mid-copy still knows what was moving where.
+    journal: Option<JournalHandle>,
     pub log: TraceLog,
 }
 
@@ -121,6 +125,7 @@ impl MigrationEngine {
             helper_free_at: VTime::ZERO,
             records: Vec::new(),
             latest: HashMap::new(),
+            journal: None,
             log: TraceLog::new(false),
         }
     }
@@ -133,6 +138,14 @@ impl MigrationEngine {
 
     pub fn with_trace(mut self) -> MigrationEngine {
         self.log = TraceLog::new(true);
+        self
+    }
+
+    /// Attach the rank's redo journal (when crash consistency is on):
+    /// every enqueue appends a `MigIntent` before the copy is posted,
+    /// every first requirement a `MigRequire`.
+    pub fn with_journal(mut self, journal: Option<JournalHandle>) -> MigrationEngine {
+        self.journal = journal;
         self
     }
 
@@ -156,6 +169,23 @@ impl MigrationEngine {
         let start = now.max(self.helper_free_at);
         let done = start + self.copy_time(bytes);
         self.helper_free_at = done;
+        // Redo rule: the intent reaches the journal before the copy is
+        // scheduled, so no copy can be in flight unjournaled.
+        if let Some(j) = &self.journal {
+            j.borrow_mut().append(
+                &Record::MigIntent {
+                    seq: self.records.len() as u64,
+                    obj: unit.obj.0,
+                    chunk: unit.chunk,
+                    to_dram: to == TierKind::Dram,
+                    bytes: bytes.get(),
+                    enqueued: now.secs(),
+                    start: start.secs(),
+                    done: done.secs(),
+                },
+                now,
+            );
+        }
         self.link.post_copy(to, start, done, bytes);
         self.log.push(
             now,
@@ -206,6 +236,16 @@ impl MigrationEngine {
             return VDur::ZERO;
         }
         let stall = rec.done.since(now);
+        if let Some(j) = &self.journal {
+            j.borrow_mut().append(
+                &Record::MigRequire {
+                    seq: idx as u64,
+                    at: now.secs(),
+                    stall: stall.secs(),
+                },
+                now,
+            );
+        }
         if !stall.is_zero() {
             self.log.push(
                 now,
@@ -419,6 +459,22 @@ mod tests {
             assert_eq!(r.overlapped(), VDur::ZERO);
             assert_eq!(r.exposed(), VDur::ZERO);
         }
+    }
+
+    #[test]
+    fn journaled_engine_records_intent_and_requirement() {
+        use crate::journal::{DurabilityMode, Journal, ReplayedState};
+        let j = Journal::new(DurabilityMode::Strict).into_handle();
+        let mut e = engine().with_journal(Some(j.clone()));
+        e.enqueue(unit(0), TierKind::Dram, Bytes(1_000_000), VTime(0.0));
+        let _ = e.require(unit(0), VTime(0.0005));
+        let st = ReplayedState::replay(j.borrow().bytes());
+        assert_eq!(st.migrations.len(), 1);
+        let m = &st.migrations[&0];
+        assert!(m.to_dram);
+        assert_eq!(m.bytes, 1_000_000);
+        assert_eq!(m.required_at, Some(0.0005));
+        assert_eq!(st.in_flight_at(VTime(0.0005)), vec![0]);
     }
 
     #[test]

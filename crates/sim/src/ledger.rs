@@ -158,8 +158,10 @@ impl BwLedger {
     /// read — flows already finished (own queries only look forward from
     /// the rank's clock) and epoch entries beyond the one-generation
     /// visibility lag — keeping per-query cost bounded by the traffic of
-    /// the current epoch instead of the whole run.
-    pub fn fence(&self, owner: usize, now: VTime) {
+    /// the current epoch instead of the whole run. Returns the owner's
+    /// new visibility generation — the epoch identity the placement
+    /// journal stamps on its commit records.
+    pub fn fence(&self, owner: usize, now: VTime) -> u64 {
         let mut st = self.state(owner);
         st.gen += 1;
         st.last_fences = [st.last_fences[1], now];
@@ -170,6 +172,7 @@ impl BwLedger {
                 *entry = Vec::new();
             }
         }
+        st.gen
     }
 
     /// The number of fences `owner` has passed.

@@ -21,10 +21,14 @@
 //! * [`json`] — a deterministic JSON document builder used for the
 //!   machine-readable run/sweep reports (the vendored `serde` is a
 //!   trait-only stub, so serialization is hand-rolled here).
+//! * [`crash`] — seeded virtual-time kill points for the crash-injection
+//!   harness: determinism makes a "crash at `T`" a pure function of the
+//!   clean run, so no threads are ever actually torn down.
 //!
 //! Everything is deterministic: identical inputs yield bit-identical outputs
 //! regardless of host scheduling, which the integration tests assert.
 
+pub mod crash;
 pub mod events;
 pub mod json;
 pub mod ledger;
@@ -33,6 +37,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use crash::{sample_kill_points, CrashSpec};
 pub use events::{Event, EventKind, TraceLog};
 pub use json::Json;
 pub use ledger::{BwLedger, LoadSplit};

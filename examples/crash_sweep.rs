@@ -1,0 +1,212 @@
+//! Crash-injection sweep: journal clean runs, kill them at seeded
+//! virtual-time points under every durability mode, recover from the
+//! durable journal prefix, and report equivalence + recovery cost.
+//!
+//! ```text
+//! cargo run --release --example crash_sweep                 # defaults
+//! cargo run --release --example crash_sweep -- --check      # gate on it
+//! cargo run --release --example crash_sweep -- --points 5 --seed 7 \
+//!     --modes buffered,strict --workloads CG,Nek5000 --ranks 4 \
+//!     --profile bw-half --class C --out BENCH_recovery.json
+//! ```
+//!
+//! Every kill point is replayable from `(--seed, index)` alone — the
+//! crash harness samples virtual times from a seeded substream, so a CI
+//! failure names a crash any machine can reproduce exactly. `--check`
+//! exits non-zero when any recovered run is not byte-identical to its
+//! clean run, when recovery exceeds the restart-cost bound, or when the
+//! forced late Strict crash shows no real advantage over restarting.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use unimem_repro::bench::sweep::{NvmProfile, Tolerances};
+use unimem_repro::cache::CacheModel;
+use unimem_repro::hms::journal::DurabilityMode;
+use unimem_repro::runtime::exec::Policy;
+use unimem_repro::runtime::recovery::RecoverySetup;
+use unimem_repro::sim::{sample_kill_points, CrashSpec, Json, VDur, VTime};
+use unimem_repro::workloads::{select, Class};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: crash_sweep [--points N] [--seed S] [--modes CSV] [--workloads CSV]\n\
+         \x20                  [--ranks N] [--profile NAME] [--class S|C|D]\n\
+         \x20                  [--out PATH] [--check]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut points = 3usize;
+    let mut seed = 0xC4A5_u64;
+    let mut modes: Vec<DurabilityMode> = DurabilityMode::ALL.to_vec();
+    let mut workloads: Vec<String> = vec!["CG".into(), "Nek5000".into()];
+    let mut nranks = 4usize;
+    let mut profile = NvmProfile::BwHalf;
+    let mut class = Class::C;
+    let mut out = PathBuf::from("BENCH_recovery.json");
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--points" => match value("--points").parse() {
+                Ok(n) if n > 0 => points = n,
+                _ => usage(),
+            },
+            "--seed" => match value("--seed").parse() {
+                Ok(s) => seed = s,
+                _ => usage(),
+            },
+            "--modes" => {
+                modes = value("--modes")
+                    .split(',')
+                    .map(|s| {
+                        DurabilityMode::parse(s.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown durability mode {s:?}");
+                            std::process::exit(2)
+                        })
+                    })
+                    .collect();
+            }
+            "--workloads" => {
+                workloads = value("--workloads")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--ranks" => match value("--ranks").parse() {
+                Ok(n) if n > 0 => nranks = n,
+                _ => usage(),
+            },
+            "--profile" => {
+                let v = value("--profile");
+                profile = NvmProfile::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown NVM profile {v:?}");
+                    std::process::exit(2)
+                });
+            }
+            "--class" => {
+                class = match value("--class").to_ascii_uppercase().as_str() {
+                    "S" => Class::S,
+                    "C" => Class::C,
+                    "D" => Class::D,
+                    other => {
+                        eprintln!("unknown class {other:?} (use S, C, or D)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--out" => out = PathBuf::from(value("--out")),
+            "--check" => check = true,
+            _ => usage(),
+        }
+    }
+
+    let names: Vec<&str> = workloads.iter().map(String::as_str).collect();
+    let selection = match select(&names, class) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let machine = profile.machine();
+    let cache = CacheModel::platform_a();
+    let policy = Policy::unimem();
+    let tol = Tolerances::default();
+
+    let mut cells = Vec::new();
+    let mut failures = 0usize;
+    for (canon, w) in &selection {
+        let setup = RecoverySetup {
+            workload: w.as_ref(),
+            machine: &machine,
+            cache: &cache,
+            nranks,
+            policy: &policy,
+        };
+        for &mode in &modes {
+            let clean = setup.run_journaled(mode);
+            let horizon = VTime::ZERO + clean.report.time();
+            let mut crashes = sample_kill_points(seed, horizon, points);
+            // The forced late crash: the recovery-advantage evidence.
+            let late = mode == DurabilityMode::Strict;
+            if late {
+                crashes.push(CrashSpec::at(
+                    VTime::ZERO + VDur(clean.report.time().secs() * 0.75),
+                ));
+            }
+            for (i, crash) in crashes.iter().enumerate() {
+                let o = setup.crash_and_recover(mode, *crash, &clean);
+                let is_late = late && i == crashes.len() - 1;
+                let mut ok = o.equivalent();
+                if mode != DurabilityMode::InMemory {
+                    ok &= o.stats.recovery_time.secs()
+                        <= o.stats.restart_time.secs() * tol.recovery_bound;
+                }
+                if is_late {
+                    ok &= o.stats.advantage() >= tol.recovery_advantage_min;
+                }
+                if !ok {
+                    failures += 1;
+                }
+                println!(
+                    "{canon:8} {:9} kill{}@{:.4}s{}  equivalent={} advantage={:.2} {}",
+                    mode.name(),
+                    i,
+                    crash.at.secs(),
+                    if crash.torn { "+torn" } else { "" },
+                    o.equivalent(),
+                    o.stats.advantage(),
+                    if ok { "ok" } else { "FAIL" },
+                );
+                let mut cell = Json::obj();
+                cell.push("workload", canon.as_str())
+                    .push("kill_index", i)
+                    .push("forced_late", is_late)
+                    .push("equivalent", o.equivalent())
+                    .push("report_equal", o.report_equal)
+                    .push("journals_equal", o.journals_equal)
+                    .push(
+                        "durable_records",
+                        o.summaries.iter().map(|s| s.records).sum::<u64>(),
+                    )
+                    .push(
+                        "replayed_observes",
+                        o.summaries.iter().map(|s| s.replayed_observes).sum::<u64>(),
+                    )
+                    .push("stats", o.stats.to_json())
+                    .push("ok", ok);
+                cells.push(cell);
+            }
+        }
+    }
+
+    let mut report = Json::obj();
+    report
+        .push("seed", seed)
+        .push("points", points)
+        .push("nranks", nranks)
+        .push("profile", profile.name())
+        .push("recovery_bound", tol.recovery_bound)
+        .push("recovery_advantage_min", tol.recovery_advantage_min)
+        .push("cells", Json::Arr(cells));
+    if let Err(e) = std::fs::write(&out, report.to_pretty()) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", out.display());
+
+    if check && failures > 0 {
+        eprintln!("crash sweep: {failures} failing kill point(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

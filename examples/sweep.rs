@@ -25,8 +25,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use unimem_repro::bench::sweep::{
-    check_contention, check_determinism, check_report, default_workers, run_sweep_jobs,
-    ArbiterPolicy, NvmProfile, PolicyKind, SweepConfig, Tolerances,
+    check_contention, check_determinism, check_recovery, check_report, default_workers,
+    run_sweep_jobs, ArbiterPolicy, NvmProfile, PolicyKind, SweepConfig, Tolerances,
 };
 use unimem_repro::workloads::{corun, Class};
 
@@ -260,6 +260,7 @@ fn main() -> ExitCode {
         let mut violations = check_report(&report, &tol);
         violations.extend(check_determinism(&cfg));
         violations.extend(check_contention(&cfg));
+        violations.extend(check_recovery(&cfg, &tol));
         if violations.is_empty() {
             println!("conformance: all paper-claim checks passed");
         } else {

@@ -1,0 +1,35 @@
+//! Zero-cost guard for the crash-consistency journal: with journaling
+//! disabled (the default — no `JournalRig` attached), the execution
+//! driver must reproduce the pre-journal sweep byte-for-byte.
+//!
+//! `tests/golden/BENCH_sweep_v4.json` is the committed v4 baseline —
+//! the full reduced matrix (all six policies) as emitted by the driver
+//! before the journal hooks existed. The journal integration threads an
+//! `Option<JournalHandle>` through the driver, the policies, and the
+//! migration engine; this test pins that the `None` path is not merely
+//! cheap but *invisible*: identical placement, identical virtual times,
+//! identical serialized stats on every cell. Any drift here means the
+//! journal hooks perturbed the non-journaled run.
+
+use unimem_repro::bench::sweep::{run_sweep_jobs, SweepConfig};
+
+#[test]
+fn journal_disabled_path_reproduces_the_v4_golden_bytes() {
+    let report = run_sweep_jobs(&SweepConfig::reduced(), 4).expect("reduced sweep runs");
+    let got = report.to_json().to_pretty();
+    let golden = include_str!("golden/BENCH_sweep_v4.json");
+    if got != golden {
+        let line = got
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1);
+        panic!(
+            "regenerated report diverges from the v4 golden baseline \
+             ({} vs {} bytes; first differing line: {line:?}) — the \
+             journal hooks changed the non-journaled run",
+            got.len(),
+            golden.len(),
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Journal/recovery edge cases over a real workload: empty journals,
+//! crashes landing exactly on a fence epoch, crashes mid-first-copy,
+//! and torn final records. Each case must still recover to a run
+//! byte-identical to the uninterrupted one — the crash-consistency
+//! contract has no easy inputs.
+
+use unimem_repro::cache::CacheModel;
+use unimem_repro::hms::journal::{read_journal, DurabilityMode, Record, ReplayedState};
+use unimem_repro::runtime::exec::Policy;
+use unimem_repro::runtime::recovery::RecoverySetup;
+use unimem_repro::sim::{CrashSpec, VTime};
+use unimem_repro::workloads::{select, Class};
+
+struct Rig {
+    machine: unimem_repro::hms::MachineConfig,
+    cache: CacheModel,
+    policy: Policy,
+    workload: Box<dyn unimem_repro::runtime::Workload>,
+}
+
+impl Rig {
+    fn new() -> Rig {
+        let mut selection = select(&["CG"], Class::C).expect("CG selects");
+        Rig {
+            machine: unimem_repro::hms::MachineConfig::nvm_bw_fraction(0.5),
+            cache: CacheModel::platform_a(),
+            policy: Policy::unimem(),
+            workload: selection.remove(0).1,
+        }
+    }
+
+    fn setup(&self) -> RecoverySetup<'_> {
+        RecoverySetup {
+            workload: self.workload.as_ref(),
+            machine: &self.machine,
+            cache: &self.cache,
+            nranks: 2,
+            policy: &self.policy,
+        }
+    }
+}
+
+#[test]
+fn empty_journals_recover_by_running_from_scratch() {
+    let rig = Rig::new();
+    let s = rig.setup();
+    let clean = s.run_journaled(DurabilityMode::Strict);
+    // Nothing durable at all — recovery must degenerate to a clean run.
+    let rec = s.recover(DurabilityMode::Strict, &[Vec::new(), Vec::new()]);
+    assert_eq!(
+        rec.report.to_json().to_pretty(),
+        clean.report.to_json().to_pretty()
+    );
+    assert_eq!(rec.journals, clean.journals);
+    for sum in &rec.summaries {
+        assert_eq!(sum.records, 0, "an empty journal replays nothing");
+        assert_eq!(sum.replayed_observes, 0);
+        assert_eq!(sum.comm_mismatches, 0);
+    }
+}
+
+#[test]
+fn crash_exactly_at_a_fence_epoch_recovers_the_committed_prefix() {
+    let rig = Rig::new();
+    let s = rig.setup();
+    let clean = s.run_journaled(DurabilityMode::Buffered);
+    // A commit instant straight from rank 0's journal: the knife-edge
+    // case where the crash lands on the epoch boundary itself.
+    let st = ReplayedState::replay(&clean.journals[0]);
+    let (gen, commit_at) = st
+        .last_commit()
+        .expect("a multi-iteration run commits epochs");
+    let mid_gen = *st.commits.keys().nth(st.commits.len() / 2).unwrap();
+    let mid_at = st.commits[&mid_gen];
+    assert!(gen >= mid_gen && commit_at >= mid_at);
+
+    let out = s.crash_and_recover(
+        DurabilityMode::Buffered,
+        CrashSpec::at(VTime(mid_at)),
+        &clean,
+    );
+    assert!(out.equivalent(), "fence-epoch crash must recover cleanly");
+    // The epoch committed at exactly the crash instant is durable
+    // (its flush completes at the fence), later ones are not.
+    for sum in &out.summaries {
+        let last = sum.last_commit.expect("committed epochs survive");
+        assert!(last <= mid_gen, "epoch {last} committed after the crash");
+    }
+}
+
+#[test]
+fn crash_during_the_first_migration_resumes_the_torn_copy() {
+    let rig = Rig::new();
+    let s = rig.setup();
+    let clean = s.run_journaled(DurabilityMode::Strict);
+    // Find the first migration either rank enqueued and crash midway
+    // through its copy window: the intent record is durable (appended
+    // before the copy starts), the copy itself is torn.
+    let first = clean
+        .journals
+        .iter()
+        .flat_map(|j| {
+            let st = ReplayedState::replay(j);
+            st.migrations.values().cloned().collect::<Vec<_>>()
+        })
+        .min_by(|a, b| a.start.total_cmp(&b.start))
+        .expect("Unimem migrates on this workload");
+    assert!(first.done > first.start);
+    let mid = VTime(0.5 * (first.start + first.done));
+
+    let out = s.crash_and_recover(DurabilityMode::Strict, CrashSpec::at(mid), &clean);
+    assert!(out.equivalent(), "mid-copy crash must recover cleanly");
+    // At least one rank's durable journal shows the copy in flight at
+    // the crash instant — the recovery path had a torn copy to redo.
+    let in_flight = clean.journals.iter().any(|j| {
+        let durable = unimem_repro::hms::journal::durable_prefix(
+            j,
+            DurabilityMode::Strict,
+            CrashSpec::at(mid),
+        );
+        !ReplayedState::replay(&durable).in_flight_at(mid).is_empty()
+    });
+    assert!(in_flight, "crash point missed the migration window");
+}
+
+#[test]
+fn torn_final_record_is_detected_and_discarded() {
+    let rig = Rig::new();
+    let s = rig.setup();
+    let clean = s.run_journaled(DurabilityMode::Strict);
+    let st_full = ReplayedState::replay(&clean.journals[0]);
+    // Crash midway with a torn in-flight record on the medium.
+    let crash = CrashSpec::torn(VTime(st_full.last_at * 0.5));
+
+    // The torn fragment parses as garbage-free: replay sees only whole
+    // frames and reports the discarded tail.
+    let durable = unimem_repro::hms::journal::durable_prefix(
+        &clean.journals[0],
+        DurabilityMode::Strict,
+        crash,
+    );
+    let st = ReplayedState::replay(&durable);
+    assert!(st.torn_bytes_discarded > 0, "the tear left no fragment");
+    let (records, torn) = read_journal(&durable);
+    assert_eq!(torn, st.torn_bytes_discarded);
+    assert!(!records.is_empty());
+
+    let out = s.crash_and_recover(DurabilityMode::Strict, crash, &clean);
+    assert!(out.equivalent(), "torn-record crash must recover cleanly");
+    assert!(
+        out.summaries.iter().any(|s| s.torn_bytes_discarded > 0),
+        "recovery should report the discarded fragment"
+    );
+}
+
+#[test]
+fn replaying_a_journal_twice_changes_nothing() {
+    let rig = Rig::new();
+    let s = rig.setup();
+    let clean = s.run_journaled(DurabilityMode::Strict);
+    for journal in &clean.journals {
+        let once = ReplayedState::replay(journal);
+        let mut twice = ReplayedState::replay(journal);
+        for (rec, at) in read_journal(journal).0 {
+            twice.apply(&rec, at);
+        }
+        assert_eq!(once, twice, "replay must be idempotent");
+    }
+}
+
+#[test]
+fn header_records_identify_the_run() {
+    let rig = Rig::new();
+    let s = rig.setup();
+    let clean = s.run_journaled(DurabilityMode::InMemory);
+    for (rank, journal) in clean.journals.iter().enumerate() {
+        let st = ReplayedState::replay(journal);
+        let (r, n, iters) = st.header.expect("run header first");
+        assert_eq!(r as usize, rank);
+        assert_eq!(n, 2);
+        assert!(iters > 0);
+        assert!(!st.objects.is_empty(), "object table journaled");
+        // The first record in the byte stream is the header itself.
+        let (records, _) = read_journal(journal);
+        assert!(matches!(records[0].0, Record::RunHeader { .. }));
+    }
+}

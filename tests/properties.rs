@@ -542,3 +542,101 @@ proptest! {
         prop_assert_eq!(a.granted_total(), b.granted_total());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Crash-consistency properties (the redo journal + recovery path).
+
+/// Journaled run on the reduced-scale matrix: class S, 2 ranks, Unimem —
+/// cheap enough for proptest while still profiling, planning, and
+/// migrating (so the journal carries every record kind).
+fn journaled_run(
+    workload: &str,
+    mode: unimem_repro::hms::journal::DurabilityMode,
+) -> unimem_repro::runtime::recovery::JournaledRun {
+    use unimem_repro::bench::sweep::NvmProfile;
+    use unimem_repro::runtime::exec::Policy;
+    use unimem_repro::runtime::recovery::RecoverySetup;
+    use unimem_repro::workloads::{select, Class};
+
+    let selection = select(&[workload], Class::S).expect("known workload");
+    let machine = NvmProfile::BwHalf.machine();
+    let cache = unimem_repro::cache::CacheModel::platform_a();
+    let policy = Policy::unimem();
+    RecoverySetup {
+        workload: selection[0].1.as_ref(),
+        machine: &machine,
+        cache: &cache,
+        nranks: 2,
+        policy: &policy,
+    }
+    .run_journaled(mode)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Crash-consistency under *arbitrary* kill scripts: whatever virtual
+    /// instant the process dies (before, during, even after the run),
+    /// torn record or not, in every durability mode — recovering from
+    /// the durable journal prefix must reproduce the uninterrupted run's
+    /// `RunReport` JSON and per-rank journals byte-for-byte.
+    #[test]
+    fn arbitrary_kill_points_recover_byte_identically(
+        frac in 0.0f64..1.1,
+        torn in any::<bool>(),
+        mode_ix in 0usize..3,
+        pick_mg in any::<bool>(),
+    ) {
+        use unimem_repro::bench::sweep::NvmProfile;
+        use unimem_repro::hms::journal::DurabilityMode;
+        use unimem_repro::runtime::exec::Policy;
+        use unimem_repro::runtime::recovery::RecoverySetup;
+        use unimem_repro::sim::{CrashSpec, VDur, VTime};
+        use unimem_repro::workloads::{select, Class};
+
+        let workload = if pick_mg { "MG" } else { "CG" };
+        let selection = select(&[workload], Class::S).expect("known workload");
+        let machine = NvmProfile::BwHalf.machine();
+        let cache = unimem_repro::cache::CacheModel::platform_a();
+        let policy = Policy::unimem();
+        let setup = RecoverySetup {
+            workload: selection[0].1.as_ref(),
+            machine: &machine,
+            cache: &cache,
+            nranks: 2,
+            policy: &policy,
+        };
+        let mode = DurabilityMode::ALL[mode_ix];
+        let clean = setup.run_journaled(mode);
+        let crash = CrashSpec {
+            at: VTime::ZERO + VDur(clean.report.time().secs() * frac),
+            torn,
+        };
+        let out = setup.crash_and_recover(mode, crash, &clean);
+        prop_assert!(
+            out.equivalent(),
+            "mode={:?} crash={:?}: report_equal={} journals_equal={}",
+            mode, crash, out.report_equal, out.journals_equal
+        );
+    }
+
+    /// Replay is idempotent at *every* truncation point: parse whatever
+    /// prefix survives (whole frames + a possibly torn tail), then apply
+    /// all of its records a second time — nothing may change.
+    #[test]
+    fn journal_replay_is_idempotent_at_any_truncation(cut_frac in 0.0f64..1.001) {
+        use unimem_repro::hms::journal::{read_journal, DurabilityMode, ReplayedState};
+
+        let clean = journaled_run("CG", DurabilityMode::Strict);
+        for journal in &clean.journals {
+            let cut = ((journal.len() as f64) * cut_frac) as usize;
+            let prefix = &journal[..cut.min(journal.len())];
+            let once = ReplayedState::replay(prefix);
+            let mut twice = ReplayedState::replay(prefix);
+            for (rec, at) in read_journal(prefix).0 {
+                twice.apply(&rec, at);
+            }
+            prop_assert_eq!(&once, &twice, "second replay changed the state");
+        }
+    }
+}
