@@ -18,14 +18,21 @@
 //! `crossbeam::channel` MPMC queue; a job that returns `Err` or panics
 //! surfaces as the pool's `Err` (first failing job index wins,
 //! deterministically) instead of deadlocking the caller.
+//!
+//! The pool itself now lives in [`unimem_sim::pool`] so the execution
+//! driver can schedule ranks on it too; the historical re-exports below
+//! keep this module the bench-facing entry point.
 
 use crate::sweep::matrix::{NvmProfile, PolicyKind, SweepConfig};
-use crossbeam::channel;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// One (profile, ranks, ranks-per-node, workload) row of the matrix: the
-/// unit that shares a DRAM-only baseline. Fields index into the
-/// canonicalized config axes and the runner's workload selection.
+pub use unimem_sim::pool::{default_workers, run_pool, with_label};
+
+/// One (profile, topology, ranks, ranks-per-node, workload) row of the
+/// matrix: the unit that shares a DRAM-only baseline. Fields index into
+/// the canonicalized config axes and the runner's workload selection.
+/// The baseline is topology-specific — a cell in a 16-node room
+/// normalizes against DRAM-only *in that room*, so link costs cancel
+/// out of `normalized_to_dram` and the ratio stays a placement signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RowJob {
     /// NVM profile (machine) of the row.
@@ -34,6 +41,8 @@ pub struct RowJob {
     pub nranks: usize,
     /// Ranks packed per node (the contention axis).
     pub ranks_per_node: usize,
+    /// Index into the config's `topologies` axis.
+    pub topology: usize,
     /// Index into the runner's `select()`-resolved workload list.
     pub workload: usize,
 }
@@ -50,21 +59,28 @@ pub struct CellJob {
     pub policy: PolicyKind,
 }
 
-/// Stage-1 job vector: rows in canonical (profile, ranks, ranks-per-node,
-/// workload) order. Layouts whose `ranks_per_node` exceeds the rank count
-/// are skipped (see [`SweepConfig::rank_layouts`]).
+/// Stage-1 job vector: rows in canonical (profile, topology, ranks,
+/// ranks-per-node, workload) order. Layouts whose `ranks_per_node`
+/// exceeds the rank count are skipped (see
+/// [`SweepConfig::rank_layouts`]), and clustered topologies contribute
+/// rows only where they apply (see
+/// [`crate::sweep::matrix::TopologySpec::applies_to`]). With the default
+/// `[TopologySpec::Flat]` axis this is exactly the historical
+/// enumeration.
 pub fn enumerate_rows(cfg: &SweepConfig, n_workloads: usize) -> Vec<RowJob> {
-    let layouts = cfg.rank_layouts();
-    let mut rows = Vec::with_capacity(cfg.profiles.len() * layouts.len() * n_workloads);
+    let mut rows = Vec::new();
     for &profile in &cfg.profiles {
-        for &(nranks, ranks_per_node) in &layouts {
-            for workload in 0..n_workloads {
-                rows.push(RowJob {
-                    profile,
-                    nranks,
-                    ranks_per_node,
-                    workload,
-                });
+        for (topology, t) in cfg.topologies.iter().enumerate() {
+            for (nranks, ranks_per_node) in cfg.layouts_for(profile, t) {
+                for workload in 0..n_workloads {
+                    rows.push(RowJob {
+                        profile,
+                        nranks,
+                        ranks_per_node,
+                        topology,
+                        workload,
+                    });
+                }
             }
         }
     }
@@ -125,113 +141,10 @@ pub fn enumerate_coruns(cfg: &SweepConfig) -> Vec<CorunJob> {
     jobs
 }
 
-/// Run `f` over every job on a pool of `workers` threads and return the
-/// results in job order.
-///
-/// * `workers <= 1` (or a single job) runs everything in order on the
-///   calling thread — bit-for-bit the serial path, no threads spawned.
-/// * A job returning `Err` or panicking does not deadlock the pool, and
-///   the error of the **lowest-indexed** failing job is returned with a
-///   `job {idx}:` prefix — identical from the serial and threaded paths,
-///   so the reported failure never depends on worker count or
-///   scheduling. (The threaded path still drains the queue; the serial
-///   path stops at the failure, which is unobservable in the result.)
-pub fn run_pool<J, R, F>(jobs: Vec<J>, workers: usize, f: F) -> Result<Vec<R>, String>
-where
-    J: Send,
-    R: Send,
-    F: Fn(&J) -> Result<R, String> + Sync,
-{
-    let n = jobs.len();
-    if workers <= 1 || n <= 1 {
-        return jobs
-            .iter()
-            .enumerate()
-            .map(|(idx, job)| run_caught(&f, job).map_err(|e| format!("job {idx}: {e}")))
-            .collect();
-    }
-
-    let (job_tx, job_rx) = channel::unbounded();
-    for job in jobs.into_iter().enumerate() {
-        job_tx.send(job).expect("receiver alive");
-    }
-    // Workers see a disconnected queue once it drains, and exit.
-    drop(job_tx);
-
-    let (res_tx, res_rx) = channel::unbounded();
-    let mut slots: Vec<Option<Result<R, String>>> =
-        std::iter::repeat_with(|| None).take(n).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                for (idx, job) in job_rx.iter() {
-                    if res_tx.send((idx, run_caught(f, &job))).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(res_tx);
-        // Every job sends exactly one result (panics included), so this
-        // terminates; if a worker died anyway, the dropped senders turn
-        // the loop into a clean early exit instead of a hang.
-        while let Ok((idx, res)) = res_rx.recv() {
-            slots[idx] = Some(res);
-        }
-    });
-
-    let mut out = Vec::with_capacity(n);
-    for (idx, slot) in slots.into_iter().enumerate() {
-        match slot {
-            Some(Ok(r)) => out.push(r),
-            Some(Err(e)) => return Err(format!("job {idx}: {e}")),
-            None => return Err(format!("job {idx}: worker exited without a result")),
-        }
-    }
-    Ok(out)
-}
-
-/// Run one job, converting a panic into `Err` — a panicking job must not
-/// take down the worker (and the results the caller is waiting for) on
-/// the threaded path, nor abort the process on the serial path.
-fn run_caught<J, R>(f: &(impl Fn(&J) -> Result<R, String> + Sync), job: &J) -> Result<R, String> {
-    catch_unwind(AssertUnwindSafe(|| f(job)))
-        .unwrap_or_else(|p| Err(format!("panicked: {}", panic_msg(&*p))))
-}
-
-/// Run `body`, converting a panic into `Err` and prefixing any failure
-/// with `label` — so a failing sweep job reports its matrix coordinates,
-/// not just its opaque flat index.
-pub fn with_label<R>(
-    label: impl Fn() -> String,
-    body: impl FnOnce() -> Result<R, String>,
-) -> Result<R, String> {
-    catch_unwind(AssertUnwindSafe(body))
-        .unwrap_or_else(|p| Err(format!("panicked: {}", panic_msg(&*p))))
-        .map_err(|e| format!("{}: {e}", label()))
-}
-
-// Takes the unsized payload directly: passing `&Box<dyn Any>` would let
-// the *Box* coerce to `dyn Any` and every downcast would miss.
-fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
-    p.downcast_ref::<&str>()
-        .map(|s| s.to_string())
-        .or_else(|| p.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "non-string panic payload".into())
-}
-
-/// Default worker count: the host's available parallelism (the ROADMAP's
-/// "as fast as the hardware allows"), 1 when it cannot be queried.
-pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::matrix::TopologySpec;
     use unimem_workloads::Class;
 
     fn cfg() -> SweepConfig {
@@ -242,6 +155,7 @@ mod tests {
             profiles: vec![NvmProfile::BwHalf, NvmProfile::Lat4x],
             ranks: vec![1, 4],
             ranks_per_node: vec![1, 2],
+            topologies: vec![TopologySpec::Flat],
             dram_capacity: None,
             coruns: vec![],
             arbiters: vec![],
@@ -276,73 +190,33 @@ mod tests {
     }
 
     #[test]
-    fn pool_preserves_job_order_at_any_width() {
-        let jobs: Vec<u64> = (0..64).collect();
-        let expect: Vec<u64> = jobs.iter().map(|j| j * j).collect();
-        for workers in [1, 2, 8, 100] {
-            let got = run_pool(jobs.clone(), workers, |&j| Ok(j * j)).unwrap();
-            assert_eq!(got, expect, "workers={workers}");
+    fn clustered_rows_append_after_flat_and_share_the_rank_layouts() {
+        let mut c = cfg();
+        c.topologies.push(TopologySpec::Nodes { count: 4 });
+        let rows = enumerate_rows(&c, 2);
+        // Per profile: 3 flat layouts + one clustered (4, 1) row, × 2
+        // workloads each.
+        assert_eq!(rows.len(), 2 * (3 + 1) * 2);
+        // Flat rows of a profile come first (topology is inside profile,
+        // outside layout), so the historical prefix is preserved per
+        // profile block.
+        assert_eq!(rows[0].topology, 0);
+        let clustered: Vec<&RowJob> = rows.iter().filter(|r| r.topology == 1).collect();
+        assert_eq!(clustered.len(), 4);
+        for r in &clustered {
+            assert_eq!((r.nranks, r.ranks_per_node), (4, 1));
         }
+        // Baseline indices in cells still follow row order.
+        let cells = enumerate_cells(&c, &rows);
+        assert_eq!(cells.len(), rows.len() * 2);
+        assert_eq!(cells.last().unwrap().baseline, rows.len() - 1);
     }
 
     #[test]
-    fn pool_reports_lowest_failing_job_at_any_width() {
-        // The serial (workers = 1) and threaded paths must produce the
-        // exact same error for the same failing job set.
-        for workers in [1, 4] {
-            let jobs: Vec<u64> = (0..32).collect();
-            let err = run_pool(jobs, workers, |&j| {
-                if j % 10 == 3 {
-                    Err(format!("boom {j}"))
-                } else {
-                    Ok(j)
-                }
-            })
-            .unwrap_err();
-            assert_eq!(err, "job 3: boom 3", "workers={workers}");
-        }
-    }
-
-    #[test]
-    fn panicking_job_is_an_error_not_a_hang_or_abort() {
-        for workers in [1, 4] {
-            let jobs: Vec<u64> = (0..16).collect();
-            let err = run_pool(jobs, workers, |&j| {
-                if j == 5 {
-                    panic!("job five exploded");
-                }
-                Ok(j)
-            })
-            .unwrap_err();
-            assert_eq!(
-                err, "job 5: panicked: job five exploded",
-                "workers={workers}"
-            );
-        }
-    }
-
-    #[test]
-    fn with_label_prefixes_errors_and_catches_panics() {
-        assert_eq!(with_label(|| "x".into(), || Ok(1)), Ok(1));
-        assert_eq!(
-            with_label(
-                || "CG/bw-half/r4/unimem".into(),
-                || Err::<(), _>("bad".into())
-            ),
-            Err("CG/bw-half/r4/unimem: bad".to_string())
-        );
-        assert_eq!(
-            with_label(
-                || "cell".into(),
-                || -> Result<(), String> { panic!("boom") }
-            ),
-            Err("cell: panicked: boom".to_string())
-        );
-    }
-
-    #[test]
-    fn empty_job_vector_is_fine() {
-        let got: Vec<u64> = run_pool(Vec::<u64>::new(), 8, |&j| Ok(j)).unwrap();
-        assert!(got.is_empty());
+    fn pool_reexport_stays_wired() {
+        // The pool proper is tested in `unimem_sim::pool`; this pins the
+        // re-export so downstream `jobs::run_pool` callers keep working.
+        let got = run_pool((0..4u64).collect(), 2, |&j| Ok(j + 1)).unwrap();
+        assert_eq!(got, vec![1, 2, 3, 4]);
     }
 }

@@ -98,6 +98,99 @@ impl NvmProfile {
     }
 }
 
+/// Cluster-topology axis: how the machine room a cell runs in is laid
+/// out. The default, [`TopologySpec::Flat`], is the paper's world — one
+/// node class, single-level collectives, node packing governed by the
+/// `ranks_per_node` axis — and reproduces the historical report bytes.
+/// The other variants route the cell through
+/// `unimem::exec::run_workload_clustered`: explicit nodes, hierarchical
+/// collectives, inter-node traffic charged on the per-node link channels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TopologySpec {
+    /// The legacy flat world (single-level collectives).
+    Flat,
+    /// `count` homogeneous nodes of the row's NVM profile; ranks spread
+    /// contiguously, `⌈nranks / count⌉` per node.
+    Nodes {
+        /// Number of nodes in the simulated machine room.
+        count: usize,
+    },
+    /// A heterogeneous machine room: one node per listed profile, in
+    /// order. To avoid duplicate cells the mixed room attaches only to
+    /// rows of its *first* listed profile (the room already names every
+    /// machine in it; the row's profile axis would otherwise multiply
+    /// identical runs).
+    Mixed {
+        /// The per-node NVM profiles, node-id order.
+        profiles: Vec<NvmProfile>,
+    },
+}
+
+impl TopologySpec {
+    /// Stable name used in reports, coordinates, and on the CLI:
+    /// `flat`, `nodes4`, `mixed:bw-half+pcram`.
+    pub fn name(&self) -> String {
+        match self {
+            TopologySpec::Flat => "flat".into(),
+            TopologySpec::Nodes { count } => format!("nodes{count}"),
+            TopologySpec::Mixed { profiles } => {
+                let names: Vec<&str> = profiles.iter().map(|p| p.name()).collect();
+                format!("mixed:{}", names.join("+"))
+            }
+        }
+    }
+
+    /// Inverse of [`TopologySpec::name`].
+    pub fn parse(s: &str) -> Option<TopologySpec> {
+        let s = s.trim().to_ascii_lowercase();
+        if s == "flat" {
+            return Some(TopologySpec::Flat);
+        }
+        if let Some(count) = s.strip_prefix("nodes") {
+            let count: usize = count.parse().ok()?;
+            return (count >= 1).then_some(TopologySpec::Nodes { count });
+        }
+        if let Some(list) = s.strip_prefix("mixed:") {
+            let profiles: Option<Vec<NvmProfile>> =
+                list.split('+').map(NvmProfile::parse).collect();
+            let profiles = profiles?;
+            return (!profiles.is_empty()).then_some(TopologySpec::Mixed { profiles });
+        }
+        None
+    }
+
+    /// Number of nodes this topology lays out for an `nranks`-rank job.
+    pub fn n_nodes(&self) -> usize {
+        match self {
+            TopologySpec::Flat => 1,
+            TopologySpec::Nodes { count } => *count,
+            TopologySpec::Mixed { profiles } => profiles.len(),
+        }
+    }
+
+    /// Ranks each node holds when `nranks` spread contiguously.
+    pub fn slots_for(&self, nranks: usize) -> usize {
+        nranks.div_ceil(self.n_nodes())
+    }
+
+    /// Whether this topology generates a cell on the given matrix row.
+    /// Flat rides every row. Clustered topologies attach only to the
+    /// canonical one-rank-per-node rows (their own node layout decides
+    /// packing), need at least one rank per node, and a mixed room
+    /// attaches only to its first profile's rows (see [`TopologySpec::Mixed`]).
+    pub fn applies_to(&self, profile: NvmProfile, nranks: usize, ranks_per_node: usize) -> bool {
+        match self {
+            TopologySpec::Flat => true,
+            TopologySpec::Nodes { count } => ranks_per_node == 1 && *count <= nranks,
+            TopologySpec::Mixed { profiles } => {
+                ranks_per_node == 1
+                    && profiles.len() <= nranks
+                    && profiles.first() == Some(&profile)
+            }
+        }
+    }
+}
+
 /// The matrix to sweep. Axes multiply: every workload runs under every
 /// policy on every (profile, rank count, ranks-per-node) machine —
 /// `ranks_per_node` values above a cell's rank count are skipped (a node
@@ -110,7 +203,7 @@ impl NvmProfile {
 /// # Example — a miniature custom slice
 ///
 /// ```
-/// use unimem_bench::sweep::{run_sweep, NvmProfile, PolicyKind, SweepConfig};
+/// use unimem_bench::sweep::{run_sweep, NvmProfile, PolicyKind, SweepConfig, TopologySpec};
 /// use unimem_workloads::Class;
 ///
 /// let cfg = SweepConfig {
@@ -120,6 +213,7 @@ impl NvmProfile {
 ///     profiles: vec![NvmProfile::BwHalf],
 ///     ranks: vec![2],
 ///     ranks_per_node: vec![1],
+///     topologies: vec![TopologySpec::Flat],
 ///     dram_capacity: None,
 ///     coruns: vec![],
 ///     arbiters: vec![],
@@ -151,6 +245,12 @@ pub struct SweepConfig {
     /// shared-bandwidth contention model. Values above a cell's rank
     /// count are skipped.
     pub ranks_per_node: Vec<usize>,
+    /// Cluster topologies to run each row in. `[TopologySpec::Flat]`
+    /// (the default) is the paper's single-level world. Clustered
+    /// entries add cells on the one-rank-per-node rows only — the
+    /// topology itself decides packing (see
+    /// [`TopologySpec::applies_to`]).
+    pub topologies: Vec<TopologySpec>,
     /// Override the per-node DRAM capacity (None = profile default 256 MB).
     pub dram_capacity: Option<Bytes>,
     /// Co-run mixes for the multi-tenant arbitration cells (empty = no
@@ -174,6 +274,7 @@ impl SweepConfig {
             profiles: vec![NvmProfile::BwHalf, NvmProfile::Lat4x],
             ranks: vec![4],
             ranks_per_node: vec![1, 2],
+            topologies: vec![TopologySpec::Flat],
             dram_capacity: None,
             coruns: corun::reduced_mixes(),
             arbiters: ArbiterPolicy::ALL.to_vec(),
@@ -208,9 +309,25 @@ impl SweepConfig {
         out
     }
 
+    /// The (ranks, ranks_per_node) pairs a topology contributes on one
+    /// profile's rows, in canonical order: [`SweepConfig::rank_layouts`]
+    /// filtered through [`TopologySpec::applies_to`].
+    pub fn layouts_for(&self, profile: NvmProfile, topology: &TopologySpec) -> Vec<(usize, usize)> {
+        self.rank_layouts()
+            .into_iter()
+            .filter(|&(r, rpn)| topology.applies_to(profile, r, rpn))
+            .collect()
+    }
+
     /// Number of single-tenant cells this matrix produces.
     pub fn n_cells(&self) -> usize {
-        self.workloads.len() * self.policies.len() * self.profiles.len() * self.rank_layouts().len()
+        let mut rows = 0;
+        for &profile in &self.profiles {
+            for t in &self.topologies {
+                rows += self.layouts_for(profile, t).len();
+            }
+        }
+        self.workloads.len() * self.policies.len() * rows
     }
 
     /// The rank count the co-run cells execute at: the matrix's largest
@@ -248,6 +365,14 @@ impl SweepConfig {
         dedup(&mut self.ranks);
         dedup(&mut self.ranks_per_node);
         dedup(&mut self.arbiters);
+        // Topologies hold a Vec (not Copy): dedup by equality in place.
+        let mut topologies = Vec::with_capacity(self.topologies.len());
+        for t in self.topologies.drain(..) {
+            if !topologies.contains(&t) {
+                topologies.push(t);
+            }
+        }
+        self.topologies = topologies;
         self.coruns = corun::dedup_mixes(std::mem::take(&mut self.coruns));
     }
 }
@@ -287,6 +412,76 @@ mod tests {
         // Co-run cells: tenants × arbitration policies × profiles.
         assert_eq!(SweepConfig::reduced().n_corun_cells(), 2 * 3 * 2);
         assert_eq!(SweepConfig::full().n_corun_cells(), (2 + 2 + 3) * 3 * 5);
+    }
+
+    #[test]
+    fn topology_names_round_trip() {
+        let specs = [
+            TopologySpec::Flat,
+            TopologySpec::Nodes { count: 16 },
+            TopologySpec::Mixed {
+                profiles: vec![NvmProfile::BwHalf, NvmProfile::Pcram],
+            },
+        ];
+        for t in specs {
+            assert_eq!(
+                TopologySpec::parse(&t.name()),
+                Some(t.clone()),
+                "{}",
+                t.name()
+            );
+        }
+        assert_eq!(
+            TopologySpec::Nodes { count: 16 }.name(),
+            "nodes16".to_string()
+        );
+        assert_eq!(
+            TopologySpec::Mixed {
+                profiles: vec![NvmProfile::BwHalf, NvmProfile::Pcram]
+            }
+            .name(),
+            "mixed:bw-half+pcram".to_string()
+        );
+        assert_eq!(TopologySpec::parse("nodes0"), None);
+        assert_eq!(TopologySpec::parse("torus"), None);
+        assert_eq!(TopologySpec::parse("mixed:flash"), None);
+    }
+
+    #[test]
+    fn clustered_topologies_attach_to_one_rank_per_node_rows_only() {
+        let four_nodes = TopologySpec::Nodes { count: 4 };
+        assert!(four_nodes.applies_to(NvmProfile::BwHalf, 8, 1));
+        assert!(!four_nodes.applies_to(NvmProfile::BwHalf, 8, 2));
+        // A room with more nodes than ranks would leave nodes empty: skip.
+        assert!(!four_nodes.applies_to(NvmProfile::BwHalf, 2, 1));
+        // Mixed rooms ride only their first profile's rows.
+        let mixed = TopologySpec::Mixed {
+            profiles: vec![NvmProfile::BwHalf, NvmProfile::Pcram],
+        };
+        assert!(mixed.applies_to(NvmProfile::BwHalf, 4, 1));
+        assert!(!mixed.applies_to(NvmProfile::Pcram, 4, 1));
+        assert_eq!(mixed.slots_for(5), 3);
+        assert_eq!(four_nodes.slots_for(8), 2);
+    }
+
+    #[test]
+    fn topology_axis_multiplies_only_applicable_rows() {
+        let mut cfg = SweepConfig::reduced();
+        let flat_cells = cfg.n_cells();
+        cfg.topologies.push(TopologySpec::Nodes { count: 4 });
+        // The 4-node room attaches to the (4, 1) layout only, on both
+        // profiles: + workloads × policies × profiles cells.
+        assert_eq!(cfg.n_cells(), flat_cells + 7 * 6 * 2);
+        cfg.topologies.push(TopologySpec::Mixed {
+            profiles: vec![NvmProfile::BwHalf, NvmProfile::Lat4x],
+        });
+        // The mixed room rides bw-half rows only: one more (4, 1) row.
+        assert_eq!(cfg.n_cells(), flat_cells + 7 * 6 * 2 + 7 * 6);
+        // Dedup removes repeated rooms.
+        cfg.topologies.push(TopologySpec::Nodes { count: 4 });
+        cfg.normalize_axes();
+        assert_eq!(cfg.topologies.len(), 3);
+        assert_eq!(cfg.n_cells(), flat_cells + 7 * 6 * 2 + 7 * 6);
     }
 
     #[test]

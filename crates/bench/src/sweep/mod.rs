@@ -15,7 +15,13 @@
 //! * rank counts: 1 / 4 / 8,
 //! * node layouts: 1 / 2 / 4 ranks per node — packed layouts share each
 //!   node's tier bandwidth and copy path, exercising the shared-bandwidth
-//!   contention model (Fig. 12-style scaling)
+//!   contention model (Fig. 12-style scaling),
+//! * machine rooms: an optional cluster-topology axis
+//!   ([`matrix::TopologySpec`], `--topology` on the CLI) re-runs
+//!   one-rank-per-node rows in simulated multi-node or heterogeneous
+//!   rooms through `unimem::exec::run_workload_clustered` — two-level
+//!   collectives, inter-node traffic on the contended link channels,
+//!   normalization against DRAM-only in the same room
 //!
 //! — and emits a single `BENCH_sweep.json` with per-cell run time,
 //! migration statistics, and pure runtime cost ([`report`]).
@@ -47,8 +53,9 @@ pub mod report;
 pub mod runner;
 
 pub use conformance::{
-    check_contention, check_determinism, check_recovery, check_report, Tolerances, Violation,
+    check_contention, check_determinism, check_recovery, check_report, check_weak_scaling,
+    Tolerances, Violation,
 };
 pub use jobs::{default_workers, run_pool};
-pub use matrix::{ArbiterPolicy, NvmProfile, PolicyKind, SweepConfig};
+pub use matrix::{ArbiterPolicy, NvmProfile, PolicyKind, SweepConfig, TopologySpec};
 pub use runner::{run_sweep, run_sweep_jobs, CorunCell, SweepCell, SweepReport};

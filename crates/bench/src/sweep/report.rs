@@ -1,17 +1,18 @@
 //! `BENCH_sweep.json` emission: a deterministic, machine-readable form of
 //! a [`SweepReport`].
 //!
-//! Schema (`unimem-bench-sweep/v4`):
+//! Schema (`unimem-bench-sweep/v5`):
 //!
 //! ```text
 //! {
-//!   "schema":    "unimem-bench-sweep/v4",
+//!   "schema":    "unimem-bench-sweep/v5",
 //!   "class":     "C",
 //!   "workloads": ["CG", ...],
 //!   "policies":  ["unimem", ...],
 //!   "profiles":  ["bw-half", ...],
 //!   "ranks":     [4, ...],
 //!   "ranks_per_node": [1, 2, ...],
+//!   "topologies": ["flat", "nodes16", ...],   // only off the flat default
 //!   "mixes":     ["CG+FT", ...],
 //!   "arbiters":  ["fair-share", ...],
 //!   "n_cells":   112,
@@ -21,6 +22,7 @@
 //!       "workload": "CG", "full_name": "CG.C",
 //!       "policy": "unimem", "profile": "bw-half",
 //!       "nranks": 4, "ranks_per_node": 2,
+//!       "topology": "nodes16",                // only on clustered cells
 //!       "time_s": ..., "normalized_to_dram": ...,
 //!       "plan_kind": "global"|"local"|null,
 //!       "migration_count": ..., "migrated_bytes": ...,
@@ -42,6 +44,14 @@
 //!   ]
 //! }
 //! ```
+//!
+//! v5 adds the cluster-topology axis: a `topologies` list and a per-cell
+//! `topology` name, both emitted **only when clustered rooms are
+//! configured** — a sweep of the default flat world serializes exactly
+//! as v4 did apart from the schema tag, so the committed golden needed a
+//! tag bump and nothing else. Clustered cells run the hierarchical
+//! collective path (`unimem::exec::run_workload_clustered`) and
+//! normalize against a DRAM-only baseline in the same machine room.
 //!
 //! v4 widens the `policies` axis to the full placement-policy registry
 //! (`unimem::policy::PolicyId`): two new entries, `online-guidance`
@@ -65,13 +75,14 @@
 //! members, shortest-round-trip floats); the determinism conformance
 //! check compares these bytes across repeated multi-threaded runs.
 
+use crate::sweep::matrix::TopologySpec;
 use crate::sweep::runner::{CorunCell, SweepCell, SweepReport};
 use std::io;
 use std::path::Path;
 use unimem_sim::Json;
 
 /// The schema tag written to `BENCH_sweep.json`.
-pub const SCHEMA: &str = "unimem-bench-sweep/v4";
+pub const SCHEMA: &str = "unimem-bench-sweep/v5";
 
 impl SweepCell {
     /// Deterministic JSON form of one single-tenant cell.
@@ -83,8 +94,13 @@ impl SweepCell {
             .push("policy", self.policy.name())
             .push("profile", self.profile.name())
             .push("nranks", self.nranks)
-            .push("ranks_per_node", self.ranks_per_node)
-            .push("time_s", self.time_s())
+            .push("ranks_per_node", self.ranks_per_node);
+        // Clustered cells name their room; flat cells keep the exact v4
+        // byte shape.
+        if self.topology != TopologySpec::Flat {
+            o.push("topology", self.topology.name());
+        }
+        o.push("time_s", self.time_s())
             .push("normalized_to_dram", self.normalized_to_dram)
             .push("plan_kind", self.report.plan_kind_json())
             .push("migration_count", job.migration_count())
@@ -150,25 +166,39 @@ impl SweepReport {
             .push(
                 "ranks_per_node",
                 Json::Arr(cfg.ranks_per_node.iter().map(|&r| Json::from(r)).collect()),
-            )
-            .push(
-                "mixes",
-                Json::Arr(cfg.coruns.iter().map(|m| Json::from(m.label())).collect()),
-            )
-            .push(
-                "arbiters",
-                strings(cfg.arbiters.iter().map(|a| a.name()).collect()),
-            )
-            .push("n_cells", self.cells.len())
-            .push("n_corun_cells", self.corun_cells.len())
-            .push(
-                "cells",
-                Json::Arr(self.cells.iter().map(SweepCell::to_json).collect()),
-            )
-            .push(
-                "corun_cells",
-                Json::Arr(self.corun_cells.iter().map(CorunCell::to_json).collect()),
             );
+        // The topology axis appears only when clustered rooms are
+        // configured, so a default (flat-only) sweep's report differs
+        // from v4 by the schema tag alone.
+        if cfg.topologies != [TopologySpec::Flat] {
+            o.push(
+                "topologies",
+                Json::Arr(
+                    cfg.topologies
+                        .iter()
+                        .map(|t| Json::from(t.name()))
+                        .collect(),
+                ),
+            );
+        }
+        o.push(
+            "mixes",
+            Json::Arr(cfg.coruns.iter().map(|m| Json::from(m.label())).collect()),
+        )
+        .push(
+            "arbiters",
+            strings(cfg.arbiters.iter().map(|a| a.name()).collect()),
+        )
+        .push("n_cells", self.cells.len())
+        .push("n_corun_cells", self.corun_cells.len())
+        .push(
+            "cells",
+            Json::Arr(self.cells.iter().map(SweepCell::to_json).collect()),
+        )
+        .push(
+            "corun_cells",
+            Json::Arr(self.corun_cells.iter().map(CorunCell::to_json).collect()),
+        );
         o
     }
 
@@ -185,8 +215,8 @@ mod tests {
     use crate::sweep::runner::run_sweep;
     use unimem_workloads::Class;
 
-    fn micro_report() -> SweepReport {
-        run_sweep(&SweepConfig {
+    fn micro_cfg() -> SweepConfig {
+        SweepConfig {
             class: Class::C,
             workloads: vec!["LU".into()],
             policies: vec![
@@ -197,11 +227,15 @@ mod tests {
             profiles: vec![NvmProfile::BwHalf],
             ranks: vec![2],
             ranks_per_node: vec![1],
+            topologies: vec![TopologySpec::Flat],
             dram_capacity: None,
             coruns: vec![],
             arbiters: vec![],
-        })
-        .unwrap()
+        }
+    }
+
+    fn micro_report() -> SweepReport {
+        run_sweep(&micro_cfg()).unwrap()
     }
 
     #[test]
@@ -217,6 +251,40 @@ mod tests {
             assert!(c.get("run").and_then(|r| r.get("job")).is_some());
             assert!(c.get("normalized_to_dram").and_then(Json::as_f64).is_some());
         }
+    }
+
+    #[test]
+    fn topology_keys_appear_only_off_the_flat_default() {
+        // Flat-only sweep: no topology keys anywhere (v4 byte shape).
+        let flat = micro_report().to_json();
+        assert!(flat.get("topologies").is_none());
+        for c in flat.get("cells").and_then(Json::as_arr).unwrap() {
+            assert!(c.get("topology").is_none());
+        }
+        // Clustered rooms turn both keys on, but flat cells stay bare.
+        let mut cfg = micro_cfg();
+        cfg.topologies.push(TopologySpec::Nodes { count: 2 });
+        let j = run_sweep(&cfg).unwrap().to_json();
+        let axis = j.get("topologies").and_then(Json::as_arr).unwrap();
+        assert_eq!(axis.len(), 2);
+        assert_eq!(axis[1].as_str(), Some("nodes2"));
+        let cells = j.get("cells").and_then(Json::as_arr).unwrap();
+        assert_eq!(cells.len(), 6);
+        let named: Vec<Option<&str>> = cells
+            .iter()
+            .map(|c| c.get("topology").and_then(Json::as_str))
+            .collect();
+        assert_eq!(
+            named,
+            [
+                None,
+                None,
+                None,
+                Some("nodes2"),
+                Some("nodes2"),
+                Some("nodes2")
+            ]
+        );
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //!
 //! A workload is a *phase script*: per rank and iteration, a sequence of
 //! steps — computation (with per-object access descriptors at class scale)
-//! or communication. The driver replays the script on the mini-MPI
-//! substrate, computing ground-truth phase times from the cache model and
-//! tier parameters under the *current* placement. Placement itself is a
+//! or communication. The driver replays the script, computing ground-truth
+//! phase times from the cache model and tier parameters under the
+//! *current* placement. Placement itself is a
 //! [`crate::policy::PlacementPolicy`]: the driver calls the same
 //! lifecycle hooks for every policy (iteration begin, phase begin,
 //! observe, iteration end), and the policy's [`crate::policy::TierView`]
@@ -13,24 +13,43 @@
 //! placement exactly as §3.1 prescribes: profile the first iteration,
 //! decide at its end, enforce thereafter, re-profile on variation.
 //!
+//! Execution is segmented and bulk-synchronous: each rank is a movable
+//! `RankTask` that runs to its next communication step on a bounded
+//! worker pool ([`unimem_sim::run_pool`]), and a serial resolver computes
+//! the synchronized departure clocks — so a 256-rank topology costs a
+//! handful of OS threads, not 256. The output is byte-identical to the
+//! historical thread-per-rank rendezvous driver: the bandwidth ledger's
+//! fence-visibility rule makes every cross-rank read a pure function of
+//! virtual program order, and collective departure times depend only on
+//! the entry clocks.
+//!
+//! Runs either target one flat machine config ([`run_workload`], the
+//! legacy single-node path every paper experiment uses) or an explicit
+//! [`ClusterTopology`] ([`run_workload_clustered`]): per-node tier
+//! parameters, hierarchical collectives, and inter-node traffic charged
+//! on the per-node link channels.
+//!
 //! Every figure in the paper is a ratio of the run times this driver
 //! produces under different policies and machine configurations.
 
-use crate::policy::{PlacementPolicy, RankInit, StepEnv, TierView};
+use crate::policy::{PlacementPolicy, RankInit, RankState, StepEnv, TierView};
 use crate::search::SearchKind;
 use crate::stats::RunStats;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Mutex;
 use unimem_cache::{CacheModel, ObjAccess};
 use unimem_hms::contention::{BwClient, FlowScope, SharedBandwidth};
 use unimem_hms::journal::{DurabilityMode, Journal, JournalHandle, JournalStats, ObsUnit, Record};
 use unimem_hms::object::{ObjectRegistry, ObjectSpec, UnitId};
 use unimem_hms::tier::{AccessMix, TierKind, TierParams};
+use unimem_hms::topology::ClusterTopology;
 use unimem_hms::{DramService, MachineConfig};
-use unimem_mpi::{CommWorld, NetParams, PhaseTracker, RankCtx};
+use unimem_mpi::{
+    collective_timing, CollectiveKind, NetParams, PhaseId, PhaseTracker, RankClock, RankPlacement,
+};
 use unimem_perf::calibrate;
 use unimem_perf::sampler::GroundTruth;
-use unimem_sim::{Bytes, VDur, VTime};
+use unimem_sim::{default_workers, run_pool, Bytes, Channel, VDur, VTime};
 
 pub use crate::policy::{Policy, UnimemConfig};
 
@@ -348,9 +367,11 @@ impl JournalRig {
 }
 
 /// [`run_workload_leased`] with an optional journaling rig — the shared
-/// implementation. With `rig == None` no journal exists and the run is
-/// byte-identical to the pre-journal driver (the v4 golden guard pins
-/// this).
+/// implementation for the flat single-machine entry points. Comm timing
+/// stays *flat* (every rank rendezvouses as one node), which keeps this
+/// path byte-identical to the pre-topology driver (the v4 golden guard
+/// pins this); the bandwidth ledger still models `ranks_per_node`-sized
+/// bandwidth domains exactly as before.
 pub(crate) fn run_workload_rig(
     workload: &dyn Workload,
     machine: &MachineConfig,
@@ -360,68 +381,215 @@ pub(crate) fn run_workload_rig(
     lease: &CapacitySchedule,
     rig: Option<&JournalRig>,
 ) -> RunReport {
-    let built = policy.build();
-    assert!(
-        lease.is_constant() || built.supports_moving_lease(),
-        "a moving DRAM lease requires a placement-managing policy ({} cannot evict)",
-        built.label()
-    );
+    let topo = ClusterTopology::homogeneous(machine, nranks);
     // The service is sized for the lease's peak: grants beyond the
     // *current* lease are prevented by the knapsack capacity, and a
     // shrinking lease evicts through the re-plan at the boundary.
     let service = DramService::new(nranks, machine.ranks_per_node, lease.peak());
+    let leases = vec![lease.clone(); nranks];
+    run_topology_rig(
+        workload,
+        &topo,
+        cache,
+        policy,
+        leases,
+        service,
+        RankPlacement::single(nranks),
+        NetParams::default(),
+        rig,
+        None,
+    )
+}
+
+/// [`run_workload`] with an explicit worker-pool width — the audit entry
+/// point for the pooled executor's byte-identity contract: any two
+/// worker counts (including the serial `Some(1)`) must produce identical
+/// [`RunReport`]s, because rank state only ever interacts at the serial
+/// communication resolver. `None` restores the automatic choice (serial
+/// at ≤ 8 ranks, the host pool above).
+pub fn run_workload_pooled(
+    workload: &dyn Workload,
+    machine: &MachineConfig,
+    cache: &CacheModel,
+    nranks: usize,
+    policy: &Policy,
+    workers: Option<usize>,
+) -> RunReport {
+    let topo = ClusterTopology::homogeneous(machine, nranks);
+    let lease = CapacitySchedule::constant(machine.dram_capacity);
+    let service = DramService::new(nranks, machine.ranks_per_node, lease.peak());
+    let leases = vec![lease; nranks];
+    run_topology_rig(
+        workload,
+        &topo,
+        cache,
+        policy,
+        leases,
+        service,
+        RankPlacement::single(nranks),
+        NetParams::default(),
+        None,
+        workers,
+    )
+}
+
+/// Run `workload` across an explicit [`ClusterTopology`]: every rank
+/// lives on the node the topology placed it on, with that node's tier
+/// parameters, DRAM slice, calibration, and bandwidth ledger.
+/// Collectives reduce hierarchically — intra-node first, then once
+/// across the inter-node link — and cross-node traffic (the reduction
+/// tree's inter phase, cross-node halo messages) is charged on the
+/// per-node link channels, so the link contends like a memory tier.
+///
+/// Each rank's DRAM lease is its own node's full capacity (the
+/// single-tenant case); co-running tenants go through [`crate::tenancy`].
+pub fn run_workload_clustered(
+    workload: &dyn Workload,
+    topo: &ClusterTopology,
+    cache: &CacheModel,
+    policy: &Policy,
+) -> RunReport {
+    let service = DramService::from_nodes(topo);
+    let leases = (0..topo.nranks())
+        .map(|r| CapacitySchedule::constant(topo.machine_of(r).dram_capacity))
+        .collect();
+    let placement = RankPlacement::from_node_of(topo.node_assignment().to_vec());
+    let link = NetParams {
+        alpha: topo.spec().link_latency,
+        beta: topo.spec().link_bw,
+        ..NetParams::default()
+    };
+    run_topology_rig(
+        workload, topo, cache, policy, leases, service, placement, link, None, None,
+    )
+}
+
+/// The shared executor: build one [`RankTask`] per rank, then run
+/// bulk-synchronous rounds — every task advances to its next
+/// communication point on the worker pool, the serial resolver computes
+/// the synchronized clocks (charging inter-node traffic on the link
+/// channels), and the tasks resume.
+#[allow(clippy::too_many_arguments)]
+fn run_topology_rig(
+    workload: &dyn Workload,
+    topo: &ClusterTopology,
+    cache: &CacheModel,
+    policy: &Policy,
+    leases: Vec<CapacitySchedule>,
+    service: DramService,
+    placement: RankPlacement,
+    link: NetParams,
+    rig: Option<&JournalRig>,
+    force_workers: Option<usize>,
+) -> RunReport {
+    let nranks = topo.nranks();
+    let built = policy.build();
+    assert!(
+        leases.iter().all(CapacitySchedule::is_constant) || built.supports_moving_lease(),
+        "a moving DRAM lease requires a placement-managing policy ({} cannot evict)",
+        built.label()
+    );
     // Per-node shared-bandwidth state: co-located ranks split each tier's
     // node bandwidth, and helper copies are posted here so overlapping
     // compute pays for them.
-    let bw = SharedBandwidth::new(machine, nranks);
+    let bw = SharedBandwidth::from_topology(topo);
     // Offline calibration happens once per platform, outside the job. It
-    // runs against one rank's *share* of the node — the bandwidth the
+    // runs against one rank's *share* of its node — the bandwidth the
     // sampled phases actually see — so Eq. 1's peak comparisons stay
-    // like-for-like under multi-rank nodes. A partially-filled last node
-    // has a different occupancy (and thus a different share) than the
-    // full ones, so calibrate once per distinct occupancy and let each
-    // rank pick its node's entry.
-    let cals: HashMap<usize, unimem_perf::Calibration> = match built.sampler_calibration() {
+    // like-for-like under multi-rank nodes. Distinct (node class,
+    // occupancy) pairs see distinct shares, so calibrate once per pair
+    // and let each rank pick its node's entry.
+    let cals: HashMap<(usize, usize), unimem_perf::Calibration> = match built.sampler_calibration()
+    {
         Some((sampler, seed)) => {
-            let full = machine.ranks_per_node.min(nranks);
-            let straggler = match nranks % machine.ranks_per_node {
-                0 => full,
-                r => r,
-            };
-            [full, straggler]
-                .into_iter()
-                .collect::<std::collections::BTreeSet<_>>()
-                .into_iter()
-                .map(|occ| {
-                    let mut share = machine.clone();
-                    share.dram = machine.rank_share(TierKind::Dram, occ);
-                    share.nvm = machine.rank_share(TierKind::Nvm, occ);
-                    (occ, calibrate(&share, cache, sampler, seed))
-                })
-                .collect()
+            let mut by_key = BTreeMap::new();
+            for n in 0..topo.n_nodes() {
+                let occ = topo.occupancy(n);
+                if occ == 0 {
+                    continue;
+                }
+                by_key
+                    .entry((topo.class_of_node(n), occ))
+                    .or_insert_with(|| {
+                        let machine = &topo.node(n).machine;
+                        let mut share = machine.clone();
+                        share.dram = machine.rank_share(TierKind::Dram, occ);
+                        share.nvm = machine.rank_share(TierKind::Nvm, occ);
+                        calibrate(&share, cache, sampler, seed)
+                    });
+            }
+            by_key.into_iter().collect()
         }
         None => HashMap::new(),
     };
 
-    let outcomes = CommWorld::run(nranks, NetParams::default(), |ctx| {
-        run_rank(
-            ctx,
+    let net = NetParams::default();
+    // Small jobs take the pool's serial fast path; large topologies get a
+    // bounded pool instead of one OS thread per rank.
+    let workers = force_workers.unwrap_or_else(|| {
+        if nranks <= 8 {
+            1
+        } else {
+            default_workers().min(nranks)
+        }
+    });
+
+    // Build every rank's task (registration, partitioning, initial
+    // placement) on the pool — construction never communicates, and the
+    // DRAM service's per-rank slots make it order-independent.
+    let mut tasks: Vec<RankTask> = run_pool((0..nranks).collect::<Vec<_>>(), workers, |&rank| {
+        Ok(RankTask::new(
+            rank,
             workload,
-            machine,
+            topo,
             cache,
             built.as_ref(),
             &service,
             &bw,
-            lease,
+            &leases[rank],
             &cals,
             rig,
-        )
-    });
+        ))
+    })
+    .unwrap_or_else(|e| panic!("rank setup failed: {e}"));
+
+    // Bulk-synchronous rounds until every rank's script is exhausted.
+    // Taking the task out of its slot moves it to whichever worker picked
+    // the job; results reassemble by index, so rank order is preserved.
+    loop {
+        let jobs: Vec<Mutex<Option<RankTask>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let rounds = run_pool(jobs, workers, |slot| {
+            let mut t = slot
+                .lock()
+                .expect("task slot")
+                .take()
+                .expect("task taken once per round");
+            let req = t.advance();
+            Ok((t, req))
+        })
+        .unwrap_or_else(|e| panic!("rank execution failed: {e}"));
+        tasks = Vec::with_capacity(nranks);
+        let mut reqs = Vec::with_capacity(nranks);
+        for (t, r) in rounds {
+            tasks.push(t);
+            reqs.push(r);
+        }
+        if reqs.iter().all(Option::is_none) {
+            break;
+        }
+        let reqs: Vec<CommRequest> = reqs
+            .into_iter()
+            .map(|r| r.expect("every rank must reach the same communication steps"))
+            .collect();
+        resolve_comm(&mut tasks, reqs, &placement, &net, &link);
+    }
 
     let mut job = RunStats::default();
     let mut plan_kind = None;
     let mut per_rank = Vec::with_capacity(nranks);
-    for (stats, kind) in outcomes {
+    for t in tasks {
+        let (stats, kind) = t.into_outcome();
         job.merge_job(&stats);
         if plan_kind.is_none() {
             plan_kind = kind;
@@ -440,223 +608,342 @@ pub(crate) fn run_workload_rig(
 /// Drain virtual time the journal owes (record formatting + NVM
 /// flushes) into the rank's clock. No-op without a journal — the
 /// non-journaled path never pays a nanosecond.
-fn drain_journal(journal: &Option<JournalHandle>, ctx: &mut RankCtx) {
+fn drain_journal(journal: &Option<JournalHandle>, clock: &mut RankClock) {
     if let Some(j) = journal {
-        let cost = j.borrow_mut().take_cost();
+        let cost = j.lock().take_cost();
         if !cost.is_zero() {
-            ctx.advance(cost);
+            clock.advance(cost);
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_rank(
-    ctx: &mut RankCtx,
-    workload: &dyn Workload,
-    machine: &MachineConfig,
-    cache: &CacheModel,
-    policy: &dyn PlacementPolicy,
-    service: &DramService,
-    bw: &SharedBandwidth,
-    lease: &CapacitySchedule,
-    cals: &HashMap<usize, unimem_perf::Calibration>,
-    rig: Option<&JournalRig>,
-) -> (RunStats, Option<SearchKind>) {
-    let rank = ctx.rank();
-    let nranks = ctx.nranks();
-    let client = bw.client(rank);
-
-    // Crash-consistency rig: a per-rank redo journal timed against this
-    // rank's share of the node NVM write path, and (on recovery re-runs)
-    // the oracle replayed from the durable journal.
-    let (journal, mut oracle): (Option<JournalHandle>, Option<RankOracle>) = match rig {
-        Some(r) => {
-            let nvm_share = machine.rank_share(TierKind::Nvm, client.occupancy());
-            let j = Journal::new(r.mode)
-                .with_write_bw(nvm_share.write_bw)
-                .with_link(client.clone())
-                .into_handle();
-            let oracle = r.oracles.lock().expect("oracle lock")[rank].take();
-            (Some(j), oracle)
+/// Borrow the disjoint [`RankTask`] fields a policy hook runs against.
+/// A macro rather than a method so the compiler sees the field-level
+/// split (a method returning `StepEnv` would lock all of `self`).
+macro_rules! env {
+    ($t:expr) => {
+        StepEnv {
+            ctx: &mut $t.clock,
+            stats: &mut $t.stats,
+            registry: &$t.registry,
+            service: $t.service,
+            machine: $t.machine,
+            lease: $t.lease,
+            iterations: $t.iterations,
         }
-        None => (None, None),
     };
+}
 
-    // Register target data objects (unimem_malloc).
-    let mut registry = ObjectRegistry::new();
-    for spec in workload.objects(rank, nranks) {
-        registry.register(spec);
-    }
+/// Where a paused [`RankTask`] resumes inside its script.
+#[derive(Clone, Copy)]
+enum Pos {
+    /// About to begin iteration `it` (the run ends at `it == iterations`).
+    IterBegin { it: usize },
+    /// About to run step `idx` of iteration `it`.
+    Step { it: usize, idx: usize },
+    /// Communication step `idx` was resolved; the clock already holds the
+    /// departure time, post-comm bookkeeping is still owed.
+    AfterComm {
+        it: usize,
+        idx: usize,
+        phase: PhaseId,
+        t0: VTime,
+    },
+    /// Script exhausted, outcome recorded.
+    Done,
+}
 
-    // Set up the placement policy (partitioning + initial placement).
-    let mut state = policy.init_rank(RankInit {
-        machine,
-        registry: &mut registry,
-        service,
-        client: &client,
-        lease,
-        cals,
-        journal: journal.clone(),
-        rank,
-    });
+/// The communication step one rank paused on, handed to the serial
+/// resolver. Scripts are bulk-synchronous: every rank must pause on the
+/// same kind of step (ranks may run different numbers of compute steps
+/// in between).
+enum CommRequest {
+    /// A globally synchronizing collective.
+    Collective { kind: CollectiveKind, bytes: Bytes },
+    /// Pairwise neighbour exchange: eager sends, then waits in
+    /// neighbour-list order.
+    Halo { neighbors: Vec<usize>, bytes: Bytes },
+}
 
-    // Journal the run identity, the object table (with its final
-    // chunking — the policy may have partitioned), and the initial DRAM
-    // residency, so recovery can rebuild the placement state machine
-    // from the log alone.
-    if let Some(j) = &journal {
-        let t0 = ctx.now();
-        let mut jm = j.borrow_mut();
-        jm.append(
-            &Record::RunHeader {
-                rank: rank as u32,
-                nranks: nranks as u32,
-                iterations: workload.iterations() as u64,
-            },
-            t0,
-        );
-        for obj in registry.iter() {
+/// One rank's complete execution state, movable across pool workers.
+///
+/// [`RankTask::advance`] replays the script — statement for statement the
+/// order the historical thread-per-rank driver executed — until it needs
+/// another rank (a communication step), then parks and reports the step.
+/// The serial resolver sets the clock and the task resumes on whichever
+/// worker picks it up next.
+struct RankTask<'a> {
+    rank: usize,
+    nranks: usize,
+    clock: RankClock,
+    tracker: PhaseTracker,
+    stats: RunStats,
+    registry: ObjectRegistry,
+    state: Box<dyn RankState>,
+    client: BwClient,
+    journal: Option<JournalHandle>,
+    oracle: Option<RankOracle>,
+    /// Current iteration's script (refreshed at each `IterBegin`).
+    steps: Vec<StepSpec>,
+    pos: Pos,
+    plan_kind: Option<SearchKind>,
+    workload: &'a dyn Workload,
+    /// This rank's *node* machine model (per-node under a heterogeneous
+    /// topology).
+    machine: &'a MachineConfig,
+    cache: &'a CacheModel,
+    service: &'a DramService,
+    lease: &'a CapacitySchedule,
+    iterations: usize,
+    rig: Option<&'a JournalRig>,
+}
+
+impl<'a> RankTask<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        rank: usize,
+        workload: &'a dyn Workload,
+        topo: &'a ClusterTopology,
+        cache: &'a CacheModel,
+        policy: &dyn PlacementPolicy,
+        service: &'a DramService,
+        bw: &SharedBandwidth,
+        lease: &'a CapacitySchedule,
+        cals: &HashMap<(usize, usize), unimem_perf::Calibration>,
+        rig: Option<&'a JournalRig>,
+    ) -> RankTask<'a> {
+        let nranks = topo.nranks();
+        let machine = topo.machine_of(rank);
+        let client = bw.client(rank);
+        let mut clock = RankClock::new(rank, nranks);
+
+        // Crash-consistency rig: a per-rank redo journal timed against
+        // this rank's share of the node NVM write path, and (on recovery
+        // re-runs) the oracle replayed from the durable journal.
+        let (journal, oracle): (Option<JournalHandle>, Option<RankOracle>) = match rig {
+            Some(r) => {
+                let nvm_share = machine.rank_share(TierKind::Nvm, client.occupancy());
+                let j = Journal::new(r.mode)
+                    .with_write_bw(nvm_share.write_bw)
+                    .with_link(client.clone())
+                    .into_handle();
+                let oracle = r.oracles.lock().expect("oracle lock")[rank].take();
+                (Some(j), oracle)
+            }
+            None => (None, None),
+        };
+
+        // Register target data objects (unimem_malloc).
+        let mut registry = ObjectRegistry::new();
+        for spec in workload.objects(rank, nranks) {
+            registry.register(spec);
+        }
+
+        // Set up the placement policy (partitioning + initial placement).
+        let state = policy.init_rank(RankInit {
+            machine,
+            registry: &mut registry,
+            service,
+            client: &client,
+            lease,
+            cals,
+            journal: journal.clone(),
+            rank,
+        });
+
+        // Journal the run identity, the object table (with its final
+        // chunking — the policy may have partitioned), and the initial
+        // DRAM residency, so recovery can rebuild the placement state
+        // machine from the log alone.
+        if let Some(j) = &journal {
+            let t0 = clock.now();
+            let mut jm = j.lock();
             jm.append(
-                &Record::ObjectReg {
-                    obj: obj.id.0,
-                    size: obj.size.get(),
-                    chunks: obj.chunks,
+                &Record::RunHeader {
+                    rank: rank as u32,
+                    nranks: nranks as u32,
+                    iterations: workload.iterations() as u64,
                 },
                 t0,
             );
-        }
-        if let TierView::Sets { in_dram, all_dram } = state.view() {
-            let initial: Vec<UnitId> = if all_dram {
-                registry.units()
-            } else {
-                in_dram.iter().copied().collect()
-            };
-            for u in initial {
+            for obj in registry.iter() {
                 jm.append(
-                    &Record::InitPlace {
-                        obj: u.obj.0,
-                        chunk: u.chunk,
+                    &Record::ObjectReg {
+                        obj: obj.id.0,
+                        size: obj.size.get(),
+                        chunks: obj.chunks,
                     },
                     t0,
                 );
             }
-        }
-    }
-    drain_journal(&journal, ctx);
-
-    let mut tracker = PhaseTracker::new();
-    let mut stats = RunStats::default();
-    let iterations = workload.iterations();
-
-    for it in 0..iterations {
-        tracker.begin_iteration();
-        let steps = workload.script(rank, nranks, it);
-
-        state.iteration_begin(
-            it,
-            &steps,
-            &mut StepEnv {
-                ctx,
-                stats: &mut stats,
-                registry: &registry,
-                service,
-                machine,
-                lease,
-                iterations,
-            },
-        );
-
-        for (step_idx, step) in steps.iter().enumerate() {
-            let phase = tracker.next_phase();
-
-            state.phase_begin(
-                phase,
-                &mut StepEnv {
-                    ctx,
-                    stats: &mut stats,
-                    registry: &registry,
-                    service,
-                    machine,
-                    lease,
-                    iterations,
-                },
-            );
-
-            drain_journal(&journal, ctx);
-
-            match step {
-                StepSpec::Compute(spec) => {
-                    // On recovery re-runs the oracle substitutes the
-                    // journaled observation for the ground-truth model;
-                    // once the durable log runs out (the crash point) the
-                    // live model takes over seamlessly — determinism
-                    // guarantees the two agree on the shared prefix.
-                    let (phase_time, truths, contention) =
-                        match oracle.as_mut().and_then(|o| o.next_observe()) {
-                            Some(replayed) => replayed,
-                            None => {
-                                let view = state.view();
-                                ground_truth(spec, &registry, view, cache, &client, ctx.now())
-                            }
-                        };
-                    if let Some(j) = &journal {
-                        let mut jm = j.borrow_mut();
-                        let seq = jm.next_seq();
-                        jm.append(
-                            &Record::Observe {
-                                seq,
-                                phase: phase.0,
-                                time: phase_time.secs(),
-                                cont_total: contention.total.secs(),
-                                cont_neighbors: contention.neighbors.secs(),
-                                units: truths
-                                    .iter()
-                                    .map(|g| ObsUnit {
-                                        obj: g.unit.obj.0,
-                                        chunk: g.unit.chunk,
-                                        misses: g.misses,
-                                        miss_bytes: g.miss_bytes.get(),
-                                        mem_time: g.mem_time.secs(),
-                                    })
-                                    .collect(),
-                            },
-                            ctx.now(),
-                        );
-                    }
-                    ctx.advance(phase_time);
-                    stats.app_time += phase_time;
-                    stats.contention_time += contention.total;
-                    stats.neighbor_contention_time += contention.neighbors;
-
-                    state.observe_compute(
-                        phase,
-                        phase_time,
-                        &truths,
-                        &mut StepEnv {
-                            ctx,
-                            stats: &mut stats,
-                            registry: &registry,
-                            service,
-                            machine,
-                            lease,
-                            iterations,
+            if let TierView::Sets { in_dram, all_dram } = state.view() {
+                let initial: Vec<UnitId> = if all_dram {
+                    registry.units()
+                } else {
+                    in_dram.iter().copied().collect()
+                };
+                for u in initial {
+                    jm.append(
+                        &Record::InitPlace {
+                            obj: u.obj.0,
+                            chunk: u.chunk,
                         },
+                        t0,
                     );
                 }
-                comm => {
-                    let t0 = ctx.now();
-                    run_comm(ctx, comm, it, step_idx);
-                    let dt = ctx.now() - t0;
-                    stats.app_time += dt;
+            }
+        }
+        drain_journal(&journal, &mut clock);
+
+        RankTask {
+            rank,
+            nranks,
+            clock,
+            tracker: PhaseTracker::new(),
+            stats: RunStats::default(),
+            registry,
+            state,
+            client,
+            journal,
+            oracle,
+            steps: Vec::new(),
+            pos: Pos::IterBegin { it: 0 },
+            plan_kind: None,
+            workload,
+            machine,
+            cache,
+            service,
+            lease,
+            iterations: workload.iterations(),
+            rig,
+        }
+    }
+
+    /// Run to the next communication point. Returns the pending request,
+    /// or `None` once the script is exhausted (outcome recorded).
+    fn advance(&mut self) -> Option<CommRequest> {
+        loop {
+            match self.pos {
+                Pos::Done => return None,
+                Pos::IterBegin { it } if it == self.iterations => {
+                    self.finalize();
+                    return None;
+                }
+                Pos::IterBegin { it } => {
+                    self.tracker.begin_iteration();
+                    self.steps = self.workload.script(self.rank, self.nranks, it);
+                    self.state.iteration_begin(it, &self.steps, &mut env!(self));
+                    self.pos = Pos::Step { it, idx: 0 };
+                }
+                Pos::Step { it, idx } if idx == self.steps.len() => {
+                    self.state.iteration_end(it, &self.steps, &mut env!(self));
+                    drain_journal(&self.journal, &mut self.clock);
+                    self.pos = Pos::IterBegin { it: it + 1 };
+                }
+                Pos::Step { it, idx } => {
+                    let phase = self.tracker.next_phase();
+                    self.state.phase_begin(phase, &mut env!(self));
+                    drain_journal(&self.journal, &mut self.clock);
+
+                    match &self.steps[idx] {
+                        StepSpec::Compute(spec) => {
+                            // On recovery re-runs the oracle substitutes
+                            // the journaled observation for the
+                            // ground-truth model; once the durable log
+                            // runs out (the crash point) the live model
+                            // takes over seamlessly — determinism
+                            // guarantees the two agree on the shared
+                            // prefix.
+                            let (phase_time, truths, contention) =
+                                match self.oracle.as_mut().and_then(|o| o.next_observe()) {
+                                    Some(replayed) => replayed,
+                                    None => {
+                                        let view = self.state.view();
+                                        ground_truth(
+                                            spec,
+                                            &self.registry,
+                                            view,
+                                            self.cache,
+                                            &self.client,
+                                            self.clock.now(),
+                                        )
+                                    }
+                                };
+                            if let Some(j) = &self.journal {
+                                let mut jm = j.lock();
+                                let seq = jm.next_seq();
+                                jm.append(
+                                    &Record::Observe {
+                                        seq,
+                                        phase: phase.0,
+                                        time: phase_time.secs(),
+                                        cont_total: contention.total.secs(),
+                                        cont_neighbors: contention.neighbors.secs(),
+                                        units: truths
+                                            .iter()
+                                            .map(|g| ObsUnit {
+                                                obj: g.unit.obj.0,
+                                                chunk: g.unit.chunk,
+                                                misses: g.misses,
+                                                miss_bytes: g.miss_bytes.get(),
+                                                mem_time: g.mem_time.secs(),
+                                            })
+                                            .collect(),
+                                    },
+                                    self.clock.now(),
+                                );
+                            }
+                            self.clock.advance(phase_time);
+                            self.stats.app_time += phase_time;
+                            self.stats.contention_time += contention.total;
+                            self.stats.neighbor_contention_time += contention.neighbors;
+
+                            self.state
+                                .observe_compute(phase, phase_time, &truths, &mut env!(self));
+                            self.pos = Pos::Step { it, idx: idx + 1 };
+                        }
+                        comm => {
+                            let t0 = self.clock.now();
+                            let req = match comm {
+                                StepSpec::Barrier => CommRequest::Collective {
+                                    kind: CollectiveKind::Barrier,
+                                    bytes: Bytes::ZERO,
+                                },
+                                StepSpec::AllreduceSum { bytes } => CommRequest::Collective {
+                                    kind: CollectiveKind::Allreduce,
+                                    bytes: *bytes,
+                                },
+                                StepSpec::Bcast { bytes } => CommRequest::Collective {
+                                    kind: CollectiveKind::Bcast,
+                                    bytes: *bytes,
+                                },
+                                StepSpec::Alltoall { bytes } => CommRequest::Collective {
+                                    kind: CollectiveKind::Alltoall,
+                                    bytes: *bytes,
+                                },
+                                StepSpec::Halo { neighbors, bytes } => CommRequest::Halo {
+                                    neighbors: neighbors.clone(),
+                                    bytes: *bytes,
+                                },
+                                StepSpec::Compute(_) => unreachable!("compute handled above"),
+                            };
+                            self.pos = Pos::AfterComm { it, idx, phase, t0 };
+                            return Some(req);
+                        }
+                    }
+                }
+                Pos::AfterComm { it, idx, phase, t0 } => {
+                    let dt = self.clock.now() - t0;
+                    self.stats.app_time += dt;
                     // Communication executes for real even on recovery
                     // re-runs — collectives need every rank at the
                     // rendezvous — so the journaled duration is only a
                     // consistency check against the log.
-                    if let Some(o) = oracle.as_mut() {
+                    if let Some(o) = self.oracle.as_mut() {
                         o.check_comm(dt);
                     }
-                    if let Some(j) = &journal {
-                        let mut jm = j.borrow_mut();
+                    if let Some(j) = &self.journal {
+                        let mut jm = j.lock();
                         let seq = jm.next_seq();
                         jm.append(
                             &Record::Comm {
@@ -664,7 +951,7 @@ fn run_rank(
                                 phase: phase.0,
                                 dt: dt.secs(),
                             },
-                            ctx.now(),
+                            self.clock.now(),
                         );
                     }
                     // Global collectives rendezvous every rank before any
@@ -674,64 +961,50 @@ fn run_rank(
                     // helper traffic. Only pairwise exchanges (Halo) are
                     // excluded: a future collective step kind should
                     // fence by default, not silently go dark.
-                    if !matches!(comm, StepSpec::Halo { .. }) {
-                        let epoch = client.fence(ctx.now());
+                    if !matches!(self.steps[idx], StepSpec::Halo { .. }) {
+                        let epoch = self.client.fence(self.clock.now());
                         // The fence is the journal's commit point: every
                         // record ahead of it becomes durable under
                         // Buffered mode, stamped with the ledger epoch.
-                        if let Some(j) = &journal {
-                            j.borrow_mut().commit(epoch, ctx.now());
+                        if let Some(j) = &self.journal {
+                            j.lock().commit(epoch, self.clock.now());
                         }
-                        drain_journal(&journal, ctx);
+                        drain_journal(&self.journal, &mut self.clock);
                     }
-                    state.observe_comm(
-                        phase,
-                        dt,
-                        &mut StepEnv {
-                            ctx,
-                            stats: &mut stats,
-                            registry: &registry,
-                            service,
-                            machine,
-                            lease,
-                            iterations,
-                        },
-                    );
+                    self.state.observe_comm(phase, dt, &mut env!(self));
+                    self.pos = Pos::Step { it, idx: idx + 1 };
                 }
             }
         }
+    }
 
-        state.iteration_end(
-            it,
-            &steps,
-            &mut StepEnv {
-                ctx,
-                stats: &mut stats,
-                registry: &registry,
-                service,
-                machine,
-                lease,
-                iterations,
-            },
+    /// End of script: close the stats, record the plan, hand the journal
+    /// back to the rig.
+    fn finalize(&mut self) {
+        drain_journal(&self.journal, &mut self.clock);
+        self.stats.total_time = self.clock.now() - VTime::ZERO;
+        self.stats.iterations = self.iterations as u64;
+        self.plan_kind = self.state.finish(&mut self.stats);
+
+        if let (Some(r), Some(j)) = (self.rig, &self.journal) {
+            let jm = j.lock();
+            r.outs.lock().expect("journal out lock")[self.rank] = Some(RankJournalOut {
+                bytes: jm.bytes().to_vec(),
+                stats: jm.stats(),
+                replayed_observes: self.oracle.as_ref().map(|o| o.consumed).unwrap_or(0),
+                comm_mismatches: self.oracle.as_ref().map(|o| o.comm_mismatches).unwrap_or(0),
+            });
+        }
+        self.pos = Pos::Done;
+    }
+
+    fn into_outcome(self) -> (RunStats, Option<SearchKind>) {
+        debug_assert!(
+            matches!(self.pos, Pos::Done),
+            "task consumed before completion"
         );
-        drain_journal(&journal, ctx);
+        (self.stats, self.plan_kind)
     }
-
-    drain_journal(&journal, ctx);
-    stats.total_time = ctx.now() - unimem_sim::VTime::ZERO;
-    stats.iterations = iterations as u64;
-    let plan_kind = state.finish(&mut stats);
-
-    if let (Some(r), Some(j)) = (rig, &journal) {
-        let jm = j.borrow();
-        r.outs.lock().expect("journal out lock")[rank] = Some(RankJournalOut {
-            bytes: jm.bytes().to_vec(),
-            stats: jm.stats(),
-            replayed_observes: oracle.as_ref().map(|o| o.consumed).unwrap_or(0),
-            comm_mismatches: oracle.as_ref().map(|o| o.comm_mismatches).unwrap_or(0),
-        });
-    }
-    (stats, plan_kind)
 }
 
 /// Extra phase time attributable to shared-bandwidth contention, split
@@ -886,25 +1159,158 @@ fn ground_truth(
     (spec.cpu + t_full, truths, contention)
 }
 
-/// Execute a communication step (one phase).
-fn run_comm(ctx: &mut RankCtx, step: &StepSpec, iter: usize, step_idx: usize) {
-    match step {
-        StepSpec::Barrier => ctx.barrier(),
-        StepSpec::AllreduceSum { bytes } => ctx.allreduce_modeled(*bytes),
-        StepSpec::Bcast { bytes } => ctx.bcast_modeled(*bytes),
-        StepSpec::Alltoall { bytes } => ctx.alltoall_modeled(*bytes),
-        StepSpec::Halo { neighbors, bytes } => {
-            let tag_base = (iter as u64) << 20 | (step_idx as u64) << 8;
-            let mut reqs = Vec::with_capacity(neighbors.len());
-            for &n in neighbors {
-                ctx.isend(n, tag_base | 1, *bytes, &[]);
-                reqs.push(ctx.irecv(n, tag_base | 1));
-            }
-            for r in reqs {
-                ctx.wait(r);
+/// Resolve one bulk-synchronous communication round: every rank has
+/// paused on `reqs[rank]`. This is the rendezvous — the only place rank
+/// clocks interact — and it runs serially: the synchronized clocks are a
+/// pure function of the entry clocks and the ledger's fenced history, so
+/// pooled execution stays byte-identical to thread-per-rank.
+fn resolve_comm(
+    tasks: &mut [RankTask],
+    reqs: Vec<CommRequest>,
+    placement: &RankPlacement,
+    net: &NetParams,
+    link: &NetParams,
+) {
+    match &reqs[0] {
+        CommRequest::Collective { kind, bytes } => {
+            let (kind, bytes) = (*kind, *bytes);
+            assert!(
+                reqs.iter().all(|r| matches!(
+                    r,
+                    CommRequest::Collective { kind: k, bytes: b } if *k == kind && *b == bytes
+                )),
+                "collective steps must agree across ranks"
+            );
+            let clocks: Vec<VTime> = tasks.iter().map(|t| t.clock.now()).collect();
+            let timing = collective_timing(&clocks, kind, bytes, net, placement, link);
+            let leave = if timing.inter.is_zero() {
+                // Flat placement (or a zero-cost inter phase): the legacy
+                // single-level rendezvous, bit for bit.
+                timing.leave
+            } else {
+                // The inter-node phase shares each node's link with
+                // whatever migration traffic the ledger has published
+                // over the uncontended window; the slowest leader paces
+                // the tree. At zero load the ratio is exactly 1.
+                let mut slow = 1.0f64;
+                for node in 0..placement.n_nodes() {
+                    let client = &tasks[placement.leader(node)].client;
+                    for dir in [Channel::LinkUp, Channel::LinkDown] {
+                        let eff =
+                            client.effective_link(dir, timing.t_meet, timing.leave, FlowScope::All);
+                        let ratio = client.link_bw().bytes_per_s() / eff.bytes_per_s();
+                        if ratio > slow {
+                            slow = ratio;
+                        }
+                    }
+                }
+                let leave = timing.t_meet + timing.inter * slow;
+                // Every leader moves `bytes` both ways (reduce up,
+                // result down), visible to later phases after the next
+                // fence — and a collective fences on departure.
+                for node in 0..placement.n_nodes() {
+                    tasks[placement.leader(node)].client.post_link(
+                        timing.t_meet,
+                        leave,
+                        bytes,
+                        bytes,
+                    );
+                }
+                leave
+            };
+            for t in tasks.iter_mut() {
+                t.clock.set(leave);
             }
         }
-        StepSpec::Compute(_) => unreachable!("compute handled by caller"),
+        CommRequest::Halo { .. } => resolve_halo(tasks, reqs, placement, net, link),
+    }
+}
+
+/// Resolve a pairwise halo exchange: eager isends (one overhead each,
+/// additively), then waits in neighbour-list order. Cross-node messages
+/// ride the inter-node link and are charged on both endpoints' link
+/// channels; intra-node messages keep the legacy flat wire time.
+fn resolve_halo(
+    tasks: &mut [RankTask],
+    reqs: Vec<CommRequest>,
+    placement: &RankPlacement,
+    net: &NetParams,
+    link: &NetParams,
+) {
+    let halos: Vec<(Vec<usize>, Bytes)> = reqs
+        .into_iter()
+        .map(|r| match r {
+            CommRequest::Halo { neighbors, bytes } => (neighbors, bytes),
+            CommRequest::Collective { .. } => {
+                panic!("communication steps must agree across ranks")
+            }
+        })
+        .collect();
+    let n = tasks.len();
+    // Neighbour lists are rings, so small worlds produce duplicates (a
+    // 2-rank ring's left and right coincide) and even self-messages (a
+    // 1-rank ring). Symmetry is therefore multiset symmetry: r sends to
+    // nb exactly as many times as nb sends to r.
+    for (r, (nbrs, _)) in halos.iter().enumerate() {
+        for &nb in nbrs {
+            assert!(nb < n, "halo neighbor {nb} out of range for rank {r}");
+            let to = nbrs.iter().filter(|&&x| x == nb).count();
+            let from = halos[nb].0.iter().filter(|&&x| x == r).count();
+            assert!(
+                to == from,
+                "halo lists must be symmetric ({r} sends {to} to {nb}, receives {from})"
+            );
+        }
+    }
+
+    // Send pass. Each isend costs the sender one overhead (accumulated
+    // additively — never overhead × count, which would round differently)
+    // and puts the payload on the wire at `c + wire`; the paired irecv is
+    // free. Like the historical mailbox, messages on one (sender,
+    // receiver) pair match in FIFO order.
+    let mut avail: HashMap<(usize, usize), VecDeque<VTime>> = HashMap::new();
+    let mut after_sends: Vec<VTime> = Vec::with_capacity(n);
+    let mut link_posts: Vec<(usize, usize, VTime, VTime)> = Vec::new();
+    for (s, (nbrs, bytes)) in halos.iter().enumerate() {
+        let mut c = tasks[s].clock.now();
+        for &dst in nbrs {
+            c += net.overhead;
+            let cross = !placement.same_node(s, dst);
+            let wire = if cross {
+                link.p2p_time(*bytes)
+            } else {
+                net.p2p_time(*bytes)
+            };
+            avail.entry((s, dst)).or_default().push_back(c + wire);
+            if cross {
+                link_posts.push((s, dst, c, c + wire));
+            }
+        }
+        after_sends.push(c);
+    }
+
+    // A cross-node message occupies both endpoints' links for its wire
+    // window: upstream at the sender's node, downstream at the
+    // receiver's. Halos never fence, so this traffic surfaces to
+    // neighbours at the next collective — same rule as helper copies.
+    for &(s, dst, start, end) in &link_posts {
+        let bytes = halos[s].1;
+        tasks[s].client.post_link(start, end, bytes, Bytes::ZERO);
+        tasks[dst].client.post_link(start, end, Bytes::ZERO, bytes);
+    }
+
+    // Wait pass, in neighbour-list order: each wait pays one overhead
+    // then blocks until the matching payload has landed.
+    for (r, (nbrs, _)) in halos.iter().enumerate() {
+        let mut c = after_sends[r];
+        for &src in nbrs {
+            let at = avail
+                .get_mut(&(src, r))
+                .and_then(VecDeque::pop_front)
+                .expect("symmetric halo lists guarantee a matching send");
+            c = (c + net.overhead).max(at);
+        }
+        tasks[r].clock.set(c);
     }
 }
 

@@ -49,7 +49,7 @@ use std::collections::{BTreeSet, HashMap};
 use unimem_hms::contention::BwClient;
 use unimem_hms::object::{ObjectRegistry, UnitId};
 use unimem_hms::{DramService, MachineConfig};
-use unimem_mpi::{PhaseId, RankCtx};
+use unimem_mpi::{PhaseId, RankClock};
 use unimem_perf::sampler::GroundTruth;
 use unimem_perf::{Calibration, SamplerConfig};
 use unimem_sim::{Bytes, VDur};
@@ -211,9 +211,14 @@ pub struct RankInit<'a> {
     pub client: &'a BwClient,
     /// The per-iteration node DRAM lease.
     pub lease: &'a CapacitySchedule,
-    /// Offline calibrations, keyed by node occupancy (empty unless the
-    /// policy requested them via [`PlacementPolicy::sampler_calibration`]).
-    pub cals: &'a HashMap<usize, Calibration>,
+    /// Offline calibrations, keyed by `(node hardware class, node
+    /// occupancy)` — under a heterogeneous topology each node class has
+    /// its own tier parameters, so Eq. 1's peak comparison must be
+    /// calibrated against the share a rank of *that* class actually sees.
+    /// Empty unless the policy requested them via
+    /// [`PlacementPolicy::sampler_calibration`]. A rank's class is
+    /// [`BwClient::node_class`].
+    pub cals: &'a HashMap<(usize, usize), Calibration>,
     /// The rank's crash-consistency redo journal, when journaling is on.
     /// Policies that own a [`unimem_hms::MigrationEngine`] must attach it
     /// (`engine.with_journal(...)`) so migration intents are journaled
@@ -232,8 +237,10 @@ impl RankInit<'_> {
 
 /// The driver-owned context a [`RankState`] hook runs against.
 pub struct StepEnv<'a> {
-    /// The rank's virtual-time/communication context.
-    pub ctx: &'a mut RankCtx,
+    /// The rank's virtual clock. Hooks advance it to charge their own
+    /// overhead; communication is driven by the executor between hook
+    /// calls, never from inside one.
+    pub ctx: &'a mut RankClock,
     /// The rank's run statistics (policies charge their overheads here).
     pub stats: &'a mut RunStats,
     /// The rank's object registry (frozen after init).
@@ -306,7 +313,11 @@ pub trait PlacementPolicy: Sync {
 /// Per-rank placement state: the lifecycle hooks the driver calls while
 /// replaying the phase script. Every hook may advance virtual time
 /// (charging its own overhead) and update [`RunStats`] counters.
-pub trait RankState {
+///
+/// `Send` because the pooled executor migrates rank state across worker
+/// threads between communication steps; state is still only ever touched
+/// by one thread at a time.
+pub trait RankState: Send {
     /// Iteration boundary: build dependency tables on the first pass,
     /// react to capacity-lease changes.
     fn iteration_begin(&mut self, _it: usize, _steps: &[StepSpec], _env: &mut StepEnv<'_>) {}

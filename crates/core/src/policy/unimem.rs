@@ -138,8 +138,8 @@ impl PlacementPolicy for UnimemPolicy {
             init.client.copy_rate(),
             *init
                 .cals
-                .get(&occ)
-                .expect("calibration computed per node occupancy for Unimem runs"),
+                .get(&(init.client.node_class(), occ))
+                .expect("calibration computed per (node class, occupancy) for Unimem runs"),
         )
         .with_contention_penalties(
             pressure(machine.nvm.read_bw, machine.dram.write_bw),

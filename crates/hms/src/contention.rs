@@ -1,14 +1,14 @@
 //! Node-level shared-bandwidth model: co-located ranks and the helper
 //! thread's migration traffic fight for the same tier pools.
 //!
-//! The tier parameters in [`MachineConfig`] describe **one node**. This
-//! module owns the two ways that node bandwidth gets divided:
+//! Each node of the [`ClusterTopology`] carries its own tier parameters —
+//! nodes in a heterogeneous machine room do not share an NVM profile.
+//! This module owns the ways that per-node bandwidth gets divided:
 //!
-//! 1. **Compute vs. compute** — the ranks packed on a node
-//!    (`ranks_per_node`) are symmetric SPMD streams running the same
-//!    phase concurrently, so each rank's baseline share of a direction's
-//!    bandwidth is `node_bw / occupancy` (occupancy = ranks actually on
-//!    the node, which can be below `ranks_per_node` on the last node).
+//! 1. **Compute vs. compute** — the ranks packed on a node are symmetric
+//!    SPMD streams running the same phase concurrently, so each rank's
+//!    baseline share of a direction's bandwidth is `node_bw / occupancy`
+//!    (occupancy = ranks actually placed on the node).
 //! 2. **Compute vs. helper** — a DRAM←→NVM copy draws from *both* tiers'
 //!    pools (read on the source, write on the destination). Copies are
 //!    posted as flows on a per-node [`BwLedger`]; a compute phase that
@@ -25,33 +25,34 @@
 //!    is the node copy path divided by occupancy, fixed at enqueue);
 //!    compute absorbs the slowdown — the paper's premise that migration
 //!    steals the bandwidth the application needs.
+//! 3. **Comm vs. comm** — inter-node traffic is posted on the node's
+//!    [`Channel::LinkUp`]/[`Channel::LinkDown`] lanes and charged by
+//!    [`BwClient::effective_link`], so link contention composes with
+//!    tier contention through the same fence protocol. Link flows are
+//!    communication, not helper traffic, so `helper_contention` does
+//!    **not** gate them — and single-node runs never post any, which
+//!    keeps all legacy timing untouched.
 //!
 //! Determinism: flow visibility follows the ledger's fence protocol (see
 //! `unimem_sim::ledger`) — own flows are interval-exact, neighbor flows
 //! are charged at their last fence-epoch rate, and fences ride the MPI
 //! collectives, so everything is a pure function of virtual program
 //! order. `MachineConfig::helper_contention` gates step 2 only: with it
-//! off, flows are neither posted nor charged, which is the A/B the
-//! `migration-contention` conformance check uses to prove that runs
-//! without helper traffic (DRAM-only in particular) are byte-identical
-//! either way.
+//! off, copy/journal flows are neither posted nor charged, which is the
+//! A/B the `migration-contention` conformance check uses to prove that
+//! runs without helper traffic (DRAM-only in particular) are
+//! byte-identical either way.
 
 use crate::profiles::MachineConfig;
 use crate::tier::{TierKind, TierParams};
+use crate::topology::ClusterTopology;
 use std::sync::Arc;
-use unimem_sim::{Bandwidth, BwLedger, Bytes, VDur, VTime};
+use unimem_sim::{Bandwidth, BwLedger, Bytes, Channel, ChannelMap, VDur, VTime};
 
-/// Ledger channels: one per (tier, direction).
-const CH_DRAM_READ: usize = 0;
-const CH_DRAM_WRITE: usize = 1;
-const CH_NVM_READ: usize = 2;
-const CH_NVM_WRITE: usize = 3;
-const N_CHANNELS: usize = 4;
-
-fn channels_of(tier: TierKind) -> (usize, usize) {
+fn channels_of(tier: TierKind) -> (Channel, Channel) {
     match tier {
-        TierKind::Dram => (CH_DRAM_READ, CH_DRAM_WRITE),
-        TierKind::Nvm => (CH_NVM_READ, CH_NVM_WRITE),
+        TierKind::Dram => (Channel::DramRead, Channel::DramWrite),
+        TierKind::Nvm => (Channel::NvmRead, Channel::NvmWrite),
     }
 }
 
@@ -72,15 +73,24 @@ struct Node {
     occupancy: usize,
     /// Fair per-helper copy rate on this node: node copy path / occupancy.
     copy_rate: Bandwidth,
+    /// This node's tier parameters (per-node: heterogeneous rooms differ).
+    dram: TierParams,
+    nvm: TierParams,
+    /// Per-direction bandwidth of this node's link to the interconnect.
+    link_bw: Bandwidth,
+    /// Machine-equivalence class (calibration key component).
+    class: usize,
+    /// Whether helper traffic on this node draws from the shared pools.
+    helper_contention: bool,
 }
 
 #[derive(Debug)]
 struct Inner {
     nodes: Vec<Node>,
-    ranks_per_node: usize,
-    dram: TierParams,
-    nvm: TierParams,
-    helper_contention: bool,
+    /// Rank → node.
+    node_of: Vec<usize>,
+    /// Rank → ledger owner slot within its node.
+    owner_of: Vec<usize>,
 }
 
 /// The job-wide shared-bandwidth state: one ledger per node, shared by
@@ -93,28 +103,50 @@ pub struct SharedBandwidth {
 
 impl SharedBandwidth {
     /// Per-node ledgers for `nranks` total ranks packed
-    /// `machine.ranks_per_node` per node.
+    /// `machine.ranks_per_node` per node — the legacy single-profile
+    /// layout, equivalent to
+    /// [`SharedBandwidth::from_topology`] over
+    /// [`ClusterTopology::homogeneous`].
     pub fn new(machine: &MachineConfig, nranks: usize) -> SharedBandwidth {
+        SharedBandwidth::from_topology(&ClusterTopology::homogeneous(machine, nranks))
+    }
+
+    /// Per-node ledgers for an explicit (possibly heterogeneous) machine
+    /// room. Every node gets its own tier parameters, copy path, link
+    /// bandwidth and machine class from its [`crate::topology::NodeSpec`].
+    pub fn from_topology(topo: &ClusterTopology) -> SharedBandwidth {
+        let nranks = topo.nranks();
         assert!(nranks >= 1);
-        let rpn = machine.ranks_per_node;
-        let n_nodes = nranks.div_ceil(rpn);
-        let nodes = (0..n_nodes)
+        let map = ChannelMap::for_nodes(topo.n_nodes());
+        let nodes = (0..topo.n_nodes())
             .map(|n| {
-                let occupancy = rpn.min(nranks - n * rpn);
+                let machine = &topo.node(n).machine;
+                let occupancy = topo.occupancy(n);
                 Node {
-                    ledger: BwLedger::new(occupancy, N_CHANNELS),
+                    // An unoccupied node keeps an inert 1-owner ledger
+                    // rather than a 0-owner one; no client ever reaches it.
+                    ledger: BwLedger::with_channels(occupancy.max(1), map),
                     occupancy,
-                    copy_rate: machine.copy_bw.scaled(1.0 / occupancy as f64),
+                    copy_rate: machine.copy_bw.scaled(1.0 / occupancy.max(1) as f64),
+                    dram: machine.dram,
+                    nvm: machine.nvm,
+                    link_bw: topo.spec().link_bw,
+                    class: topo.class_of_node(n),
+                    helper_contention: machine.helper_contention,
                 }
             })
             .collect();
+        let node_of: Vec<usize> = topo.node_assignment().to_vec();
+        let mut owner_of = Vec::with_capacity(nranks);
+        for r in 0..nranks {
+            let owner = node_of[..r].iter().filter(|&&n| n == node_of[r]).count();
+            owner_of.push(owner);
+        }
         SharedBandwidth {
             inner: Arc::new(Inner {
                 nodes,
-                ranks_per_node: rpn,
-                dram: machine.dram,
-                nvm: machine.nvm,
-                helper_contention: machine.helper_contention,
+                node_of,
+                owner_of,
             }),
         }
     }
@@ -122,12 +154,14 @@ impl SharedBandwidth {
     /// The per-rank handle used by the execution driver and the
     /// migration engine.
     pub fn client(&self, rank: usize) -> BwClient {
-        let node = rank / self.inner.ranks_per_node;
-        assert!(node < self.inner.nodes.len(), "rank {rank} beyond the job");
+        assert!(
+            rank < self.inner.node_of.len(),
+            "rank {rank} beyond the job"
+        );
         BwClient {
             shared: self.clone(),
-            node,
-            owner: rank % self.inner.ranks_per_node,
+            node: self.inner.node_of[rank],
+            owner: self.inner.owner_of[rank],
         }
     }
 }
@@ -147,8 +181,8 @@ impl BwClient {
 
     fn node_tier(&self, tier: TierKind) -> &TierParams {
         match tier {
-            TierKind::Dram => &self.shared.inner.dram,
-            TierKind::Nvm => &self.shared.inner.nvm,
+            TierKind::Dram => &self.node().dram,
+            TierKind::Nvm => &self.node().nvm,
         }
     }
 
@@ -163,9 +197,20 @@ impl BwClient {
         self.node().copy_rate
     }
 
-    /// True when helper traffic draws from the shared pools.
+    /// True when helper traffic draws from this node's shared pools.
     pub fn helper_contention(&self) -> bool {
-        self.shared.inner.helper_contention
+        self.node().helper_contention
+    }
+
+    /// Machine-equivalence class of this rank's node (heterogeneous
+    /// rooms have several; the calibration table is keyed on it).
+    pub fn node_class(&self) -> usize {
+        self.node().class
+    }
+
+    /// Per-direction bandwidth of this node's link to the interconnect.
+    pub fn link_bw(&self) -> Bandwidth {
+        self.node().link_bw
     }
 
     /// Record passage of a globally synchronizing MPI collective at the
@@ -181,14 +226,14 @@ impl BwClient {
     /// drawing read bandwidth from the source tier and write bandwidth
     /// from the destination tier. No-op when helper contention is off.
     pub fn post_copy(&self, to: TierKind, start: VTime, end: VTime, bytes: Bytes) {
-        if !self.shared.inner.helper_contention {
+        if !self.node().helper_contention {
             return;
         }
         let ledger = &self.node().ledger;
         let (src_read, _) = channels_of(to.other());
         let (_, dst_write) = channels_of(to);
-        ledger.post(self.owner, src_read, start, end, bytes.as_f64());
-        ledger.post(self.owner, dst_write, start, end, bytes.as_f64());
+        ledger.post_named(self.owner, src_read, start, end, bytes.as_f64());
+        ledger.post_named(self.owner, dst_write, start, end, bytes.as_f64());
     }
 
     /// Post one journal flush: `bytes` of redo-log records written to the
@@ -199,13 +244,58 @@ impl BwClient {
     /// contention is off (the same gate `post_copy` honours, which keeps
     /// the `migration-contention` A/B byte-identity intact).
     pub fn post_journal_write(&self, start: VTime, end: VTime, bytes: Bytes) {
-        if !self.shared.inner.helper_contention {
+        if !self.node().helper_contention {
             return;
         }
         let (_, nvm_write) = channels_of(TierKind::Nvm);
         self.node()
             .ledger
-            .post(self.owner, nvm_write, start, end, bytes.as_f64());
+            .post_named(self.owner, nvm_write, start, end, bytes.as_f64());
+    }
+
+    /// Post inter-node traffic crossing this node's link over
+    /// `[start, end]`: `up` bytes leaving the node, `down` bytes
+    /// arriving. Link flows are communication, not helper traffic, so
+    /// they are **not** gated on `helper_contention`; legacy single-node
+    /// runs simply never cross a link and post nothing.
+    pub fn post_link(&self, start: VTime, end: VTime, up: Bytes, down: Bytes) {
+        let ledger = &self.node().ledger;
+        if up.get() > 0 {
+            ledger.post_named(self.owner, Channel::LinkUp, start, end, up.as_f64());
+        }
+        if down.get() > 0 {
+            ledger.post_named(self.owner, Channel::LinkDown, start, end, down.as_f64());
+        }
+    }
+
+    /// Effective link bandwidth in `dir` over `[w0, w1]` under the flows
+    /// `scope` selects: `link_bw / (1 + load / link_bw)` — the same
+    /// proportional-share form as tier contention, but **without** the
+    /// occupancy divisor (compute streams do not saturate the NIC; only
+    /// posted link flows contend).
+    pub fn effective_link(
+        &self,
+        dir: Channel,
+        w0: VTime,
+        w1: VTime,
+        scope: FlowScope,
+    ) -> Bandwidth {
+        debug_assert!(matches!(dir, Channel::LinkUp | Channel::LinkDown));
+        let node = self.node();
+        let bw = node.link_bw.bytes_per_s();
+        let load = if scope != FlowScope::None {
+            let split =
+                node.ledger
+                    .load_named(self.owner, dir, w0, w1, node.copy_rate.bytes_per_s());
+            match scope {
+                FlowScope::Own => split.own,
+                FlowScope::All => split.total(),
+                FlowScope::None => unreachable!(),
+            }
+        } else {
+            0.0
+        };
+        Bandwidth(bw / (1.0 + load / bw))
     }
 
     /// This rank's effective tier parameters over the window `[w0, w1]`:
@@ -216,11 +306,15 @@ impl BwClient {
         let node = self.node();
         let params = self.node_tier(tier);
         let occ = node.occupancy as f64;
-        let avail = |channel: usize, bw: Bandwidth| -> Bandwidth {
-            let load = if self.shared.inner.helper_contention && scope != FlowScope::None {
-                let split =
-                    node.ledger
-                        .load(self.owner, channel, w0, w1, node.copy_rate.bytes_per_s());
+        let avail = |channel: Channel, bw: Bandwidth| -> Bandwidth {
+            let load = if node.helper_contention && scope != FlowScope::None {
+                let split = node.ledger.load_named(
+                    self.owner,
+                    channel,
+                    w0,
+                    w1,
+                    node.copy_rate.bytes_per_s(),
+                );
                 match scope {
                     FlowScope::Own => split.own,
                     FlowScope::All => split.total(),
@@ -279,7 +373,9 @@ impl HelperLink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profiles::{table1_pcram, table1_stt_ram};
     use crate::tier::AccessMix;
+    use crate::topology::ClusterSpec;
 
     fn machine() -> MachineConfig {
         MachineConfig::nvm_bw_fraction(0.5)
@@ -414,5 +510,70 @@ mod tests {
         let s = SharedBandwidth::new(&m, 1);
         let shared = HelperLink::Shared(s.client(0));
         assert_eq!(shared.copy_rate(), m.copy_bw);
+    }
+
+    #[test]
+    fn heterogeneous_nodes_serve_their_own_tier_params() {
+        let stt = MachineConfig::technology(table1_stt_ram(), "stt-ram");
+        let pcm = MachineConfig::technology(table1_pcram(), "pcram");
+        let spec = ClusterSpec::mixed(vec![stt.clone(), pcm.clone()], 1);
+        let topo = ClusterTopology::contiguous(spec, 2);
+        let s = SharedBandwidth::from_topology(&topo);
+        let on_stt = s
+            .client(0)
+            .effective(TierKind::Nvm, VTime::ZERO, VTime(1.0), FlowScope::None);
+        let on_pcm = s
+            .client(1)
+            .effective(TierKind::Nvm, VTime::ZERO, VTime(1.0), FlowScope::None);
+        assert_eq!(on_stt, stt.nvm);
+        assert_eq!(on_pcm, pcm.nvm);
+        assert_ne!(s.client(0).node_class(), s.client(1).node_class());
+    }
+
+    #[test]
+    fn from_topology_homogeneous_matches_legacy_constructor() {
+        let m = machine().with_ranks_per_node(2);
+        let legacy = SharedBandwidth::new(&m, 4);
+        let topo = ClusterTopology::homogeneous(&m, 4);
+        let explicit = SharedBandwidth::from_topology(&topo);
+        for r in 0..4 {
+            let (a, b) = (legacy.client(r), explicit.client(r));
+            assert_eq!(a.occupancy(), b.occupancy());
+            assert_eq!(a.copy_rate(), b.copy_rate());
+            assert_eq!(
+                a.effective(TierKind::Nvm, VTime::ZERO, VTime(1.0), FlowScope::None),
+                b.effective(TierKind::Nvm, VTime::ZERO, VTime(1.0), FlowScope::None)
+            );
+        }
+    }
+
+    #[test]
+    fn link_flows_contend_without_helper_gate() {
+        // helper_contention off must NOT silence link traffic: the gate
+        // covers helper copies, not communication.
+        let m = machine()
+            .with_helper_contention(false)
+            .with_ranks_per_node(1);
+        let topo = ClusterTopology::homogeneous(&m, 2);
+        let s = SharedBandwidth::from_topology(&topo);
+        let c = s.client(0);
+        let bw = c.link_bw();
+        let clean = c.effective_link(Channel::LinkUp, VTime::ZERO, VTime(1.0), FlowScope::Own);
+        assert_eq!(clean, bw, "idle link at full bandwidth");
+        // Saturate the up direction for 1 s.
+        c.post_link(
+            VTime::ZERO,
+            VTime(1.0),
+            Bytes(bw.bytes_per_s() as u64),
+            Bytes(0),
+        );
+        let loaded = c.effective_link(Channel::LinkUp, VTime::ZERO, VTime(1.0), FlowScope::Own);
+        assert!(
+            (loaded.bytes_per_s() - bw.bytes_per_s() / 2.0).abs() < 1.0,
+            "one saturating flow should halve the proportional share"
+        );
+        // The down direction is a separate lane.
+        let down = c.effective_link(Channel::LinkDown, VTime::ZERO, VTime(1.0), FlowScope::Own);
+        assert_eq!(down, bw);
     }
 }

@@ -3,11 +3,15 @@
 //! "Each node runs an instance of such service. The service coordinates the
 //! DRAM allocation from multiple MPI processes on the same node" (§3.3).
 //! The coordination is a **static equal split**: each of a node's rank
-//! slots owns `dram_per_node / ranks_per_node` of the node allowance,
-//! served by its own [`SpaceAllocator`]. Requests never block — a rank
-//! that cannot get space keeps its object in NVM, exactly as the
-//! runtime's knapsack assumes (the knapsack's capacity input *is* this
-//! per-rank share, so planner and service agree by construction).
+//! slots owns `node_dram / slots` of that node's allowance, served by its
+//! own [`SpaceAllocator`]. Requests never block — a rank that cannot get
+//! space keeps its object in NVM, exactly as the runtime's knapsack
+//! assumes (the knapsack's capacity input *is* this per-rank share, so
+//! planner and service agree by construction). Nodes may be
+//! heterogeneous: [`DramService::from_nodes`] takes each node's DRAM
+//! allowance and slot count from its spec in the [`ClusterTopology`], so
+//! ranks on a big-memory node get bigger shares than ranks on a small
+//! one.
 //!
 //! Why not one first-fit pool per node? Determinism. Rank threads run
 //! concurrently in host time; a shared free list would make allocation
@@ -17,10 +21,12 @@
 //! virtual clock (observed as per-run migration-count jitter the moment
 //! multi-rank nodes were exercised). The static split keeps every rank's
 //! allocation history a pure function of its own program order. Region
-//! offsets are rebased per (node, slot), so regions across a node remain
-//! pairwise disjoint addresses.
+//! offsets are rebased per (node, slot) with node bases laid out by
+//! prefix sums of node capacities, so regions across the whole job
+//! remain pairwise disjoint addresses.
 
 use crate::alloc::{Region, SpaceAllocator};
+use crate::topology::ClusterTopology;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use unimem_sim::Bytes;
@@ -30,60 +36,100 @@ use unimem_sim::Bytes;
 pub struct DramService {
     /// One allocator per rank (its slot's share of its node's allowance).
     slots: Arc<Vec<Mutex<SpaceAllocator>>>,
-    ranks_per_node: usize,
-    /// Per-rank share: `dram_per_node / ranks_per_node`.
-    per_rank: Bytes,
-    /// The node allowance the shares partition.
-    node_capacity: Bytes,
-    n_nodes: usize,
+    /// Rank → node.
+    node_of: Vec<usize>,
+    /// Rank → base address of its slot in the job address space.
+    bases: Vec<u64>,
+    /// Rank → its static share of its node's allowance.
+    shares: Vec<Bytes>,
+    /// Node → its DRAM allowance.
+    node_caps: Vec<Bytes>,
 }
 
 impl DramService {
     /// One allocator per rank; `ranks` total MPI ranks with `ranks_per_node`
     /// packed per node (the last node may be partially filled). Each rank
-    /// owns an equal static share of its node's `dram_per_node`.
+    /// owns an equal static share of its node's `dram_per_node` — the
+    /// legacy homogeneous layout.
     pub fn new(ranks: usize, ranks_per_node: usize, dram_per_node: Bytes) -> DramService {
         assert!(ranks >= 1 && ranks_per_node >= 1);
-        let per_rank = Bytes(dram_per_node.get() / ranks_per_node as u64);
+        let n_nodes = ranks.div_ceil(ranks_per_node);
+        let caps = vec![(dram_per_node, ranks_per_node); n_nodes];
+        let node_of = (0..ranks).map(|r| r / ranks_per_node).collect();
+        DramService::build(caps, node_of)
+    }
+
+    /// One allocator per rank over an explicit (possibly heterogeneous)
+    /// machine room: node `n`'s allowance is its spec's `dram_capacity`,
+    /// split statically among its `slots` rank slots.
+    pub fn from_nodes(topo: &ClusterTopology) -> DramService {
+        let caps = (0..topo.n_nodes())
+            .map(|n| {
+                let node = topo.node(n);
+                (node.machine.dram_capacity, node.slots)
+            })
+            .collect();
+        DramService::build(caps, topo.node_assignment().to_vec())
+    }
+
+    /// `caps[n]` = (node allowance, slot count) for node `n`; `node_of`
+    /// maps each rank to its node. Node address bases are prefix sums of
+    /// the allowances; slot offsets within a node follow rank order.
+    fn build(caps: Vec<(Bytes, usize)>, node_of: Vec<usize>) -> DramService {
+        assert!(!node_of.is_empty());
+        let n_nodes = caps.len();
+        let mut node_base = Vec::with_capacity(n_nodes);
+        let mut acc = 0u64;
+        for &(cap, slots) in &caps {
+            assert!(slots >= 1);
+            node_base.push(acc);
+            acc += cap.get();
+        }
+        let mut seen = vec![0usize; n_nodes];
+        let mut bases = Vec::with_capacity(node_of.len());
+        let mut shares = Vec::with_capacity(node_of.len());
+        for &n in &node_of {
+            let (cap, slots) = caps[n];
+            let share = Bytes(cap.get() / slots as u64);
+            let slot = seen[n];
+            assert!(slot < slots, "node {n} overcommitted");
+            seen[n] += 1;
+            bases.push(node_base[n] + slot as u64 * share.get());
+            shares.push(share);
+        }
         DramService {
             slots: Arc::new(
-                (0..ranks)
-                    .map(|_| Mutex::new(SpaceAllocator::new(per_rank)))
+                shares
+                    .iter()
+                    .map(|&s| Mutex::new(SpaceAllocator::new(s)))
                     .collect(),
             ),
-            ranks_per_node,
-            per_rank,
-            node_capacity: dram_per_node,
-            n_nodes: ranks.div_ceil(ranks_per_node),
+            node_of,
+            bases,
+            shares,
+            node_caps: caps.into_iter().map(|(cap, _)| cap).collect(),
         }
     }
 
     pub fn node_of(&self, rank: usize) -> usize {
-        rank / self.ranks_per_node
+        self.node_of[rank]
     }
 
     pub fn node_count(&self) -> usize {
-        self.n_nodes
-    }
-
-    /// Base address of `rank`'s slot within the job's DRAM address space
-    /// (regions from different slots never overlap).
-    fn base(&self, rank: usize) -> u64 {
-        self.node_of(rank) as u64 * self.node_capacity.get()
-            + (rank % self.ranks_per_node) as u64 * self.per_rank.get()
+        self.node_caps.len()
     }
 
     /// Try to reserve `size` bytes of DRAM for `rank` from its static
     /// share. Non-blocking.
     pub fn reserve(&self, rank: usize, size: Bytes) -> Option<Region> {
         let mut region = self.slots[rank].lock().alloc(size)?;
-        region.offset += self.base(rank);
+        region.offset += self.bases[rank];
         Some(region)
     }
 
     /// Return a region previously granted to `rank`.
     pub fn release(&self, rank: usize, mut region: Region) {
-        region.offset -= self.base(rank);
+        region.offset -= self.bases[rank];
         self.slots[rank].lock().free(region);
     }
 
@@ -97,20 +143,35 @@ impl DramService {
         self.slots[rank].lock().largest_free_run()
     }
 
-    /// Per-node DRAM capacity (the allowance the rank shares partition).
-    pub fn capacity(&self) -> Bytes {
-        self.node_capacity
+    /// `rank`'s static share of its node's allowance (the knapsack's
+    /// capacity input; per-rank, since nodes may differ).
+    pub fn share_of(&self, rank: usize) -> Bytes {
+        self.shares[rank]
     }
 
-    /// One rank's static share of the node allowance.
+    /// Rank 0's static share — the single job-wide share on a
+    /// homogeneous room (every legacy call site).
     pub fn per_rank_share(&self) -> Bytes {
-        self.per_rank
+        self.shares[0]
+    }
+
+    /// Node 0's DRAM allowance — the single per-node allowance on a
+    /// homogeneous room (every legacy call site).
+    pub fn capacity(&self) -> Bytes {
+        self.node_caps[0]
+    }
+
+    /// Node `n`'s DRAM allowance.
+    pub fn node_capacity(&self, n: usize) -> Bytes {
+        self.node_caps[n]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profiles::{table1_pcram, table1_stt_ram, MachineConfig};
+    use crate::topology::ClusterSpec;
 
     #[test]
     fn ranks_map_to_nodes() {
@@ -215,6 +276,44 @@ mod tests {
         all.sort_by_key(|r| r.offset);
         for w in all.windows(2) {
             assert!(w[0].offset + w[0].len <= w[1].offset, "overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_nodes_grant_their_own_shares() {
+        let big =
+            MachineConfig::technology(table1_stt_ram(), "stt-ram").with_dram_capacity(Bytes(400));
+        let small =
+            MachineConfig::technology(table1_pcram(), "pcram").with_dram_capacity(Bytes(100));
+        let topo = ClusterTopology::contiguous(ClusterSpec::mixed(vec![big, small], 2), 4);
+        let s = DramService::from_nodes(&topo);
+        assert_eq!(s.share_of(0), Bytes(200), "big-memory node share");
+        assert_eq!(s.share_of(2), Bytes(50), "small-memory node share");
+        // Shares stay disjoint across the heterogeneous bases.
+        let regions: Vec<Region> = (0..4).map(|r| s.reserve(r, Bytes(40)).unwrap()).collect();
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                assert!(
+                    a.offset + a.len <= b.offset || b.offset + b.len <= a.offset,
+                    "overlap: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_nodes_homogeneous_matches_legacy_addresses() {
+        let m = MachineConfig::nvm_bw_fraction(0.5)
+            .with_ranks_per_node(2)
+            .with_dram_capacity(Bytes(100));
+        let legacy = DramService::new(4, 2, Bytes(100));
+        let topo = ClusterTopology::homogeneous(&m, 4);
+        let explicit = DramService::from_nodes(&topo);
+        for r in 0..4 {
+            assert_eq!(legacy.share_of(r), explicit.share_of(r));
+            let a = legacy.reserve(r, Bytes(30)).unwrap();
+            let b = explicit.reserve(r, Bytes(30)).unwrap();
+            assert_eq!(a.offset, b.offset, "rank {r} base moved");
         }
     }
 }

@@ -44,9 +44,9 @@
 //! a prefix, which is what [`durable_prefix`] computes per mode.
 
 use crate::contention::BwClient;
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 use unimem_sim::{Bandwidth, Bytes, CrashSpec, VDur, VTime};
 
 /// Frame header: payload length, append vtime, payload checksum.
@@ -481,8 +481,11 @@ pub struct JournalStats {
     pub write_cost: VDur,
 }
 
-/// Per-rank redo journal writer. Single-threaded by design — each rank
-/// thread owns one — hence the [`Rc<RefCell<_>>`] handle.
+/// Per-rank redo journal writer. Logically single-threaded — each rank
+/// owns one and only that rank's program order touches it — but the
+/// pooled executor may run successive segments of a rank on different
+/// worker threads, so the handle is an uncontended `Arc<Mutex<_>>`
+/// rather than `Rc<RefCell<_>>`.
 #[derive(Debug)]
 pub struct Journal {
     mode: DurabilityMode,
@@ -502,9 +505,10 @@ pub struct Journal {
     stats: JournalStats,
 }
 
-/// Shared single-thread handle: the execution driver and the migration
-/// engine append to the same per-rank journal.
-pub type JournalHandle = Rc<RefCell<Journal>>;
+/// Shared per-rank handle: the execution driver and the migration
+/// engine append to the same per-rank journal. Never contended — the
+/// lock exists so rank state can migrate across pool workers.
+pub type JournalHandle = Arc<Mutex<Journal>>;
 
 impl Journal {
     pub fn new(mode: DurabilityMode) -> Journal {
@@ -537,7 +541,7 @@ impl Journal {
 
     /// Wrap into the shared per-rank handle.
     pub fn into_handle(self) -> JournalHandle {
-        Rc::new(RefCell::new(self))
+        Arc::new(Mutex::new(self))
     }
 
     pub fn mode(&self) -> DurabilityMode {

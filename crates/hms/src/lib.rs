@@ -29,7 +29,13 @@
 //! * [`contention`] — the node-level shared-bandwidth model: co-located
 //!   ranks split each tier's node bandwidth, and helper-thread copies draw
 //!   from both tiers' pools through a per-node ledger so migration traffic
-//!   is visible to overlapping compute.
+//!   is visible to overlapping compute. Inter-node traffic is charged on
+//!   the same ledgers' link channels.
+//! * [`topology`] — the explicit machine room: per-node NVM profiles and
+//!   rank slots ([`topology::NodeSpec`]), the inter-node link
+//!   ([`topology::ClusterSpec`]), and deterministic rank→node placement
+//!   including the tenant-aware scheduler
+//!   ([`topology::ClusterTopology::scheduled`]).
 
 pub mod alloc;
 pub mod arbiter;
@@ -41,6 +47,7 @@ pub mod object;
 pub mod pools;
 pub mod profiles;
 pub mod tier;
+pub mod topology;
 
 pub use alloc::SpaceAllocator;
 pub use arbiter::{ArbiterPolicy, DramArbiter, LeaseChange, TenantId, TenantSpec};
@@ -51,3 +58,4 @@ pub use migration::{MigrationEngine, MigrationStats};
 pub use object::{DataObject, ObjId, ObjectRegistry, Placement};
 pub use profiles::MachineConfig;
 pub use tier::{AccessMix, TierKind, TierParams};
+pub use topology::{ClusterSpec, ClusterTopology, NodeSpec, PlacementIntent, TenantDemand};

@@ -1,0 +1,480 @@
+//! Explicit cluster topology: possibly-heterogeneous nodes, an
+//! inter-node link, and deterministic rank→node placement.
+//!
+//! Every layer below this module historically assumed one implicit node
+//! shape: a single [`MachineConfig`] described every rank's surroundings
+//! and `ranks_per_node` carved it into identical nodes. Real NVM fleets
+//! are heterogeneous — STT-RAM, PCRAM and ReRAM have incompatible
+//! bandwidth/latency/write-asymmetry profiles, so a machine room mixes
+//! them — and placement across such nodes is a runtime decision, not a
+//! constant. A [`ClusterSpec`] makes the machine room a first-class
+//! value: a list of [`NodeSpec`]s (NVM profile + rank slots + copy
+//! path, one per node) plus the inter-node link; a [`ClusterTopology`]
+//! adds the rank→node assignment, either the legacy contiguous layout
+//! or the output of the tenant-aware [`ClusterTopology::scheduled`]
+//! scheduler, which places bandwidth-hungry tenants on the
+//! fastest-NVM nodes first.
+//!
+//! Everything here is an immutable value computed before any rank runs,
+//! so placement is trivially deterministic; the shared-bandwidth model
+//! ([`crate::contention`]) and the DRAM service consume per-node specs
+//! from it, and the execution driver derives the MPI placement and the
+//! per-node calibration keys from the same assignment.
+
+use crate::profiles::MachineConfig;
+use unimem_sim::{Bandwidth, VDur};
+
+/// One node of the machine room: its memory system and how many rank
+/// slots it offers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// The node's memory system (tiers, capacities, copy path). The
+    /// config's own `ranks_per_node` is ignored here — `slots` is
+    /// authoritative for this node.
+    pub machine: MachineConfig,
+    /// Rank slots this node offers.
+    pub slots: usize,
+}
+
+/// The machine room: nodes plus the inter-node link they share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// The nodes, in node-id order. Heterogeneity is per-node: mixed
+    /// NVM technologies in one spec are expected, not special.
+    pub nodes: Vec<NodeSpec>,
+    /// Per-direction bandwidth of one node's link to the interconnect
+    /// (the resource the `LinkUp`/`LinkDown` ledger channels meter).
+    pub link_bw: Bandwidth,
+    /// One-hop link latency (the inter-node collective alpha).
+    pub link_latency: VDur,
+}
+
+/// Default interconnect: 2.5 GB/s per direction, 5 µs hop —
+/// deliberately slower than the intra-node fabric
+/// (`unimem_mpi::NetParams::default`: 5 GB/s, 2 µs) and than any node's
+/// DRAM, so crossing a link costs more than staying inside a node and
+/// the link is worth metering.
+pub fn default_link_bw() -> Bandwidth {
+    Bandwidth::gb_per_s(2.5)
+}
+
+/// Default one-hop link latency. See [`default_link_bw`].
+pub fn default_link_latency() -> VDur {
+    VDur::from_micros(5.0)
+}
+
+impl ClusterSpec {
+    /// `n_nodes` identical nodes with `slots` rank slots each.
+    pub fn homogeneous(machine: MachineConfig, n_nodes: usize, slots: usize) -> ClusterSpec {
+        assert!(n_nodes >= 1 && slots >= 1);
+        ClusterSpec {
+            nodes: (0..n_nodes)
+                .map(|_| NodeSpec {
+                    machine: machine.clone(),
+                    slots,
+                })
+                .collect(),
+            link_bw: default_link_bw(),
+            link_latency: default_link_latency(),
+        }
+    }
+
+    /// One node per machine, `slots` rank slots each — the
+    /// mixed-profile layout the heterogeneous sweeps use.
+    pub fn mixed(machines: Vec<MachineConfig>, slots: usize) -> ClusterSpec {
+        assert!(!machines.is_empty() && slots >= 1);
+        ClusterSpec {
+            nodes: machines
+                .into_iter()
+                .map(|machine| NodeSpec { machine, slots })
+                .collect(),
+            link_bw: default_link_bw(),
+            link_latency: default_link_latency(),
+        }
+    }
+
+    /// Override the link parameters.
+    pub fn with_link(mut self, bw: Bandwidth, latency: VDur) -> ClusterSpec {
+        self.link_bw = bw;
+        self.link_latency = latency;
+        self
+    }
+
+    /// Total rank slots across the room.
+    pub fn total_slots(&self) -> usize {
+        self.nodes.iter().map(|n| n.slots).sum()
+    }
+}
+
+/// What a tenant asks the scheduler for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantDemand {
+    /// Harness-facing name.
+    pub label: String,
+    /// Ranks the tenant needs.
+    pub ranks: usize,
+    /// Whether the tenant is bandwidth-bound: these are scheduled first,
+    /// onto the fastest-NVM nodes, since NVM bandwidth is the scarce
+    /// resource placement quality hinges on (paper Fig. 2).
+    pub bw_hungry: bool,
+}
+
+/// How the scheduler distributes a tenant's ranks across the nodes it
+/// reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementIntent {
+    /// Fill each node's slots before touching the next: co-locates a
+    /// tenant (shares node bandwidth, minimizes link crossings).
+    Pack,
+    /// Round-robin across nodes with free slots: maximizes each rank's
+    /// node-bandwidth share at the price of link traffic.
+    Spread,
+}
+
+/// A machine room plus a concrete rank→node assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterTopology {
+    spec: ClusterSpec,
+    /// `node_of[r]` = node of rank `r`. Dense rank ids, immutable.
+    node_of: Vec<usize>,
+    /// `classes[n]` = equivalence class of node `n`: nodes with equal
+    /// `MachineConfig`s share a class, so per-machine work (Eq. 1
+    /// calibration) runs once per class, not once per node.
+    classes: Vec<usize>,
+}
+
+impl ClusterTopology {
+    /// Contiguous assignment: ranks fill node 0's slots, then node 1's,
+    /// … Panics if the room has fewer slots than ranks.
+    pub fn contiguous(spec: ClusterSpec, nranks: usize) -> ClusterTopology {
+        assert!(nranks >= 1);
+        assert!(
+            spec.total_slots() >= nranks,
+            "{nranks} ranks into {} slots",
+            spec.total_slots()
+        );
+        let mut node_of = Vec::with_capacity(nranks);
+        'fill: for (n, node) in spec.nodes.iter().enumerate() {
+            for _ in 0..node.slots {
+                if node_of.len() == nranks {
+                    break 'fill;
+                }
+                node_of.push(n);
+            }
+        }
+        ClusterTopology::finish(spec, node_of)
+    }
+
+    /// The legacy single-profile layout: `machine.ranks_per_node` ranks
+    /// per node, `nranks.div_ceil(ranks_per_node)` identical nodes —
+    /// exactly the node structure `SharedBandwidth::new` has always
+    /// derived from a flat `MachineConfig`, as an explicit topology.
+    pub fn homogeneous(machine: &MachineConfig, nranks: usize) -> ClusterTopology {
+        assert!(nranks >= 1);
+        let rpn = machine.ranks_per_node;
+        let n_nodes = nranks.div_ceil(rpn);
+        ClusterTopology::contiguous(
+            ClusterSpec::homogeneous(machine.clone(), n_nodes, rpn),
+            nranks,
+        )
+    }
+
+    /// Tenant-aware scheduling: bandwidth-hungry tenants are placed
+    /// first, onto the nodes with the fastest NVM (read bandwidth,
+    /// ties broken by node id — deterministic). Each tenant's ranks are
+    /// packed or spread over the remaining slots per `intent`. Rank ids
+    /// are assigned tenant-by-tenant in the *caller's* tenant order, so
+    /// a tenant's ranks are always the contiguous id range
+    /// `[sum of earlier tenants' ranks, +ranks)` regardless of where
+    /// they landed.
+    pub fn scheduled(
+        spec: ClusterSpec,
+        tenants: &[TenantDemand],
+        intent: PlacementIntent,
+    ) -> ClusterTopology {
+        let total: usize = tenants.iter().map(|t| t.ranks).sum();
+        assert!(total >= 1, "no ranks requested");
+        assert!(
+            spec.total_slots() >= total,
+            "{total} ranks into {} slots",
+            spec.total_slots()
+        );
+        // Fastest NVM first; stable on node id.
+        let mut order: Vec<usize> = (0..spec.nodes.len()).collect();
+        order.sort_by(|&a, &b| {
+            let bw = |n: usize| spec.nodes[n].machine.nvm.read_bw.bytes_per_s();
+            bw(b).total_cmp(&bw(a)).then(a.cmp(&b))
+        });
+        // Hungry tenants choose nodes first; stable within each group.
+        let mut sched: Vec<usize> = (0..tenants.len()).collect();
+        sched.sort_by_key(|&i| !tenants[i].bw_hungry as u8);
+
+        let mut free: Vec<usize> = spec.nodes.iter().map(|n| n.slots).collect();
+        let first_rank: Vec<usize> = tenants
+            .iter()
+            .scan(0, |acc, t| {
+                let s = *acc;
+                *acc += t.ranks;
+                Some(s)
+            })
+            .collect();
+        let mut node_of = vec![usize::MAX; total];
+        for &ti in &sched {
+            let t = &tenants[ti];
+            let mut placed = 0;
+            while placed < t.ranks {
+                let before = placed;
+                for &n in &order {
+                    if placed == t.ranks {
+                        break;
+                    }
+                    if free[n] == 0 {
+                        continue;
+                    }
+                    match intent {
+                        PlacementIntent::Pack => {
+                            while free[n] > 0 && placed < t.ranks {
+                                node_of[first_rank[ti] + placed] = n;
+                                free[n] -= 1;
+                                placed += 1;
+                            }
+                        }
+                        PlacementIntent::Spread => {
+                            node_of[first_rank[ti] + placed] = n;
+                            free[n] -= 1;
+                            placed += 1;
+                        }
+                    }
+                }
+                assert!(placed > before, "slots exhausted mid-tenant");
+            }
+        }
+        ClusterTopology::finish(spec, node_of)
+    }
+
+    fn finish(spec: ClusterSpec, node_of: Vec<usize>) -> ClusterTopology {
+        // Class = index of the first node with an equal machine.
+        let mut reps: Vec<&MachineConfig> = Vec::new();
+        let classes = spec
+            .nodes
+            .iter()
+            .map(|n| {
+                if let Some(c) = reps.iter().position(|m| **m == n.machine) {
+                    c
+                } else {
+                    reps.push(&n.machine);
+                    reps.len() - 1
+                }
+            })
+            .collect();
+        ClusterTopology {
+            spec,
+            node_of,
+            classes,
+        }
+    }
+
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.node_of.len()
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.spec.nodes.len()
+    }
+
+    /// The node rank `rank` is assigned to.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.node_of[rank]
+    }
+
+    /// The full rank→node assignment (what the MPI layer turns into a
+    /// `RankPlacement`).
+    pub fn node_assignment(&self) -> &[usize] {
+        &self.node_of
+    }
+
+    /// The node spec of node `n`.
+    pub fn node(&self, n: usize) -> &NodeSpec {
+        &self.spec.nodes[n]
+    }
+
+    /// The machine surrounding `rank`.
+    pub fn machine_of(&self, rank: usize) -> &MachineConfig {
+        &self.spec.nodes[self.node_of[rank]].machine
+    }
+
+    /// Ranks actually assigned to node `n` (≤ its slots).
+    pub fn occupancy(&self, n: usize) -> usize {
+        self.node_of.iter().filter(|&&x| x == n).count()
+    }
+
+    /// Machine-equivalence class of node `n` (see `classes`).
+    pub fn class_of_node(&self, n: usize) -> usize {
+        self.classes[n]
+    }
+
+    /// Machine-equivalence class of `rank`'s node.
+    pub fn class_of_rank(&self, rank: usize) -> usize {
+        self.classes[self.node_of[rank]]
+    }
+
+    /// Number of distinct machine classes in the room.
+    pub fn n_classes(&self) -> usize {
+        self.classes.iter().max().copied().unwrap_or(0) + 1
+    }
+
+    /// Whether every rank shares one node (no link traffic possible).
+    pub fn is_single_node(&self) -> bool {
+        self.node_of.iter().all(|&n| n == self.node_of[0])
+    }
+
+    /// Highest per-node NVM read bandwidth in the room — the scheduler
+    /// test's notion of "the fast node".
+    pub fn fastest_nvm_node(&self) -> usize {
+        let mut best = 0;
+        for n in 1..self.n_nodes() {
+            let bw = |i: usize| self.spec.nodes[i].machine.nvm.read_bw.bytes_per_s();
+            if bw(n) > bw(best) {
+                best = n;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{table1_pcram, table1_stt_ram};
+
+    fn fast() -> MachineConfig {
+        MachineConfig::technology(table1_stt_ram(), "stt-ram")
+    }
+
+    fn slow() -> MachineConfig {
+        MachineConfig::technology(table1_pcram(), "pcram")
+    }
+
+    #[test]
+    fn homogeneous_matches_legacy_div_ceil_layout() {
+        let m = MachineConfig::nvm_bw_fraction(0.5).with_ranks_per_node(4);
+        let t = ClusterTopology::homogeneous(&m, 6);
+        assert_eq!(t.n_nodes(), 2);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(t.occupancy(0), 4);
+        assert_eq!(t.occupancy(1), 2);
+        assert_eq!(t.n_classes(), 1, "identical nodes share a class");
+    }
+
+    #[test]
+    fn single_node_room_detects_flatness() {
+        let m = MachineConfig::nvm_bw_fraction(0.5).with_ranks_per_node(4);
+        let t = ClusterTopology::homogeneous(&m, 4);
+        assert!(t.is_single_node());
+        let t2 = ClusterTopology::homogeneous(&m, 8);
+        assert!(!t2.is_single_node());
+    }
+
+    #[test]
+    fn mixed_rooms_get_distinct_classes() {
+        let spec = ClusterSpec::mixed(vec![fast(), slow(), fast()], 2);
+        let t = ClusterTopology::contiguous(spec, 6);
+        assert_eq!(t.n_classes(), 2);
+        assert_eq!(t.class_of_node(0), t.class_of_node(2));
+        assert_ne!(t.class_of_node(0), t.class_of_node(1));
+        assert_eq!(t.class_of_rank(0), t.class_of_rank(5));
+        assert_ne!(t.machine_of(0).nvm, t.machine_of(2).nvm);
+    }
+
+    #[test]
+    #[should_panic(expected = "slots")]
+    fn overcommitted_rooms_are_rejected() {
+        ClusterTopology::contiguous(ClusterSpec::homogeneous(fast(), 1, 2), 3);
+    }
+
+    #[test]
+    fn scheduler_places_bw_hungry_tenants_on_fast_nvm_nodes() {
+        // Node 0 is the slow PCRAM node, node 1 the fast STT-RAM node:
+        // the hungry tenant must land on node 1 even though it is listed
+        // second in both the room and the tenant roster.
+        let spec = ClusterSpec::mixed(vec![slow(), fast()], 2);
+        let tenants = [
+            TenantDemand {
+                label: "batch".into(),
+                ranks: 2,
+                bw_hungry: false,
+            },
+            TenantDemand {
+                label: "stream".into(),
+                ranks: 2,
+                bw_hungry: true,
+            },
+        ];
+        let t = ClusterTopology::scheduled(spec, &tenants, PlacementIntent::Pack);
+        let fast_node = t.fastest_nvm_node();
+        assert_eq!(fast_node, 1);
+        // Tenant rank ids follow roster order: batch = 0..2, stream = 2..4.
+        assert_eq!(t.node_of(2), fast_node, "hungry tenant off the fast node");
+        assert_eq!(t.node_of(3), fast_node);
+        assert_ne!(t.node_of(0), fast_node);
+        assert_ne!(t.node_of(1), fast_node);
+    }
+
+    #[test]
+    fn spread_round_robins_over_equal_nodes() {
+        let spec = ClusterSpec::homogeneous(fast(), 2, 2);
+        let tenants = [TenantDemand {
+            label: "t".into(),
+            ranks: 4,
+            bw_hungry: false,
+        }];
+        let t = ClusterTopology::scheduled(spec, &tenants, PlacementIntent::Spread);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(1), 1);
+        assert_eq!(t.node_of(2), 0);
+        assert_eq!(t.node_of(3), 1);
+    }
+
+    #[test]
+    fn pack_fills_a_node_before_the_next() {
+        let spec = ClusterSpec::homogeneous(fast(), 2, 2);
+        let tenants = [TenantDemand {
+            label: "t".into(),
+            ranks: 3,
+            bw_hungry: false,
+        }];
+        let t = ClusterTopology::scheduled(spec, &tenants, PlacementIntent::Pack);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(1), 0);
+        assert_eq!(t.node_of(2), 1);
+    }
+
+    #[test]
+    fn scheduling_is_deterministic() {
+        let mk = || {
+            ClusterTopology::scheduled(
+                ClusterSpec::mixed(vec![slow(), fast(), slow()], 4),
+                &[
+                    TenantDemand {
+                        label: "a".into(),
+                        ranks: 5,
+                        bw_hungry: true,
+                    },
+                    TenantDemand {
+                        label: "b".into(),
+                        ranks: 4,
+                        bw_hungry: false,
+                    },
+                ],
+                PlacementIntent::Spread,
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+}

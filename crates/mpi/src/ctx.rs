@@ -53,6 +53,58 @@ pub enum Request {
     Recv { from: usize, tag: u64 },
 }
 
+/// A bare per-rank virtual clock, for drivers that resolve
+/// communication centrally instead of through a live [`CommWorld`].
+///
+/// The pooled segmented executor runs rank code in host-scheduled
+/// segments between communication points; inside a segment the rank
+/// only needs `now`/`advance` (exactly the subset of [`RankCtx`] the
+/// placement policies use), and at a communication point the driver
+/// [`RankClock::set`]s the resolved departure time. Keeping this type
+/// free of any shared handle makes a segment trivially `Send`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankClock {
+    rank: usize,
+    nranks: usize,
+    clock: VTime,
+}
+
+impl RankClock {
+    pub fn new(rank: usize, nranks: usize) -> RankClock {
+        assert!(rank < nranks);
+        RankClock {
+            rank,
+            nranks,
+            clock: VTime::ZERO,
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    pub fn now(&self) -> VTime {
+        self.clock
+    }
+
+    /// Advance the local clock by computation time.
+    pub fn advance(&mut self, d: VDur) {
+        self.clock += d;
+    }
+
+    /// Jump the clock to a centrally resolved instant (a collective's
+    /// synchronized departure, a halo's last arrival). Never moves the
+    /// clock backwards.
+    pub fn set(&mut self, t: VTime) {
+        debug_assert!(t >= self.clock, "clock may not run backwards");
+        self.clock = t;
+    }
+}
+
 /// Per-rank state: virtual clock + communicator handle + event log.
 pub struct RankCtx {
     rank: usize,

@@ -21,9 +21,11 @@
 pub mod ctx;
 pub mod net;
 pub mod pmpi;
+pub mod topo;
 pub mod world;
 
-pub use ctx::{RankCtx, Request};
+pub use ctx::{RankClock, RankCtx, Request};
 pub use net::{CollectiveKind, NetParams};
 pub use pmpi::{PhaseId, PhaseKind, PhaseTracker};
-pub use world::CommWorld;
+pub use topo::{collective_timing, hier_reduce, HierTiming, RankPlacement};
+pub use world::{reduce, CommWorld, ReduceOp};

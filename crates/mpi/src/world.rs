@@ -5,6 +5,7 @@
 //! real (condvars) but all *timing* is virtual and deterministic.
 
 use crate::net::{CollectiveKind, NetParams};
+use crate::topo::{collective_timing, RankPlacement};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -65,16 +66,38 @@ struct Collective {
 pub struct CommWorld {
     nranks: usize,
     pub(crate) net: NetParams,
+    /// Rank→node placement; [`RankPlacement::single`] (the default)
+    /// reproduces the historical flat collective timing exactly.
+    placement: RankPlacement,
+    /// Inter-node link parameters for the two-level collective phase.
+    /// Unused on a flat placement.
+    link: NetParams,
     mailboxes: Vec<Mailbox>,
     coll: Collective,
 }
 
 impl CommWorld {
     pub fn new(nranks: usize, net: NetParams) -> CommWorld {
+        CommWorld::with_topology(nranks, net, RankPlacement::single(nranks), net)
+    }
+
+    /// A communicator whose collectives are priced by the two-level
+    /// schedule of [`collective_timing`] under `placement`, with the
+    /// inter-node phase running over `link`. Reduction *data* is
+    /// placement-independent (see [`reduce`]).
+    pub fn with_topology(
+        nranks: usize,
+        net: NetParams,
+        placement: RankPlacement,
+        link: NetParams,
+    ) -> CommWorld {
         assert!(nranks >= 1);
+        assert_eq!(placement.nranks(), nranks);
         CommWorld {
             nranks,
             net,
+            placement,
+            link,
             mailboxes: (0..nranks * nranks).map(|_| Mailbox::default()).collect(),
             coll: Collective {
                 m: Mutex::new(CollSlot {
@@ -87,6 +110,11 @@ impl CommWorld {
                 cv: Condvar::new(),
             },
         }
+    }
+
+    /// The rank→node placement collectives are priced under.
+    pub fn placement(&self) -> &RankPlacement {
+        &self.placement
     }
 
     pub fn nranks(&self) -> usize {
@@ -135,8 +163,15 @@ impl CommWorld {
         slot.arrived += 1;
         if slot.arrived == self.nranks {
             // Last arrival computes the result for this generation.
-            let max_clock = slot.clocks.iter().fold(VTime::ZERO, |acc, &c| acc.max(c));
-            let leave_at = max_clock + self.net.collective_time(kind, self.nranks, bytes);
+            let leave_at = collective_timing(
+                &slot.clocks,
+                kind,
+                bytes,
+                &self.net,
+                &self.placement,
+                &self.link,
+            )
+            .leave;
             let data = reduce(&slot.contrib, op, self.nranks);
             slot.results
                 .insert(my_gen, (CollResult { leave_at, data }, self.nranks));
@@ -168,7 +203,18 @@ impl CommWorld {
         R: Send,
         F: Fn(&mut crate::ctx::RankCtx) -> R + Sync,
     {
-        let world = Arc::new(CommWorld::new(nranks, net));
+        CommWorld::run_world(CommWorld::new(nranks, net), f)
+    }
+
+    /// [`CommWorld::run`] over an explicitly constructed world (e.g. one
+    /// with a multi-node [`RankPlacement`]).
+    pub fn run_world<R, F>(world: CommWorld, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut crate::ctx::RankCtx) -> R + Sync,
+    {
+        let nranks = world.nranks;
+        let world = Arc::new(world);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..nranks)
                 .map(|rank| {
@@ -189,8 +235,13 @@ impl CommWorld {
 }
 
 /// Reduce contributions (indexed by rank) under `op`, producing the
-/// per-rank result payloads. Always iterates in rank order: deterministic.
-fn reduce(contrib: &[Vec<f64>], op: ReduceOp, nranks: usize) -> Vec<Vec<f64>> {
+/// per-rank result payloads. Always iterates in rank order:
+/// deterministic, and deliberately **placement-independent** — the
+/// hierarchical schedule only changes *when* ranks leave, never what
+/// they receive, so two-level results are bitwise-equal to flat ones
+/// for every op (f64 addition is non-associative; folding per-node
+/// partial sums would break that).
+pub fn reduce(contrib: &[Vec<f64>], op: ReduceOp, nranks: usize) -> Vec<Vec<f64>> {
     match op {
         ReduceOp::Sum | ReduceOp::Max => {
             let len = contrib.iter().map(|c| c.len()).max().unwrap_or(0);

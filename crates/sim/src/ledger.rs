@@ -44,6 +44,110 @@
 use crate::time::{VDur, VTime};
 use std::sync::Mutex;
 
+/// Named ledger channels: the four intra-node tier × direction lanes
+/// plus the two inter-node link directions the cluster topology adds.
+///
+/// `Channel as usize` is the ledger index, so a typed post can never
+/// name a lane the channel map does not contain — the bare-`usize`
+/// out-of-range assert becomes unrepresentable at typed call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Channel {
+    /// DRAM reads (intra-node).
+    DramRead = 0,
+    /// DRAM writes (intra-node).
+    DramWrite = 1,
+    /// NVM reads (intra-node).
+    NvmRead = 2,
+    /// NVM writes (intra-node, including journal appends).
+    NvmWrite = 3,
+    /// Inter-node link, egress from this node.
+    LinkUp = 4,
+    /// Inter-node link, ingress to this node.
+    LinkDown = 5,
+}
+
+impl Channel {
+    /// Every named channel, in ledger-index order.
+    pub const ALL: [Channel; 6] = [
+        Channel::DramRead,
+        Channel::DramWrite,
+        Channel::NvmRead,
+        Channel::NvmWrite,
+        Channel::LinkUp,
+        Channel::LinkDown,
+    ];
+
+    /// The ledger index this channel occupies.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable name (report/debug output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Channel::DramRead => "dram-read",
+            Channel::DramWrite => "dram-write",
+            Channel::NvmRead => "nvm-read",
+            Channel::NvmWrite => "nvm-write",
+            Channel::LinkUp => "link-up",
+            Channel::LinkDown => "link-down",
+        }
+    }
+}
+
+/// The set of channels a ledger is built with, derived from the
+/// topology: a lone node only has the four tier lanes; a clustered node
+/// adds the two link directions. Constructing a [`BwLedger`] through a
+/// map (instead of a bare channel count) ties every typed post to a
+/// lane that exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelMap {
+    n: usize,
+}
+
+impl ChannelMap {
+    /// The four intra-node lanes (`DramRead` … `NvmWrite`).
+    pub fn intra_node() -> ChannelMap {
+        ChannelMap { n: 4 }
+    }
+
+    /// All six lanes, link directions included.
+    pub fn cluster() -> ChannelMap {
+        ChannelMap { n: 6 }
+    }
+
+    /// The map for a topology of `n_nodes`: a single node needs no link
+    /// lanes, anything larger does.
+    pub fn for_nodes(n_nodes: usize) -> ChannelMap {
+        if n_nodes > 1 {
+            ChannelMap::cluster()
+        } else {
+            ChannelMap::intra_node()
+        }
+    }
+
+    /// Number of ledger channels in the map.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// A map is never empty, but clippy insists `len` has a partner.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the map includes `ch`.
+    pub fn contains(&self, ch: Channel) -> bool {
+        ch.index() < self.n
+    }
+
+    /// The named channels in the map, in index order.
+    pub fn channels(&self) -> &'static [Channel] {
+        &Channel::ALL[..self.n]
+    }
+}
+
 /// One posted flow: `bytes` moved on `channel` over `[start, end]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Flow {
@@ -115,6 +219,32 @@ impl BwLedger {
                 .map(|_| Mutex::new(OwnerState::default()))
                 .collect(),
         }
+    }
+
+    /// A ledger whose channels are the named lanes of `map` — the typed
+    /// constructor the topology layer uses so [`BwLedger::post_named`]
+    /// call sites cannot name a lane that does not exist.
+    pub fn with_channels(owners: usize, map: ChannelMap) -> BwLedger {
+        BwLedger::new(owners, map.len())
+    }
+
+    /// Typed [`BwLedger::post`]: the channel index comes from the named
+    /// lane, so it is in range by construction on a
+    /// [`ChannelMap::cluster`] ledger.
+    pub fn post_named(&self, owner: usize, ch: Channel, start: VTime, end: VTime, bytes: f64) {
+        self.post(owner, ch.index(), start, end, bytes);
+    }
+
+    /// Typed [`BwLedger::load`].
+    pub fn load_named(
+        &self,
+        owner: usize,
+        ch: Channel,
+        w0: VTime,
+        w1: VTime,
+        neighbor_rate_cap: f64,
+    ) -> LoadSplit {
+        self.load(owner, ch.index(), w0, w1, neighbor_rate_cap)
     }
 
     pub fn n_owners(&self) -> usize {
@@ -417,5 +547,50 @@ mod tests {
         l.fence(0, t(1.0));
         assert_eq!(l.gen(0), 1);
         assert_eq!(l.gen(1), 0);
+    }
+
+    #[test]
+    fn channel_indices_are_stable_and_named() {
+        for (i, ch) in Channel::ALL.iter().enumerate() {
+            assert_eq!(ch.index(), i);
+        }
+        assert_eq!(Channel::DramRead.index(), 0);
+        assert_eq!(Channel::NvmWrite.index(), 3);
+        assert_eq!(Channel::LinkUp.index(), 4);
+        assert_eq!(Channel::LinkDown.index(), 5);
+        assert_eq!(Channel::LinkUp.name(), "link-up");
+    }
+
+    #[test]
+    fn channel_map_tracks_topology() {
+        let intra = ChannelMap::intra_node();
+        assert_eq!(intra.len(), 4);
+        assert!(intra.contains(Channel::NvmWrite));
+        assert!(!intra.contains(Channel::LinkUp));
+        assert_eq!(intra.channels().len(), 4);
+
+        let cluster = ChannelMap::cluster();
+        assert_eq!(cluster.len(), 6);
+        assert!(cluster.contains(Channel::LinkDown));
+        assert!(!cluster.is_empty());
+
+        assert_eq!(ChannelMap::for_nodes(1), intra);
+        assert_eq!(ChannelMap::for_nodes(2), cluster);
+        assert_eq!(ChannelMap::for_nodes(128), cluster);
+    }
+
+    #[test]
+    fn typed_post_and_load_hit_the_same_lane_as_untyped() {
+        let l = BwLedger::with_channels(1, ChannelMap::cluster());
+        assert_eq!(l.n_channels(), 6);
+        l.post_named(0, Channel::LinkUp, t(0.0), t(1.0), 1e9);
+        let typed = l.load_named(0, Channel::LinkUp, t(0.0), t(1.0), 1e12);
+        let untyped = l.load(0, 4, t(0.0), t(1.0), 1e12);
+        assert_eq!(typed, untyped);
+        assert!(typed.own > 0.0);
+        assert_eq!(
+            l.load_named(0, Channel::LinkDown, t(0.0), t(1.0), 1e12).own,
+            0.0
+        );
     }
 }

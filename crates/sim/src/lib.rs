@@ -24,6 +24,9 @@
 //! * [`crash`] — seeded virtual-time kill points for the crash-injection
 //!   harness: determinism makes a "crash at `T`" a pure function of the
 //!   clean run, so no threads are ever actually torn down.
+//! * [`pool`] — the deterministic worker pool (jobs reassembled by
+//!   index, byte-identical at any worker count) shared by the bench
+//!   sweep executor and the rank scheduler.
 //!
 //! Everything is deterministic: identical inputs yield bit-identical outputs
 //! regardless of host scheduling, which the integration tests assert.
@@ -32,6 +35,7 @@ pub mod crash;
 pub mod events;
 pub mod json;
 pub mod ledger;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -40,7 +44,8 @@ pub mod units;
 pub use crash::{sample_kill_points, CrashSpec};
 pub use events::{Event, EventKind, TraceLog};
 pub use json::Json;
-pub use ledger::{BwLedger, LoadSplit};
+pub use ledger::{BwLedger, Channel, ChannelMap, LoadSplit};
+pub use pool::{default_workers, run_pool, with_label};
 pub use rng::DetRng;
 pub use stats::{OnlineStats, Summary};
 pub use time::{VDur, VTime};

@@ -1,0 +1,198 @@
+//! Deterministic worker pool: run a job vector on N threads, reassemble
+//! results by index.
+//!
+//! Extracted from the bench sweep executor (PR 3) so the execution
+//! driver can reuse it for rank scheduling: a 256-rank topology runs on
+//! a bounded pool instead of 256 OS threads. The contract is the same
+//! everywhere it is used — jobs carry their index in some canonical
+//! order and [`run_pool`] reassembles results by that index, so the
+//! output is a pure function of the input: byte-identical to the serial
+//! walk regardless of worker count or scheduling. Workers run on
+//! [`std::thread::scope`] and pull jobs from the vendored
+//! `crossbeam::channel` MPMC queue; a job that returns `Err` or panics
+//! surfaces as the pool's `Err` (first failing job index wins,
+//! deterministically) instead of deadlocking the caller.
+
+use crossbeam::channel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Run `f` over every job on a pool of `workers` threads and return the
+/// results in job order.
+///
+/// * `workers <= 1` (or a single job) runs everything in order on the
+///   calling thread — bit-for-bit the serial path, no threads spawned.
+/// * A job returning `Err` or panicking does not deadlock the pool, and
+///   the error of the **lowest-indexed** failing job is returned with a
+///   `job {idx}:` prefix — identical from the serial and threaded paths,
+///   so the reported failure never depends on worker count or
+///   scheduling. (The threaded path still drains the queue; the serial
+///   path stops at the failure, which is unobservable in the result.)
+pub fn run_pool<J, R, F>(jobs: Vec<J>, workers: usize, f: F) -> Result<Vec<R>, String>
+where
+    J: Send,
+    R: Send,
+    F: Fn(&J) -> Result<R, String> + Sync,
+{
+    let n = jobs.len();
+    if workers <= 1 || n <= 1 {
+        return jobs
+            .iter()
+            .enumerate()
+            .map(|(idx, job)| run_caught(&f, job).map_err(|e| format!("job {idx}: {e}")))
+            .collect();
+    }
+
+    let (job_tx, job_rx) = channel::unbounded();
+    for job in jobs.into_iter().enumerate() {
+        job_tx.send(job).expect("receiver alive");
+    }
+    // Workers see a disconnected queue once it drains, and exit.
+    drop(job_tx);
+
+    let (res_tx, res_rx) = channel::unbounded();
+    let mut slots: Vec<Option<Result<R, String>>> =
+        std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                for (idx, job) in job_rx.iter() {
+                    if res_tx.send((idx, run_caught(f, &job))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        // Every job sends exactly one result (panics included), so this
+        // terminates; if a worker died anyway, the dropped senders turn
+        // the loop into a clean early exit instead of a hang.
+        while let Ok((idx, res)) = res_rx.recv() {
+            slots[idx] = Some(res);
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for (idx, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(format!("job {idx}: {e}")),
+            None => return Err(format!("job {idx}: worker exited without a result")),
+        }
+    }
+    Ok(out)
+}
+
+/// Run one job, converting a panic into `Err` — a panicking job must not
+/// take down the worker (and the results the caller is waiting for) on
+/// the threaded path, nor abort the process on the serial path.
+fn run_caught<J, R>(f: &(impl Fn(&J) -> Result<R, String> + Sync), job: &J) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(|| f(job)))
+        .unwrap_or_else(|p| Err(format!("panicked: {}", panic_msg(&*p))))
+}
+
+/// Run `body`, converting a panic into `Err` and prefixing any failure
+/// with `label` — so a failing job reports its domain coordinates (a
+/// sweep cell's matrix position, a rank id), not just its opaque flat
+/// index.
+pub fn with_label<R>(
+    label: impl Fn() -> String,
+    body: impl FnOnce() -> Result<R, String>,
+) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(body))
+        .unwrap_or_else(|p| Err(format!("panicked: {}", panic_msg(&*p))))
+        .map_err(|e| format!("{}: {e}", label()))
+}
+
+// Takes the unsized payload directly: passing `&Box<dyn Any>` would let
+// the *Box* coerce to `dyn Any` and every downcast would miss.
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Default worker count: the host's available parallelism (the ROADMAP's
+/// "as fast as the hardware allows"), 1 when it cannot be queried.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_preserves_job_order_at_any_width() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let expect: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+        for workers in [1, 2, 8, 100] {
+            let got = run_pool(jobs.clone(), workers, |&j| Ok(j * j)).unwrap();
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_reports_lowest_failing_job_at_any_width() {
+        // The serial (workers = 1) and threaded paths must produce the
+        // exact same error for the same failing job set.
+        for workers in [1, 4] {
+            let jobs: Vec<u64> = (0..32).collect();
+            let err = run_pool(jobs, workers, |&j| {
+                if j % 10 == 3 {
+                    Err(format!("boom {j}"))
+                } else {
+                    Ok(j)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, "job 3: boom 3", "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_an_error_not_a_hang_or_abort() {
+        for workers in [1, 4] {
+            let jobs: Vec<u64> = (0..16).collect();
+            let err = run_pool(jobs, workers, |&j| {
+                if j == 5 {
+                    panic!("job five exploded");
+                }
+                Ok(j)
+            })
+            .unwrap_err();
+            assert_eq!(
+                err, "job 5: panicked: job five exploded",
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_label_prefixes_errors_and_catches_panics() {
+        assert_eq!(with_label(|| "x".into(), || Ok(1)), Ok(1));
+        assert_eq!(
+            with_label(
+                || "CG/bw-half/r4/unimem".into(),
+                || Err::<(), _>("bad".into())
+            ),
+            Err("CG/bw-half/r4/unimem: bad".to_string())
+        );
+        assert_eq!(
+            with_label(
+                || "cell".into(),
+                || -> Result<(), String> { panic!("boom") }
+            ),
+            Err("cell: panicked: boom".to_string())
+        );
+    }
+
+    #[test]
+    fn empty_job_vector_is_fine() {
+        let got: Vec<u64> = run_pool(Vec::<u64>::new(), 8, |&j| Ok(j)).unwrap();
+        assert!(got.is_empty());
+    }
+}

@@ -12,6 +12,8 @@
 //! cargo run --release --example sweep -- --full --jobs 8   # worker pool
 //! cargo run --release --example sweep -- --mixes LU+MG,FT+BT+MG \
 //!     --arbiters fair-share,priority                       # co-run axes
+//! cargo run --release --example sweep -- \
+//!     --topologies flat,nodes4,mixed:bw-half+pcram         # machine rooms
 //! ```
 //!
 //! `--jobs N` sets the worker-pool width (default: the host's available
@@ -25,8 +27,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use unimem_repro::bench::sweep::{
-    check_contention, check_determinism, check_recovery, check_report, default_workers,
-    run_sweep_jobs, ArbiterPolicy, NvmProfile, PolicyKind, SweepConfig, Tolerances,
+    check_contention, check_determinism, check_recovery, check_report, check_weak_scaling,
+    default_workers, run_sweep_jobs, ArbiterPolicy, NvmProfile, PolicyKind, SweepConfig,
+    Tolerances, TopologySpec,
 };
 use unimem_repro::workloads::{corun, Class};
 
@@ -34,7 +37,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sweep [--full] [--check] [--out PATH] [--class S|C|D] [--jobs N]\n\
          \x20            [--workloads CSV] [--policies CSV] [--profiles CSV] [--ranks CSV]\n\
-         \x20            [--rpn CSV of ranks-per-node] [--mixes CSV of A+B[+C]] [--arbiters CSV]"
+         \x20            [--rpn CSV of ranks-per-node] [--mixes CSV of A+B[+C]] [--arbiters CSV]\n\
+         \x20            [--topologies CSV of flat|nodesN|mixed:a+b]"
     );
     std::process::exit(2)
 }
@@ -128,6 +132,11 @@ fn main() -> ExitCode {
                 };
                 explicit_mixes = true;
             }
+            "--topologies" => {
+                cfg.topologies = parse_csv(&value("--topologies"), "topology", |s| {
+                    TopologySpec::parse(s)
+                })
+            }
             "--arbiters" => {
                 cfg.arbiters = parse_csv(
                     &value("--arbiters"),
@@ -207,6 +216,7 @@ fn main() -> ExitCode {
                             && c.nranks == nranks
                             && c.ranks_per_node == rpn
                             && c.policy == policy
+                            && c.topology == TopologySpec::Flat
                     })
                     .map(|c| c.normalized_to_dram)
                     .collect();
@@ -216,6 +226,42 @@ fn main() -> ExitCode {
                 }
             }
             println!();
+        }
+    }
+
+    // Clustered machine rooms, one line per (room, profile, rank count).
+    for t in &cfg.topologies {
+        if *t == TopologySpec::Flat {
+            continue;
+        }
+        for &profile in &cfg.profiles {
+            for &nranks in &cfg.ranks {
+                let mut header_printed = false;
+                for &policy in &cfg.policies {
+                    let cells: Vec<f64> = report
+                        .cells
+                        .iter()
+                        .filter(|c| {
+                            c.topology == *t
+                                && c.profile == profile
+                                && c.nranks == nranks
+                                && c.policy == policy
+                        })
+                        .map(|c| c.normalized_to_dram)
+                        .collect();
+                    if !cells.is_empty() {
+                        if !header_printed {
+                            print!("{:8} r={nranks}@{}:", profile.name(), t.name());
+                            header_printed = true;
+                        }
+                        let avg = cells.iter().sum::<f64>() / cells.len() as f64;
+                        print!("  {}={avg:.3}", policy.name());
+                    }
+                }
+                if header_printed {
+                    println!();
+                }
+            }
         }
     }
 
@@ -261,6 +307,7 @@ fn main() -> ExitCode {
         violations.extend(check_determinism(&cfg));
         violations.extend(check_contention(&cfg));
         violations.extend(check_recovery(&cfg, &tol));
+        violations.extend(check_weak_scaling(&cfg, &tol));
         if violations.is_empty() {
             println!("conformance: all paper-claim checks passed");
         } else {

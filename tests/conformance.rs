@@ -308,8 +308,11 @@ fn sweep_json_matches_schema() {
     let j = reduced().to_json();
     assert_eq!(
         j.get("schema").and_then(Json::as_str),
-        Some("unimem-bench-sweep/v4")
+        Some("unimem-bench-sweep/v5")
     );
+    // v5: the topology axis is emitted only off the flat default, so
+    // the reduced (flat-only) report must not carry it.
+    assert!(j.get("topologies").is_none());
     // v3: the node-layout axis (v4 only widened the policy vocabulary).
     assert!(j
         .get("ranks_per_node")

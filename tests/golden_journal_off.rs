@@ -16,7 +16,12 @@ use unimem_repro::bench::sweep::{run_sweep_jobs, SweepConfig};
 #[test]
 fn journal_disabled_path_reproduces_the_v4_golden_bytes() {
     let report = run_sweep_jobs(&SweepConfig::reduced(), 4).expect("reduced sweep runs");
-    let got = report.to_json().to_pretty();
+    let mut got = report.to_json().to_pretty();
+    // The only sanctioned difference: the schema tag (v5 added the
+    // off-by-default topology axis without touching any per-cell byte).
+    let swapped = got.replacen("unimem-bench-sweep/v5", "unimem-bench-sweep/v4", 1);
+    assert!(swapped != got, "schema tag missing from the report");
+    got = swapped;
     let golden = include_str!("golden/BENCH_sweep_v4.json");
     if got != golden {
         let line = got

@@ -24,8 +24,9 @@ fn legacy_policies_reproduce_the_v3_golden_bytes() {
     let mut got = report.to_json().to_pretty();
 
     // The only sanctioned difference: the schema tag. v4 changed the
-    // axis vocabulary, not any per-cell byte.
-    let swapped = got.replacen("unimem-bench-sweep/v4", "unimem-bench-sweep/v3", 1);
+    // axis vocabulary and v5 added the (off-by-default) topology axis;
+    // neither touched any per-cell byte.
+    let swapped = got.replacen("unimem-bench-sweep/v5", "unimem-bench-sweep/v3", 1);
     assert!(swapped != got, "schema tag missing from the report");
     got = swapped;
 
