@@ -2,6 +2,7 @@
 //! DRAM bandwidth. CLASS C, 4 nodes, 1 rank/node, DRAM 256 MB, NVM 16 GB.
 
 use unimem::exec::Policy;
+use unimem_bench::harness::timed;
 use unimem_bench::{basic_setup, cache, normalized, print_table, unimem_policy, Cell, Row};
 use unimem_hms::MachineConfig;
 use unimem_workloads::npb_and_nek;
@@ -10,32 +11,35 @@ use unimem_xmem::xmem_policy;
 fn main() {
     let (class, nranks) = basic_setup();
     let m = MachineConfig::nvm_bw_fraction(0.5);
-    let mut rows = Vec::new();
-    let mut uni_gaps = Vec::new();
-    for w in npb_and_nek(class) {
-        let xmem = xmem_policy(w.as_ref(), &m, &cache(), nranks);
-        let nvm = normalized(w.as_ref(), &m, nranks, &Policy::NvmOnly);
-        let xm = normalized(w.as_ref(), &m, nranks, &xmem);
-        let uni = normalized(w.as_ref(), &m, nranks, &unimem_policy());
-        uni_gaps.push(uni - 1.0);
-        rows.push(Row {
-            name: w.name(),
-            cells: vec![
-                Cell {
-                    label: "NVM-only".into(),
-                    value: nvm,
-                },
-                Cell {
-                    label: "X-Mem".into(),
-                    value: xm,
-                },
-                Cell {
-                    label: "Unimem".into(),
-                    value: uni,
-                },
-            ],
-        });
-    }
+    let (rows, uni_gaps) = timed("fig09_unimem_bw", || {
+        let mut rows = Vec::new();
+        let mut uni_gaps = Vec::new();
+        for w in npb_and_nek(class) {
+            let xmem = xmem_policy(w.as_ref(), &m, &cache(), nranks);
+            let nvm = normalized(w.as_ref(), &m, nranks, &Policy::NvmOnly);
+            let xm = normalized(w.as_ref(), &m, nranks, &xmem);
+            let uni = normalized(w.as_ref(), &m, nranks, &unimem_policy());
+            uni_gaps.push(uni - 1.0);
+            rows.push(Row {
+                name: w.name(),
+                cells: vec![
+                    Cell {
+                        label: "NVM-only".into(),
+                        value: nvm,
+                    },
+                    Cell {
+                        label: "X-Mem".into(),
+                        value: xm,
+                    },
+                    Cell {
+                        label: "Unimem".into(),
+                        value: uni,
+                    },
+                ],
+            });
+        }
+        (rows, uni_gaps)
+    });
     print_table(
         "Figure 9 — placement policies, NVM = 1/2 DRAM bandwidth (normalized to DRAM-only)",
         "paper: NVM-only gap 18% avg; Unimem within 3% avg, <=10% worst; Unimem ~10% better than X-Mem on Nek5000",

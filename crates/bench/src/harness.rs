@@ -1,0 +1,55 @@
+//! Wall-clock timing for the analytic bench targets.
+//!
+//! The fig/table benches are `harness = false` mains that *compute*
+//! their figures analytically in virtual time; historically they
+//! printed tables and said nothing about their own cost — so "the
+//! simulator is fast" was asserted, never measured. [`timed`] routes
+//! each bench's computation through the vendored criterion harness
+//! (warmup, fixed iteration batches, monotonic timing, median/MAD
+//! outlier-robust summary), so every bench target prints a measured
+//! wall-time line next to its table, and emits the deterministic
+//! criterion JSON (`unimem-criterion/v1`) when the
+//! `UNIMEM_CRITERION_JSON` environment variable names an output path.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// Criterion configured for the analytic benches: short warmup and a
+/// modest sample count — the computations are deterministic in virtual
+/// time, so the harness only needs enough samples for a robust median
+/// against host noise, not against workload variance.
+fn analytic_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(200))
+        .warm_up_time(Duration::from_millis(50))
+}
+
+/// Run `compute` once and return its output, then time it under the
+/// shared criterion harness: prints the robust summary line (median,
+/// min/max of kept samples, outliers dropped) and honors
+/// `UNIMEM_CRITERION_JSON`.
+pub fn timed<T>(id: &str, mut compute: impl FnMut() -> T) -> T {
+    let out = compute();
+    let mut c = analytic_criterion();
+    c.bench_function(id, |b| b.iter(&mut compute));
+    c.write_json_if_env();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_the_computation_result_and_times_it() {
+        let mut calls = 0u32;
+        let out = timed("harness_smoke", || {
+            calls += 1;
+            21 * 2
+        });
+        assert_eq!(out, 42);
+        // One result call plus at least one warmup and 10 samples.
+        assert!(calls >= 12, "{calls} calls");
+    }
+}

@@ -145,6 +145,14 @@ pub struct SweepReport {
     pub cells: Vec<SweepCell>,
     /// Per-tenant co-run cells (empty when the config has no mixes).
     pub corun_cells: Vec<CorunCell>,
+    /// The worker-pool width the sweep actually executed on. Run-time
+    /// metadata only: it is **never serialized** (the report bytes are a
+    /// pure function of the matrix, byte-identical for every worker
+    /// count), but callers can surface it — [`run_sweep`] defaults to
+    /// the host's available parallelism, which on a 1-CPU host silently
+    /// serializes the whole matrix, and before this field nothing
+    /// recorded that it had happened.
+    pub effective_workers: usize,
     /// Coordinate index over `cells`, built once at construction.
     /// Workload names map to a dense id first so lookups allocate nothing.
     index: CellIndex,
@@ -200,8 +208,16 @@ impl SweepReport {
             config,
             cells,
             corun_cells,
+            effective_workers: 1,
             index,
         }
+    }
+
+    /// Record the worker-pool width the sweep ran on (in-memory metadata;
+    /// see [`SweepReport::effective_workers`]).
+    pub fn with_workers(mut self, n_workers: usize) -> SweepReport {
+        self.effective_workers = n_workers.max(1);
+        self
     }
 
     /// Cell lookup by coordinates, pinned to the classic flat world.
@@ -249,6 +265,11 @@ impl SweepReport {
 /// parallelism). Fails (rather than silently skipping) when the config
 /// names an unknown workload. Axes are canonicalized and deduplicated; the
 /// returned report's `config` reflects what actually ran.
+///
+/// On a 1-CPU host `default_workers()` is 1 and the matrix runs serially;
+/// the width actually used is recorded in
+/// [`SweepReport::effective_workers`] so callers can see (and report)
+/// that, instead of assuming the pool fanned out.
 pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
     run_sweep_jobs(cfg, default_workers())
 }
@@ -488,7 +509,7 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
     .map_err(|e| format!("sweep co-run failed: {e}"))?;
     let corun_cells = corun_groups.into_iter().flatten().collect();
 
-    Ok(SweepReport::new(cfg, cells, corun_cells))
+    Ok(SweepReport::new(cfg, cells, corun_cells).with_workers(n_workers))
 }
 
 /// Normalize a cell's run time against its row's DRAM-only baseline,
@@ -713,6 +734,25 @@ mod tests {
             assert_eq!(a.time_s(), b.time_s());
             assert_eq!(a.normalized_to_dram, b.normalized_to_dram);
         }
+    }
+
+    #[test]
+    fn effective_workers_is_recorded_but_never_serialized() {
+        let cfg = micro();
+        let serial = run_sweep_jobs(&cfg, 1).unwrap();
+        let wide = run_sweep_jobs(&cfg, 8).unwrap();
+        // The report remembers the width it ran on (the PR-3 footgun:
+        // `run_sweep` on a 1-CPU host silently serialized with no trace)…
+        assert_eq!(serial.effective_workers, 1);
+        assert_eq!(wide.effective_workers, 8);
+        assert_eq!(
+            run_sweep(&cfg).unwrap().effective_workers,
+            default_workers().max(1)
+        );
+        // …but the serialized bytes stay a pure function of the matrix.
+        let (a, b) = (serial.to_json().to_string(), wide.to_json().to_string());
+        assert_eq!(a, b, "worker count must not leak into the report bytes");
+        assert!(!a.contains("workers"), "no workers key in the JSON");
     }
 
     #[test]

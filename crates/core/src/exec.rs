@@ -49,7 +49,7 @@ use unimem_mpi::{
 };
 use unimem_perf::calibrate;
 use unimem_perf::sampler::GroundTruth;
-use unimem_sim::{default_workers, run_pool, Bytes, Channel, VDur, VTime};
+use unimem_sim::{default_workers, run_pool, run_pool_mut, Bytes, Channel, VDur, VTime};
 
 pub use crate::policy::{Policy, UnimemConfig};
 
@@ -554,27 +554,13 @@ fn run_topology_rig(
     .unwrap_or_else(|e| panic!("rank setup failed: {e}"));
 
     // Bulk-synchronous rounds until every rank's script is exhausted.
-    // Taking the task out of its slot moves it to whichever worker picked
-    // the job; results reassemble by index, so rank order is preserved.
+    // Tasks stay resident in one `Vec` for the whole run: workers claim
+    // disjoint indices and advance each task in place (requests
+    // reassemble by index, so rank order is preserved) — no per-round
+    // `Mutex<Option<_>>` wrappers, no moving task state between rounds.
     loop {
-        let jobs: Vec<Mutex<Option<RankTask>>> =
-            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-        let rounds = run_pool(jobs, workers, |slot| {
-            let mut t = slot
-                .lock()
-                .expect("task slot")
-                .take()
-                .expect("task taken once per round");
-            let req = t.advance();
-            Ok((t, req))
-        })
-        .unwrap_or_else(|e| panic!("rank execution failed: {e}"));
-        tasks = Vec::with_capacity(nranks);
-        let mut reqs = Vec::with_capacity(nranks);
-        for (t, r) in rounds {
-            tasks.push(t);
-            reqs.push(r);
-        }
+        let reqs = run_pool_mut(&mut tasks, workers, |_, t| Ok(t.advance()))
+            .unwrap_or_else(|e| panic!("rank execution failed: {e}"));
         if reqs.iter().all(Option::is_none) {
             break;
         }

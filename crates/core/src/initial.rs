@@ -50,7 +50,7 @@ mod tests {
     fn hottest_objects_fill_dram_first() {
         let r = reg(&[("cold", 50, 10.0), ("hot", 50, 1000.0), ("warm", 50, 100.0)]);
         let set = initial_placement(&r, Bytes(100));
-        let names: Vec<&str> = set.iter().map(|u| r.get(u.obj).name.as_str()).collect();
+        let names: Vec<&str> = set.iter().map(|u| r.name_of(u.obj)).collect();
         assert_eq!(names, vec!["hot", "warm"]);
     }
 
@@ -59,7 +59,7 @@ mod tests {
         let r = reg(&[("runtime_sized", 10, 0.0), ("known", 10, 5.0)]);
         let set = initial_placement(&r, Bytes(100));
         assert_eq!(set.len(), 1);
-        assert_eq!(r.get(set.iter().next().unwrap().obj).name, "known");
+        assert_eq!(r.name_of(set.iter().next().unwrap().obj), "known");
     }
 
     #[test]
@@ -67,7 +67,7 @@ mod tests {
         let r = reg(&[("huge", 1000, 9000.0), ("small", 40, 10.0)]);
         let set = initial_placement(&r, Bytes(100));
         assert_eq!(set.len(), 1);
-        assert_eq!(r.get(set.iter().next().unwrap().obj).name, "small");
+        assert_eq!(r.name_of(set.iter().next().unwrap().obj), "small");
     }
 
     #[test]
@@ -80,7 +80,7 @@ mod tests {
     fn ties_prefer_smaller_objects() {
         let r = reg(&[("big", 80, 100.0), ("small", 20, 100.0)]);
         let set = initial_placement(&r, Bytes(90));
-        let names: Vec<&str> = set.iter().map(|u| r.get(u.obj).name.as_str()).collect();
+        let names: Vec<&str> = set.iter().map(|u| r.name_of(u.obj)).collect();
         // small first (denser), then big no longer fits… but 20+80>90,
         // so only small lands.
         assert_eq!(names, vec!["small"]);

@@ -86,7 +86,7 @@ mod tests {
         let split = partition_large_objects(&mut r, Bytes::mib(256), PartitionPolicy::default());
         assert_eq!(split.len(), 1);
         let o = r.get(split[0]);
-        assert_eq!(o.name, "big1d");
+        assert_eq!(r.name_of(o.id), "big1d");
         // 600 MiB / 64 MiB target → 10 chunks.
         assert_eq!(o.chunks, 10);
         assert_eq!(r.lookup("bigNd").map(|i| r.get(i).chunks), Some(1));

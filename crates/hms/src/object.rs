@@ -10,7 +10,7 @@ use crate::tier::TierKind;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use unimem_sim::Bytes;
+use unimem_sim::{Bytes, StrArena};
 
 /// Identifier of a registered data object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -47,10 +47,14 @@ impl fmt::Display for UnitId {
 }
 
 /// One registered target data object.
+///
+/// The object's name is not stored here: names are interned in the
+/// owning [`ObjectRegistry`]'s string arena (one allocation for the
+/// whole registry instead of one `String` per object), so ask the
+/// registry via [`ObjectRegistry::name_of`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DataObject {
     pub id: ObjId,
-    pub name: String,
     /// Modeled size (the size the placement problem sees).
     pub size: Bytes,
     /// True for 1-D arrays with regular references — the only case the
@@ -127,10 +131,18 @@ impl ObjectSpec {
 }
 
 /// Registry of all target data objects of one rank.
+///
+/// Object names live in a single [`StrArena`] rather than one `String`
+/// per object plus a `HashMap` keying clones of those strings: a rank
+/// registers a handful of objects once per run, so the arena's linear
+/// name scan is cheaper than hashing and the whole registry's name
+/// storage is one allocation. Arena span `i` is the name of `ObjId(i)`
+/// by construction (names are interned exactly when an object is
+/// admitted, and duplicates are rejected first).
 #[derive(Debug, Default, Clone)]
 pub struct ObjectRegistry {
     objects: Vec<DataObject>,
-    by_name: HashMap<String, ObjId>,
+    names: StrArena,
 }
 
 impl ObjectRegistry {
@@ -150,7 +162,7 @@ impl ObjectRegistry {
     /// harness output) and non-finite `est_refs` (a NaN estimate would
     /// poison every placement comparison downstream).
     pub fn try_register(&mut self, spec: ObjectSpec) -> Result<ObjId, String> {
-        if self.by_name.contains_key(&spec.name) {
+        if self.names.find(&spec.name).is_some() {
             return Err(format!("duplicate data object name: {}", spec.name));
         }
         if !spec.est_refs.is_finite() {
@@ -160,10 +172,10 @@ impl ObjectRegistry {
             ));
         }
         let id = ObjId(self.objects.len() as u32);
-        self.by_name.insert(spec.name.clone(), id);
+        let span = self.names.intern(&spec.name);
+        debug_assert_eq!(span.index(), id.0 as usize, "arena span aligns with id");
         self.objects.push(DataObject {
             id,
-            name: spec.name,
             size: spec.size,
             partitionable: spec.partitionable,
             aliased: spec.aliased,
@@ -177,8 +189,13 @@ impl ObjectRegistry {
         &self.objects[id.0 as usize]
     }
 
+    /// The name `id` was registered under.
+    pub fn name_of(&self, id: ObjId) -> &str {
+        self.names.get_at(id.0 as usize)
+    }
+
     pub fn lookup(&self, name: &str) -> Option<ObjId> {
-        self.by_name.get(name).copied()
+        self.names.find(name).map(|r| ObjId(r.index() as u32))
     }
 
     pub fn len(&self) -> usize {
@@ -197,13 +214,13 @@ impl ObjectRegistry {
     /// was declared non-partitionable or aliased.
     pub fn set_chunks(&mut self, id: ObjId, chunks: u16) {
         assert!(chunks >= 1);
-        let o = &mut self.objects[id.0 as usize];
+        let o = &self.objects[id.0 as usize];
         assert!(
             chunks == 1 || (o.partitionable && !o.aliased),
             "object {} cannot be partitioned",
-            o.name
+            self.name_of(id)
         );
-        o.chunks = chunks;
+        self.objects[id.0 as usize].chunks = chunks;
     }
 
     /// All placement units across all objects.

@@ -1,0 +1,167 @@
+//! Bump-style string arena: many small strings, one allocation.
+//!
+//! Per-run metadata (the object registry, report labels) used to hold
+//! one heap `String` per entry *plus* a `HashMap` keying clones of the
+//! same strings — two allocations and a hash table for name sets that
+//! are typically under a dozen entries and never shrink. A [`StrArena`]
+//! stores every interned string back-to-back in a single growing buffer
+//! and hands out copyable [`StrRef`] spans; lookup is a linear scan,
+//! which for these cardinalities beats hashing and costs no extra
+//! allocation at all.
+//!
+//! The arena is append-only: interned strings are never removed, so a
+//! [`StrRef`] stays valid for the arena's lifetime and equality of refs
+//! implies equality of strings *when both came from the same arena via
+//! [`StrArena::intern`]* (intern returns the existing span for an exact
+//! duplicate).
+
+/// A span handle into a [`StrArena`]. Cheap to copy, stable for the
+/// arena's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrRef(u32);
+
+impl StrRef {
+    /// Position of this string in interning order (0-based).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only arena of interned strings.
+#[derive(Debug, Default, Clone)]
+pub struct StrArena {
+    buf: String,
+    /// Byte spans `[start, end)` into `buf`, in interning order.
+    spans: Vec<(u32, u32)>,
+}
+
+impl StrArena {
+    /// An empty arena.
+    pub fn new() -> StrArena {
+        StrArena::default()
+    }
+
+    /// An empty arena with `bytes` of string storage pre-reserved.
+    pub fn with_capacity(bytes: usize) -> StrArena {
+        StrArena {
+            buf: String::with_capacity(bytes),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Intern `s`, returning the existing span when the exact string was
+    /// interned before.
+    pub fn intern(&mut self, s: &str) -> StrRef {
+        if let Some(r) = self.find(s) {
+            return r;
+        }
+        let start = self.buf.len();
+        let end = start + s.len();
+        assert!(end <= u32::MAX as usize, "arena overflow");
+        self.buf.push_str(s);
+        self.spans.push((start as u32, end as u32));
+        StrRef((self.spans.len() - 1) as u32)
+    }
+
+    /// The string behind `r`.
+    pub fn get(&self, r: StrRef) -> &str {
+        let (s, e) = self.spans[r.index()];
+        &self.buf[s as usize..e as usize]
+    }
+
+    /// The `idx`-th interned string (interning order).
+    pub fn get_at(&self, idx: usize) -> &str {
+        let (s, e) = self.spans[idx];
+        &self.buf[s as usize..e as usize]
+    }
+
+    /// Find an already-interned string. Linear scan: arenas here hold a
+    /// handful of names, where scanning a contiguous buffer is faster
+    /// than hashing and allocates nothing.
+    pub fn find(&self, s: &str) -> Option<StrRef> {
+        self.spans
+            .iter()
+            .position(|&(a, b)| &self.buf[a as usize..b as usize] == s)
+            .map(|i| StrRef(i as u32))
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total string bytes stored.
+    pub fn bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// All interned strings in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.spans
+            .iter()
+            .map(|&(a, b)| &self.buf[a as usize..b as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_get_roundtrip() {
+        let mut a = StrArena::new();
+        let x = a.intern("alpha");
+        let y = a.intern("beta");
+        assert_eq!(a.get(x), "alpha");
+        assert_eq!(a.get(y), "beta");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.bytes(), 9);
+        assert_eq!(x.index(), 0);
+        assert_eq!(a.get_at(1), "beta");
+    }
+
+    #[test]
+    fn duplicate_interning_returns_the_same_ref() {
+        let mut a = StrArena::new();
+        let x = a.intern("u");
+        let y = a.intern("u");
+        assert_eq!(x, y);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn find_distinguishes_prefixes_and_concatenations() {
+        let mut a = StrArena::new();
+        a.intern("ab");
+        a.intern("cd");
+        // "abcd" is contiguous in the buffer but is not an interned span.
+        assert_eq!(a.find("abcd"), None);
+        assert_eq!(a.find("a"), None);
+        assert_eq!(a.find("cd").map(StrRef::index), Some(1));
+    }
+
+    #[test]
+    fn empty_string_and_empty_arena() {
+        let mut a = StrArena::new();
+        assert!(a.is_empty());
+        assert_eq!(a.find("x"), None);
+        let e = a.intern("");
+        assert_eq!(a.get(e), "");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_interning_order() {
+        let mut a = StrArena::with_capacity(64);
+        for s in ["one", "two", "three"] {
+            a.intern(s);
+        }
+        let all: Vec<&str> = a.iter().collect();
+        assert_eq!(all, ["one", "two", "three"]);
+    }
+}

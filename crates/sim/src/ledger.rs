@@ -40,8 +40,37 @@
 //! iteration). Readers use their *own* fence timestamps for epoch
 //! lengths — fences are globally synchronized, so every rank records the
 //! identical instants.
+//!
+//! # Sharding (PR 9)
+//!
+//! The ledger is sharded per owner, and the cross-owner read path is
+//! lock-free. The observation that makes this work: a neighbor query
+//! only ever reads another owner's *epoch byte totals at the reader's
+//! own generation* — never its flow list, fence timestamps, or even its
+//! generation counter. So each shard keeps
+//!
+//! * **owner-private state** (own flows, generation, last two fences)
+//!   behind a per-owner mutex that only the owning rank thread ever
+//!   takes — posts, fences, and own-overlap queries from different
+//!   owners touch different mutexes and never contend; and
+//! * a **fixed 4-deep epoch ring** of per-channel atomic byte counters
+//!   (`f64` bits in `AtomicU64`) that neighbors read directly. Four
+//!   slots suffice because the visibility lag is at most one
+//!   generation: with the owner at generation `G`, posts accumulate
+//!   into slot `G+1`, readers touch slots `G-1 ..= G+1`, and the fence
+//!   clears slot `G-2` — four distinct residues mod 4.
+//!
+//! Each ring slot is written by exactly one thread (its owner: posts
+//! accumulate, the fence clears), so a plain load/store pair is enough;
+//! stores are `Release` and reads `Acquire`, and the MPI-collective
+//! rendezvous that advances generations provides the happens-before
+//! edge that makes the values a reader observes a pure function of
+//! virtual program order — byte-identical for any worker count, exactly
+//! as the old whole-owner-mutex design behaved, minus the cross-owner
+//! lock convoy in `load()`.
 
 use crate::time::{VDur, VTime};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Named ledger channels: the four intra-node tier × direction lanes
@@ -158,6 +187,12 @@ struct Flow {
     visible_from: u64,
 }
 
+/// Depth of the per-shard epoch ring. Visibility lag is at most one
+/// generation, so the live slots at owner generation `G` are `G+1`
+/// (accumulating), `G-1 ..= G+1` (readable) and `G-2` (being cleared)
+/// — four distinct residues.
+const GEN_RING: usize = 4;
+
 #[derive(Debug, Default)]
 struct OwnerState {
     /// Fences passed so far (the owner's visibility generation).
@@ -170,13 +205,39 @@ struct OwnerState {
     /// current clock, which is past the fence instant from then on, so
     /// flows ending before the fence can never be read again.
     flows: Vec<Flow>,
-    /// Bytes posted per (visibility generation, channel):
-    /// `epoch_bytes[g][c]` sums the flows tagged `visible_from == g`.
-    /// Entries older than `gen - 1` are cleared at fences — readers'
-    /// generations can lag or lead this owner's by at most one (every
-    /// fence is a global rendezvous), so only indices `gen - 1 ..= gen + 1`
-    /// are ever read; a cleared (or never-posted) entry reads as zero.
-    epoch_bytes: Vec<Vec<f64>>,
+}
+
+/// One owner's shard: private state behind its own (uncontended) mutex,
+/// plus the lock-free epoch ring neighbors read.
+#[derive(Debug)]
+struct Shard {
+    /// Owner-private state. Only the owning rank thread locks this, so
+    /// in steady state the lock is never contended — it exists to keep
+    /// the API `&self` and the single-threaded tests sound.
+    own: Mutex<OwnerState>,
+    /// Bytes posted per (visibility generation, channel), as a ring:
+    /// slot `(g % GEN_RING) * channels + c` sums the flows tagged
+    /// `visible_from == g`, stored as `f64` bits. Written only by the
+    /// owner (posts accumulate, fences clear the slot aging out of the
+    /// visibility window); read lock-free by every neighbor. A cleared
+    /// (or never-posted) slot reads as zero.
+    epoch_bytes: Vec<AtomicU64>,
+}
+
+impl Shard {
+    fn new(channels: usize) -> Shard {
+        Shard {
+            own: Mutex::new(OwnerState::default()),
+            epoch_bytes: (0..GEN_RING * channels)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// The ring slot for generation `gen`, channel `channel`.
+    fn slot(&self, gen: u64, channel: usize, channels: usize) -> &AtomicU64 {
+        &self.epoch_bytes[(gen % GEN_RING as u64) as usize * channels + channel]
+    }
 }
 
 /// How much of a channel's bandwidth existing flows consume over a
@@ -200,13 +261,15 @@ impl LoadSplit {
 
 /// The shared ledger: `owners` posting flows against `channels`.
 ///
-/// All methods take `&self`; internal state is mutex-per-owner. Each
-/// owner's list is appended only by that owner, and readers iterate
-/// owners in index order, so float accumulation order is deterministic.
+/// All methods take `&self`; internal state is sharded per owner (see
+/// the module docs): owner-private state behind a per-owner mutex that
+/// only the owning thread takes, neighbor-visible epoch totals in
+/// lock-free atomic rings. Readers iterate owners in index order, so
+/// float accumulation order is deterministic.
 #[derive(Debug)]
 pub struct BwLedger {
     channels: usize,
-    owners: Vec<Mutex<OwnerState>>,
+    shards: Vec<Shard>,
 }
 
 impl BwLedger {
@@ -215,9 +278,7 @@ impl BwLedger {
         assert!(owners >= 1 && channels >= 1);
         BwLedger {
             channels,
-            owners: (0..owners)
-                .map(|_| Mutex::new(OwnerState::default()))
-                .collect(),
+            shards: (0..owners).map(|_| Shard::new(channels)).collect(),
         }
     }
 
@@ -248,7 +309,7 @@ impl BwLedger {
     }
 
     pub fn n_owners(&self) -> usize {
-        self.owners.len()
+        self.shards.len()
     }
 
     pub fn n_channels(&self) -> usize {
@@ -256,7 +317,10 @@ impl BwLedger {
     }
 
     fn state(&self, owner: usize) -> std::sync::MutexGuard<'_, OwnerState> {
-        self.owners[owner].lock().expect("ledger mutex poisoned")
+        self.shards[owner]
+            .own
+            .lock()
+            .expect("ledger mutex poisoned")
     }
 
     /// Post a flow: `owner` moves `bytes` on `channel` over `[start, end]`.
@@ -264,13 +328,15 @@ impl BwLedger {
     /// fence beyond the owner's current generation.
     pub fn post(&self, owner: usize, channel: usize, start: VTime, end: VTime, bytes: f64) {
         assert!(channel < self.channels, "channel {channel} out of range");
-        let mut st = self.state(owner);
+        let shard = &self.shards[owner];
+        let mut st = shard.own.lock().expect("ledger mutex poisoned");
         let visible_from = st.gen + 1;
-        while st.epoch_bytes.len() <= visible_from as usize {
-            let n = self.channels;
-            st.epoch_bytes.push(vec![0.0; n]);
-        }
-        st.epoch_bytes[visible_from as usize][channel] += bytes;
+        // Single-writer accumulate: only the owner posts to its ring, so
+        // a load/store pair is race-free; Release pairs with readers'
+        // Acquire (the collective rendezvous orders the generations).
+        let slot = shard.slot(visible_from, channel, self.channels);
+        let sum = f64::from_bits(slot.load(Ordering::Relaxed)) + bytes;
+        slot.store(sum.to_bits(), Ordering::Release);
         st.flows.push(Flow {
             channel,
             start,
@@ -292,14 +358,20 @@ impl BwLedger {
     /// new visibility generation — the epoch identity the placement
     /// journal stamps on its commit records.
     pub fn fence(&self, owner: usize, now: VTime) -> u64 {
-        let mut st = self.state(owner);
+        let shard = &self.shards[owner];
+        let mut st = shard.own.lock().expect("ledger mutex poisoned");
         st.gen += 1;
         st.last_fences = [st.last_fences[1], now];
         st.flows.retain(|f| f.end >= now);
-        if st.gen >= 2 {
-            let stale = (st.gen - 2) as usize;
-            if let Some(entry) = st.epoch_bytes.get_mut(stale) {
-                *entry = Vec::new();
+        // Clear the ring slot aging out of the visibility window (no
+        // reader can be more than one generation behind, so generation
+        // `gen - 2` is dead); its slot is next written for generation
+        // `gen + 2`, two fences from now.
+        if let Some(stale) = st.gen.checked_sub(2) {
+            for ch in 0..self.channels {
+                shard
+                    .slot(stale, ch, self.channels)
+                    .store(0, Ordering::Release);
             }
         }
         st.gen
@@ -328,35 +400,35 @@ impl BwLedger {
         if window.is_zero() {
             return LoadSplit::default();
         }
-        let (gen, epoch_len) = {
+
+        // One visit to the reader's own (uncontended) shard covers the
+        // generation, the epoch length, and the own-flow overlap.
+        let (gen, epoch_len, own_bytes) = {
             let st = self.state(owner);
-            (st.gen, epoch_len(st.gen, st.last_fences))
+            let mut own = 0.0;
+            for f in st.flows.iter().filter(|f| f.channel == channel) {
+                own += overlap_bytes(f, w0, w1);
+            }
+            (st.gen, epoch_len(st.gen, st.last_fences), own)
         };
 
-        // Own flows: exact byte overlap with the window.
-        let mut own_bytes = 0.0;
-        {
-            let st = self.state(owner);
-            for f in st.flows.iter().filter(|f| f.channel == channel) {
-                own_bytes += overlap_bytes(f, w0, w1);
-            }
-        }
-
         // Neighbors: bytes they posted during the reader's last completed
-        // epoch, turned into a rate over that epoch's length.
+        // epoch, turned into a rate over that epoch's length. Lock-free:
+        // each neighbor's epoch total is one Acquire load from its ring —
+        // no neighbor mutex is ever taken, so concurrent rank queries
+        // and posts do not convoy through each other's shards.
         let mut neighbors = 0.0;
         if gen >= 1 {
-            for (o, slot) in self.owners.iter().enumerate() {
+            for (o, shard) in self.shards.iter().enumerate() {
                 if o == owner {
                     continue;
                 }
-                let st = slot.lock().expect("ledger mutex poisoned");
-                // Missing or fence-cleared entries read as "no traffic".
-                let bytes = st
-                    .epoch_bytes
-                    .get(gen as usize)
-                    .and_then(|per_ch| per_ch.get(channel).copied())
-                    .unwrap_or(0.0);
+                // Fence-cleared (or never-posted) slots read as zero.
+                let bytes = f64::from_bits(
+                    shard
+                        .slot(gen, channel, self.channels)
+                        .load(Ordering::Acquire),
+                );
                 if bytes <= 0.0 {
                     continue;
                 }
@@ -533,11 +605,14 @@ mod tests {
             l.fence(0, t(g as f64 + 1.0));
             l.fence(1, t(g as f64 + 1.0));
         }
-        // Readers can be at most one generation away: only the last
-        // three epoch entries may survive.
-        let st = l.state(1);
-        let live = st.epoch_bytes.iter().filter(|e| !e.is_empty()).count();
-        assert!(live <= 3, "{live} live epochs retained");
+        // Readers can be at most one generation away: only the ring
+        // slots inside the visibility window may still hold bytes.
+        let live = l.shards[1]
+            .epoch_bytes
+            .iter()
+            .filter(|s| f64::from_bits(s.load(Ordering::Relaxed)) != 0.0)
+            .count();
+        assert!(live <= 3, "{live} live epoch slots retained");
     }
 
     #[test]

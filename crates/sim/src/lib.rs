@@ -31,6 +31,7 @@
 //! Everything is deterministic: identical inputs yield bit-identical outputs
 //! regardless of host scheduling, which the integration tests assert.
 
+pub mod arena;
 pub mod crash;
 pub mod events;
 pub mod json;
@@ -41,11 +42,12 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use arena::{StrArena, StrRef};
 pub use crash::{sample_kill_points, CrashSpec};
 pub use events::{Event, EventKind, TraceLog};
 pub use json::Json;
 pub use ledger::{BwLedger, Channel, ChannelMap, LoadSplit};
-pub use pool::{default_workers, run_pool, with_label};
+pub use pool::{default_workers, run_pool, run_pool_mut, with_label};
 pub use rng::DetRng;
 pub use stats::{OnlineStats, Summary};
 pub use time::{VDur, VTime};

@@ -7,14 +7,28 @@
 //! everywhere it is used — jobs carry their index in some canonical
 //! order and [`run_pool`] reassembles results by that index, so the
 //! output is a pure function of the input: byte-identical to the serial
-//! walk regardless of worker count or scheduling. Workers run on
-//! [`std::thread::scope`] and pull jobs from the vendored
-//! `crossbeam::channel` MPMC queue; a job that returns `Err` or panics
-//! surfaces as the pool's `Err` (first failing job index wins,
-//! deterministically) instead of deadlocking the caller.
+//! walk regardless of worker count or scheduling.
+//!
+//! The distribution machinery is lock-free (PR 9): jobs sit in a
+//! [`crossbeam::queue::ArrayQueue`] (Vyukov sequence-stamped ring) that
+//! workers pop with a single CAS, and every worker accumulates
+//! `(index, result)` pairs in a thread-local buffer that the caller
+//! merges after the scoped join — no result channel, no mutex anywhere
+//! on the hot path. The earlier design funneled both job hand-off and
+//! result collection through a `Mutex<VecDeque>` channel, which
+//! serialized exactly the fan-out the pool exists to provide.
+//! [`run_pool_mut`] is the zero-copy variant for resident state: workers
+//! claim disjoint indices of a caller-owned slice from an atomic cursor
+//! and advance the items in place, so a bulk-synchronous round loop does
+//! not move (or re-wrap) its tasks every round.
+//!
+//! A job that returns `Err` or panics surfaces as the pool's `Err`
+//! (first failing job index wins, deterministically) instead of
+//! deadlocking the caller.
 
-use crossbeam::channel;
+use crossbeam::queue::ArrayQueue;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Run `f` over every job on a pool of `workers` threads and return the
 /// results in job order.
@@ -42,39 +56,118 @@ where
             .collect();
     }
 
-    let (job_tx, job_rx) = channel::unbounded();
+    // Lock-free hand-off: every job is enqueued up front (the queue is
+    // sized to hold them all, so push cannot fail), workers pop until
+    // the queue reads empty — which, with all producers done before the
+    // first pop, really means drained.
+    let queue = ArrayQueue::new(n);
     for job in jobs.into_iter().enumerate() {
-        job_tx.send(job).expect("receiver alive");
+        if queue.push(job).is_err() {
+            unreachable!("queue sized to the job count");
+        }
     }
-    // Workers see a disconnected queue once it drains, and exit.
-    drop(job_tx);
 
-    let (res_tx, res_rx) = channel::unbounded();
     let mut slots: Vec<Option<Result<R, String>>> =
         std::iter::repeat_with(|| None).take(n).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                for (idx, job) in job_rx.iter() {
-                    if res_tx.send((idx, run_caught(f, &job))).is_err() {
-                        break;
+    let buffers: Vec<Vec<(usize, Result<R, String>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                let queue = &queue;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Some((idx, job)) = queue.pop() {
+                        local.push((idx, run_caught(f, &job)));
                     }
-                }
-            });
-        }
-        drop(res_tx);
-        // Every job sends exactly one result (panics included), so this
-        // terminates; if a worker died anyway, the dropped senders turn
-        // the loop into a clean early exit instead of a hang.
-        while let Ok((idx, res)) = res_rx.recv() {
-            slots[idx] = Some(res);
-        }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panics are caught per job"))
+            .collect()
     });
+    for (idx, res) in buffers.into_iter().flatten() {
+        slots[idx] = Some(res);
+    }
+    collect_slots(slots)
+}
 
-    let mut out = Vec::with_capacity(n);
+/// Run `f` over every element of `items` **in place** on a pool of
+/// `workers` threads, returning `f`'s outputs in item order.
+///
+/// The mutable-slice twin of [`run_pool`] for state that must survive
+/// across calls: a bulk-synchronous driver keeps its per-rank tasks in
+/// one `Vec` and advances them round after round without moving them
+/// into per-round wrappers. Workers claim indices from an atomic cursor
+/// (each index is handed out exactly once, so the `&mut` accesses are
+/// provably disjoint) and buffer results locally; error semantics are
+/// identical to [`run_pool`] — lowest failing index wins, panics become
+/// `Err`, and a failing round leaves `items` in whatever mixed state
+/// the round reached (callers treat a round error as fatal).
+pub fn run_pool_mut<T, R, F>(items: &mut [T], workers: usize, f: F) -> Result<Vec<R>, String>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> Result<R, String> + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for (idx, item) in items.iter_mut().enumerate() {
+            out.push(run_caught_mut(&f, idx, item).map_err(|e| format!("job {idx}: {e}"))?);
+        }
+        return Ok(out);
+    }
+
+    // One atomic cursor hands each index to exactly one worker, so the
+    // raw-pointer `&mut` projections below never alias.
+    struct SharedSlice<T>(*mut T);
+    unsafe impl<T: Send> Sync for SharedSlice<T> {}
+    let base = SharedSlice(items.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
+
+    let mut slots: Vec<Option<Result<R, String>>> =
+        std::iter::repeat_with(|| None).take(n).collect();
+    let buffers: Vec<Vec<(usize, Result<R, String>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                let base = &base;
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        // Safety: `idx < n` is in bounds, and the
+                        // fetch_add gives this worker sole ownership of
+                        // index `idx` for the lifetime of the scope.
+                        let item = unsafe { &mut *base.0.add(idx) };
+                        local.push((idx, run_caught_mut(f, idx, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panics are caught per job"))
+            .collect()
+    });
+    for (idx, res) in buffers.into_iter().flatten() {
+        slots[idx] = Some(res);
+    }
+    collect_slots(slots)
+}
+
+/// Reassemble per-index result slots into the pool's return value:
+/// all-`Ok` in index order, or the lowest-indexed failure.
+fn collect_slots<R>(slots: Vec<Option<Result<R, String>>>) -> Result<Vec<R>, String> {
+    let mut out = Vec::with_capacity(slots.len());
     for (idx, slot) in slots.into_iter().enumerate() {
         match slot {
             Some(Ok(r)) => out.push(r),
@@ -90,6 +183,16 @@ where
 /// the threaded path, nor abort the process on the serial path.
 fn run_caught<J, R>(f: &(impl Fn(&J) -> Result<R, String> + Sync), job: &J) -> Result<R, String> {
     catch_unwind(AssertUnwindSafe(|| f(job)))
+        .unwrap_or_else(|p| Err(format!("panicked: {}", panic_msg(&*p))))
+}
+
+/// [`run_caught`] for the in-place variant's `(index, &mut item)` shape.
+fn run_caught_mut<T, R>(
+    f: &(impl Fn(usize, &mut T) -> Result<R, String> + Sync),
+    idx: usize,
+    item: &mut T,
+) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(|| f(idx, item)))
         .unwrap_or_else(|p| Err(format!("panicked: {}", panic_msg(&*p))))
 }
 
@@ -194,5 +297,65 @@ mod tests {
     fn empty_job_vector_is_fine() {
         let got: Vec<u64> = run_pool(Vec::<u64>::new(), 8, |&j| Ok(j)).unwrap();
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn pool_mut_advances_items_in_place_at_any_width() {
+        for workers in [1, 2, 8, 100] {
+            let mut items: Vec<u64> = (0..64).collect();
+            let outs = run_pool_mut(&mut items, workers, |idx, v| {
+                *v += 1;
+                Ok(*v * idx as u64)
+            })
+            .unwrap();
+            let expect_items: Vec<u64> = (1..=64).collect();
+            let expect_outs: Vec<u64> = (0..64u64).map(|i| (i + 1) * i).collect();
+            assert_eq!(items, expect_items, "workers={workers}");
+            assert_eq!(outs, expect_outs, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_mut_reports_lowest_failing_job_and_catches_panics() {
+        for workers in [1, 4] {
+            let mut items: Vec<u64> = (0..32).collect();
+            let err = run_pool_mut(&mut items, workers, |_, v| {
+                if *v % 10 == 7 {
+                    Err(format!("boom {v}"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, "job 7: boom 7", "workers={workers}");
+
+            let mut items: Vec<u64> = (0..16).collect();
+            let err = run_pool_mut(&mut items, workers, |_, v| {
+                if *v == 5 {
+                    panic!("item five exploded");
+                }
+                Ok(())
+            })
+            .unwrap_err();
+            assert_eq!(
+                err, "job 5: panicked: item five exploded",
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_mut_empty_and_single_are_fine() {
+        let mut none: Vec<u64> = Vec::new();
+        let got = run_pool_mut(&mut none, 8, |_, v| Ok(*v)).unwrap();
+        assert!(got.is_empty());
+        let mut one = vec![41u64];
+        let got = run_pool_mut(&mut one, 8, |_, v| {
+            *v += 1;
+            Ok(*v)
+        })
+        .unwrap();
+        assert_eq!(got, [42]);
+        assert_eq!(one, [42]);
     }
 }

@@ -103,7 +103,7 @@ pub fn offline_profile(
                 .expect("object has misses, so it has votes");
             ObjProfile {
                 obj: o.id,
-                name: o.name.clone(),
+                name: registry.name_of(o.id).to_string(),
                 size: o.size,
                 misses: misses[&o.id],
                 pattern,

@@ -1,0 +1,228 @@
+//! Perf-budget harness: measure the wall time of the reduced
+//! evaluation-matrix sweep, write `BENCH_perf.json`, and (optionally)
+//! gate on a committed baseline.
+//!
+//! ```text
+//! cargo run --release --example perf                        # measure + write
+//! cargo run --release --example perf -- --jobs 4 --samples 7
+//! cargo run --release --example perf -- \
+//!     --against BENCH_perf.json --tolerance 0.20            # CI budget gate
+//! ```
+//!
+//! The sweep's *output* is virtual-time and byte-identical everywhere;
+//! this harness measures the one thing that is not — how long the
+//! simulator itself takes to chew through the reduced matrix. Each
+//! sample is one full `run_sweep_jobs(SweepConfig::reduced(), jobs)`
+//! call; after `--warmup` discarded runs, `--samples` timed runs are
+//! summarized with the vendored criterion's median/MAD robust statistics
+//! (host noise lands in outliers, not in the median).
+//!
+//! Output schema `unimem-bench-perf/v1` — the *structure* is
+//! deterministic (fixed member set and order; only the measured values
+//! vary run to run):
+//!
+//! ```text
+//! {
+//!   "schema":  "unimem-bench-perf/v1",
+//!   "matrix":  "reduced",
+//!   "jobs":    1,
+//!   "warmup":  1,
+//!   "samples": 5,
+//!   "n_cells": 168, "n_corun_cells": 12,
+//!   "wall_s": { "median": ..., "mad": ..., "min": ..., "max": ...,
+//!               "mean": ..., "kept": 5 }
+//! }
+//! ```
+//!
+//! `--against PATH` compares this run's median against the `wall_s.median`
+//! of a previously written report and exits non-zero when the current
+//! median exceeds it by more than `--tolerance` (default 0.20, i.e. a
+//! +20% wall-time regression budget). Improvements never fail the gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use criterion::stats::RobustSummary;
+use unimem_repro::bench::sweep::{default_workers, run_sweep_jobs, SweepConfig};
+use unimem_repro::sim::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf [--jobs N] [--warmup N] [--samples N] [--out PATH]\n\
+         \x20           [--against BASELINE.json] [--tolerance FRACTION]"
+    );
+    std::process::exit(2)
+}
+
+/// Pull `wall_s.median` out of a previously written report without a
+/// full JSON parser (the vendored stack has a writer only): scan for the
+/// `"median":` member and parse the number that follows. The file is our
+/// own `v1` output, where that key occurs exactly once.
+fn baseline_median_s(text: &str) -> Result<f64, String> {
+    if !text.contains("unimem-bench-perf/v1") {
+        return Err("baseline is not a unimem-bench-perf/v1 report".into());
+    }
+    let key = "\"median\":";
+    let at = text
+        .find(key)
+        .ok_or_else(|| "baseline has no \"median\" member".to_string())?;
+    let rest = &text[at + key.len()..];
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse::<f64>()
+        .ok()
+        .filter(|m| m.is_finite() && *m > 0.0)
+        .ok_or_else(|| format!("baseline median {num:?} is not a positive number"))
+}
+
+fn main() -> ExitCode {
+    let mut jobs = default_workers();
+    let mut warmup = 1usize;
+    let mut samples = 5usize;
+    let mut out = PathBuf::from("BENCH_perf.json");
+    let mut against: Option<PathBuf> = None;
+    let mut tolerance = 0.20f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--jobs" => match value("--jobs").parse() {
+                Ok(n) if n > 0 => jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--warmup" => match value("--warmup").parse() {
+                Ok(n) => warmup = n,
+                _ => {
+                    eprintln!("--warmup needs an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--samples" => match value("--samples").parse() {
+                Ok(n) if n > 0 => samples = n,
+                _ => {
+                    eprintln!("--samples needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => out = PathBuf::from(value("--out")),
+            "--against" => against = Some(PathBuf::from(value("--against"))),
+            "--tolerance" => match value("--tolerance").parse::<f64>() {
+                Ok(t) if t.is_finite() && t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance needs a non-negative number");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => usage(),
+        }
+    }
+
+    // Read the baseline *before* measuring and writing: `--against` and
+    // `--out` may name the same committed file (refresh-in-place), and
+    // comparing against bytes we just wrote would make the gate vacuous.
+    let baseline = match &against {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match baseline_median_s(&text) {
+                Ok(m) => Some(m),
+                Err(e) => {
+                    eprintln!("bad baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let cfg = SweepConfig::reduced();
+    let run = || match run_sweep_jobs(&cfg, jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("reduced sweep failed: {e}");
+            std::process::exit(2)
+        }
+    };
+
+    println!(
+        "perf: reduced matrix, {jobs} job{}, {warmup} warmup + {samples} samples",
+        if jobs == 1 { "" } else { "s" }
+    );
+    for _ in 0..warmup {
+        run();
+    }
+    let mut wall_ns = Vec::with_capacity(samples);
+    let mut shape = (0usize, 0usize);
+    for i in 0..samples {
+        let t0 = Instant::now();
+        let rep = run();
+        let dt = t0.elapsed();
+        wall_ns.push(dt.as_secs_f64() * 1e9);
+        shape = (rep.cells.len(), rep.corun_cells.len());
+        println!("  sample {}: {:.3} s", i + 1, dt.as_secs_f64());
+    }
+    let s = RobustSummary::from_ns(&wall_ns);
+    let secs = |ns: f64| ns / 1e9;
+    println!(
+        "reduced sweep wall time: median {:.3} s (min {:.3}, max {:.3}; {} of {} samples kept)",
+        secs(s.median_ns),
+        secs(s.min_ns),
+        secs(s.max_ns),
+        s.n_kept,
+        s.n_samples,
+    );
+
+    let mut wall = Json::obj();
+    wall.push("median", secs(s.median_ns))
+        .push("mad", secs(s.mad_ns))
+        .push("min", secs(s.min_ns))
+        .push("max", secs(s.max_ns))
+        .push("mean", secs(s.mean_ns))
+        .push("kept", s.n_kept);
+    let mut doc = Json::obj();
+    doc.push("schema", "unimem-bench-perf/v1")
+        .push("matrix", "reduced")
+        .push("jobs", jobs)
+        .push("warmup", warmup)
+        .push("samples", samples)
+        .push("n_cells", shape.0)
+        .push("n_corun_cells", shape.1)
+        .push("wall_s", wall);
+    if let Err(e) = std::fs::write(&out, doc.to_pretty()) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", out.display());
+
+    if let Some(base) = baseline {
+        let ratio = secs(s.median_ns) / base;
+        println!(
+            "budget: median {:.3} s vs baseline {:.3} s = {:+.1}% (tolerance +{:.0}%)",
+            secs(s.median_ns),
+            base,
+            (ratio - 1.0) * 100.0,
+            tolerance * 100.0,
+        );
+        if ratio > 1.0 + tolerance {
+            eprintln!("perf budget exceeded: reduced sweep regressed past the tolerance");
+            return ExitCode::FAILURE;
+        }
+        println!("perf budget ok");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,45 @@
+//! Refactor guard for the PR-9 hot-path work: the sharded bandwidth
+//! ledger, the lock-free job queue, the in-place rank scheduler, and the
+//! arena-backed object registry must not move a single byte of the
+//! committed `BENCH_sweep.json`.
+//!
+//! The sweep's output is virtual-time and schedule-independent by
+//! construction; these rewrites touch exactly the machinery that could
+//! break that — cross-thread visibility in the ledger, job ordering in
+//! the queue, name storage in the registry. So the guard is maximal:
+//! regenerate the reduced matrix on the serial path (`--jobs 1`) and on
+//! a wide pool (`--jobs 8`, oversubscribed on small hosts on purpose)
+//! and require both to equal the committed baseline byte-for-byte.
+
+use unimem_repro::bench::sweep::{run_sweep_jobs, SweepConfig};
+
+const GOLDEN: &str = include_str!("../BENCH_sweep.json");
+
+fn assert_matches_golden(jobs: usize) {
+    let report = run_sweep_jobs(&SweepConfig::reduced(), jobs).expect("reduced sweep runs");
+    let got = report.to_json().to_pretty();
+    if got != GOLDEN {
+        let line = got
+            .lines()
+            .zip(GOLDEN.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1);
+        panic!(
+            "reduced sweep at {jobs} job(s) diverges from the committed \
+             BENCH_sweep.json ({} vs {} bytes; first differing line: \
+             {line:?}) — the hot-path refactor changed simulated behavior",
+            got.len(),
+            GOLDEN.len(),
+        );
+    }
+}
+
+#[test]
+fn serial_path_reproduces_the_committed_sweep_bytes() {
+    assert_matches_golden(1);
+}
+
+#[test]
+fn wide_pool_reproduces_the_committed_sweep_bytes() {
+    assert_matches_golden(8);
+}

@@ -640,3 +640,56 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Worker-pool identity (the lock-free queue behind the sweep executor and
+// the rank scheduler; see also tests/concurrency_stress.rs).
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary job sets through the lock-free pool reassemble
+    /// byte-identically at every width, on both the read-only path (the
+    /// sweep) and the in-place path (the rank scheduler). The workers
+    /// race over a shared queue, so the *completion* order is arbitrary;
+    /// reassembly by job index must erase it completely.
+    #[test]
+    fn pool_reassembles_byte_identically(
+        items in prop::collection::vec(any::<u64>(), 0..48),
+        width in 1usize..12,
+    ) {
+        use unimem_repro::sim::{run_pool, run_pool_mut};
+        let f = |&x: &u64| -> Result<String, String> {
+            Ok(format!("{:x}", x.wrapping_mul(2654435761).rotate_left((x % 63) as u32)))
+        };
+        let serial: Vec<String> = items.iter().map(|x| f(x).unwrap()).collect();
+        prop_assert_eq!(run_pool(items.clone(), width, f).unwrap(), serial);
+
+        let mut par = items.clone();
+        let mut ser = items.clone();
+        let g = |i: usize, x: &mut u64| {
+            *x = x.rotate_left((i % 64) as u32) ^ i as u64;
+            Ok(*x)
+        };
+        let got = run_pool_mut(&mut par, width, g).unwrap();
+        let want = run_pool_mut(&mut ser, 1, g).unwrap();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(par, ser, "in-place mutations diverged across widths");
+    }
+
+    /// Failures surface deterministically: the lowest failing job index
+    /// wins, whatever the width and whichever worker hit an error first.
+    #[test]
+    fn pool_error_reporting_is_width_independent(
+        items in prop::collection::vec(0u8..4, 1..32),
+        width in 1usize..12,
+    ) {
+        use unimem_repro::sim::run_pool;
+        let f = |&x: &u8| -> Result<u8, String> {
+            if x == 0 { Err("boom".into()) } else { Ok(x) }
+        };
+        let serial = run_pool(items.clone(), 1, f);
+        let wide = run_pool(items.clone(), width, f);
+        prop_assert_eq!(serial, wide);
+    }
+}

@@ -1,17 +1,181 @@
-//! Offline stub of `criterion`: a small wall-clock benchmark harness with
-//! the `Criterion` / `Bencher` API surface the workspace uses. It warms
-//! up, runs the configured number of timed samples, and prints
-//! mean/min/max per benchmark — no statistics engine, plots, or reports.
+//! Offline `criterion`: a real (if small) wall-clock benchmark harness
+//! with the `Criterion` / `Bencher` API surface the workspace uses.
+//!
+//! Unlike the earlier no-op stub, this harness actually measures:
+//!
+//! * **warmup** for the configured `warm_up_time`, using the *minimum*
+//!   observed cost to size iteration batches (one preempted warm-up
+//!   iteration must not collapse the count and leave samples measuring
+//!   timer granularity);
+//! * **fixed iteration batches** — every sample times the same number
+//!   of iterations, so samples are comparable;
+//! * **monotonic timing** via [`std::time::Instant`] behind a [`Clock`]
+//!   abstraction — [`Criterion::with_virtual_clock`] substitutes a
+//!   deterministic virtual clock so the harness's analysis and output
+//!   paths can be tested bit-for-bit;
+//! * **outlier-robust statistics** in [`stats`]: per-sample times are
+//!   summarized by median and MAD (median absolute deviation), with
+//!   outliers rejected by the modified z-score rule before the summary;
+//! * **deterministic JSON output**: [`Criterion::to_json`] serializes
+//!   results in insertion order with shortest-round-trip floats, and
+//!   the `criterion_group!` runner writes it to the path named by the
+//!   `UNIMEM_CRITERION_JSON` environment variable when set (schema
+//!   `unimem-criterion/v1`).
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+pub mod stats {
+    //! Outlier-robust summary statistics over per-sample times.
+    //!
+    //! Wall-clock samples on a shared host are contaminated by
+    //! preemption spikes; mean/min/max summaries swing with them. The
+    //! kernel here is the standard robust pipeline: **median** for
+    //! location, **MAD** (median absolute deviation) for scale, and the
+    //! **modified z-score** rule (Iglewicz & Hoaglin) to reject samples
+    //! more than 3.5 robust deviations from the median before
+    //! summarizing.
+
+    /// Modified z-score threshold beyond which a sample is an outlier.
+    pub const OUTLIER_Z: f64 = 3.5;
+    /// Consistency constant relating MAD to the standard deviation of a
+    /// normal distribution (0.6745 ≈ Φ⁻¹(0.75)).
+    pub const MAD_SCALE: f64 = 0.6745;
+
+    /// Median of `xs`. Panics on an empty slice.
+    pub fn median(xs: &[f64]) -> f64 {
+        assert!(!xs.is_empty(), "median of empty sample set");
+        let mut v = xs.to_vec();
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            0.5 * (v[n / 2 - 1] + v[n / 2])
+        }
+    }
+
+    /// Median absolute deviation of `xs` around its median. Zero for
+    /// single-sample and all-equal inputs.
+    pub fn mad(xs: &[f64]) -> f64 {
+        let m = median(xs);
+        let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+        median(&dev)
+    }
+
+    /// The samples of `xs` that survive modified z-score rejection:
+    /// keep `x` iff `MAD_SCALE * |x - median| / MAD <= OUTLIER_Z`.
+    ///
+    /// Degenerate scale (`MAD == 0`, e.g. all-equal or single-sample
+    /// inputs) keeps exactly the samples equal to the median — any
+    /// deviation from a zero-spread bulk is an outlier by construction.
+    pub fn reject_outliers(xs: &[f64]) -> Vec<f64> {
+        let m = median(xs);
+        let s = mad(xs);
+        xs.iter()
+            .copied()
+            .filter(|x| {
+                if s == 0.0 {
+                    *x == m
+                } else {
+                    MAD_SCALE * (x - m).abs() / s <= OUTLIER_Z
+                }
+            })
+            .collect()
+    }
+
+    /// Robust summary of one benchmark's per-iteration sample times
+    /// (nanoseconds).
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct RobustSummary {
+        /// Samples collected.
+        pub n_samples: usize,
+        /// Samples kept after outlier rejection.
+        pub n_kept: usize,
+        /// Median of the kept samples (ns).
+        pub median_ns: f64,
+        /// MAD of the *full* sample set (ns) — the scale that drove
+        /// rejection, reported so regressions in spread are visible.
+        pub mad_ns: f64,
+        /// Minimum / maximum / mean of the kept samples (ns).
+        pub min_ns: f64,
+        pub max_ns: f64,
+        pub mean_ns: f64,
+    }
+
+    impl RobustSummary {
+        /// Summarize `samples_ns` (per-iteration times in nanoseconds).
+        /// Panics on an empty slice.
+        pub fn from_ns(samples_ns: &[f64]) -> RobustSummary {
+            let kept = reject_outliers(samples_ns);
+            // The median always survives rejection, so `kept` is
+            // non-empty whenever `samples_ns` is.
+            let min = kept.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = kept.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+            RobustSummary {
+                n_samples: samples_ns.len(),
+                n_kept: kept.len(),
+                median_ns: median(&kept),
+                mad_ns: mad(samples_ns),
+                min_ns: min,
+                max_ns: max,
+                mean_ns: mean,
+            }
+        }
+    }
+}
+
+/// Time source for the harness: the real monotonic clock, or a
+/// deterministic virtual clock that advances a fixed step per reading
+/// (every reading observably distinct, no host time involved) — the
+/// hook that makes the measurement/analysis/serialization pipeline
+/// testable bit-for-bit.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// `std::time::Instant` relative to an anchor taken at creation.
+    Monotonic { anchor: Instant },
+    /// Virtual time: advances `step_ns` on every reading.
+    Virtual { step_ns: u64, now_ns: u64 },
+}
+
+impl Clock {
+    fn monotonic() -> Clock {
+        Clock::Monotonic {
+            anchor: Instant::now(),
+        }
+    }
+
+    /// Current reading in nanoseconds. Monotonic by construction in
+    /// both variants.
+    pub fn now_ns(&mut self) -> u64 {
+        match self {
+            Clock::Monotonic { anchor } => anchor.elapsed().as_nanos() as u64,
+            Clock::Virtual { step_ns, now_ns } => {
+                *now_ns += *step_ns;
+                *now_ns
+            }
+        }
+    }
+}
+
+/// One benchmark's recorded result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub id: String,
+    /// Iterations per timed batch (1 for `iter_batched`).
+    pub iters_per_sample: u64,
+    pub summary: stats::RobustSummary,
+}
 
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    clock: Clock,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -20,6 +184,8 @@ impl Default for Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(300),
+            clock: Clock::monotonic(),
+            results: Vec::new(),
         }
     }
 }
@@ -41,24 +207,111 @@ impl Criterion {
         self
     }
 
+    /// Replace the monotonic clock with a deterministic virtual clock
+    /// advancing `step` per reading. Two runs of the same benchmarks
+    /// under the same virtual clock produce byte-identical
+    /// [`Criterion::to_json`] output.
+    pub fn with_virtual_clock(mut self, step: Duration) -> Criterion {
+        let step_ns = step.as_nanos() as u64;
+        assert!(step_ns > 0, "virtual clock step must be non-zero");
+        self.clock = Clock::Virtual { step_ns, now_ns: 0 };
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
     where
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
-            config: self.clone(),
-            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            clock: self.clock.clone(),
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
         };
         f(&mut b);
-        report(id, &b.samples);
+        // Advance the virtual clock past the bench so successive
+        // benchmarks under a pinned clock stay deterministic.
+        self.clock = b.clock.clone();
+        if b.samples_ns.is_empty() {
+            println!("{id:<44} (no samples)");
+            return self;
+        }
+        let summary = stats::RobustSummary::from_ns(&b.samples_ns);
+        println!(
+            "{id:<44} time: [{} {} {}] ({} of {} samples kept)",
+            fmt_ns(summary.min_ns),
+            fmt_ns(summary.median_ns),
+            fmt_ns(summary.max_ns),
+            summary.n_kept,
+            summary.n_samples,
+        );
+        self.results.push(BenchResult {
+            id: id.to_string(),
+            iters_per_sample: b.iters_per_sample,
+            summary,
+        });
         self
+    }
+
+    /// Results recorded so far, in bench order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Deterministic JSON form of every recorded result (schema
+    /// `unimem-criterion/v1`): insertion-ordered keys, shortest
+    /// round-trip floats — identical results serialize to identical
+    /// bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"unimem-criterion/v1\",\n  \"benches\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = &r.summary;
+            out.push_str(&format!(
+                "\n    {{\"id\": {:?}, \"iters_per_sample\": {}, \"samples\": {}, \"kept\": {}, \
+                 \"median_ns\": {}, \"mad_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}}",
+                r.id,
+                r.iters_per_sample,
+                s.n_samples,
+                s.n_kept,
+                fmt_f64(s.median_ns),
+                fmt_f64(s.mad_ns),
+                fmt_f64(s.min_ns),
+                fmt_f64(s.max_ns),
+                fmt_f64(s.mean_ns),
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Write [`Criterion::to_json`] to the path in the
+    /// `UNIMEM_CRITERION_JSON` environment variable, when set. Called
+    /// by the `criterion_group!` runner after its targets finish.
+    pub fn write_json_if_env(&self) {
+        if let Ok(path) = std::env::var("UNIMEM_CRITERION_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = std::fs::write(&path, self.to_json()) {
+                    eprintln!("criterion: cannot write {path}: {e}");
+                }
+            }
+        }
     }
 }
 
 /// Passed to the closure of `bench_function`; `iter*` runs the routine.
 pub struct Bencher {
-    config: Criterion,
-    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    clock: Clock,
+    /// Per-iteration times, one entry per sample (ns).
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,86 +322,85 @@ pub enum BatchSize {
 }
 
 impl Bencher {
-    /// Time `routine` repeatedly; one sample = enough iterations to fill
+    /// Time `routine` repeatedly: warm up, then run `sample_size`
+    /// batches of a fixed iteration count sized so one batch fills
     /// `measurement_time / sample_size`.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up and per-iteration cost estimate. Use the MINIMUM observed
-        // cost: one preempted warm-up iteration must not collapse the
-        // iteration count and leave samples measuring timer granularity.
-        let warm_until = Instant::now() + self.config.warm_up_time;
-        let mut per_iter = Duration::MAX;
+        // Warm-up and per-iteration cost estimate. Use the MINIMUM
+        // observed cost: one preempted warm-up iteration must not
+        // collapse the iteration count and leave samples measuring
+        // timer granularity.
+        let warm_until = self.clock.now_ns() + self.warm_up_time.as_nanos() as u64;
+        let mut per_iter_ns = u64::MAX;
         loop {
-            let t0 = Instant::now();
+            let t0 = self.clock.now_ns();
             black_box(routine());
-            per_iter = per_iter.min(t0.elapsed().max(Duration::from_nanos(1)));
-            if Instant::now() >= warm_until {
+            let t1 = self.clock.now_ns();
+            per_iter_ns = per_iter_ns.min((t1 - t0).max(1));
+            if t1 >= warm_until {
                 break;
             }
         }
-        let budget = self.config.measurement_time / self.config.sample_size as u32;
-        let iters = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
-        self.samples.clear();
-        for _ in 0..self.config.sample_size {
-            let t0 = Instant::now();
+        let budget_ns = self.measurement_time.as_nanos() as u64 / self.sample_size as u64;
+        let iters = (budget_ns / per_iter_ns.max(1)).clamp(1, 1_000_000);
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = self.clock.now_ns();
             for _ in 0..iters {
                 black_box(routine());
             }
-            self.samples.push(t0.elapsed() / iters as u32);
+            let t1 = self.clock.now_ns();
+            self.samples_ns.push((t1 - t0) as f64 / iters as f64);
         }
     }
 
-    /// Batched variant: `setup` output feeds `routine` by value and is not
-    /// included in the timing.
+    /// Batched variant: `setup` output feeds `routine` by value and is
+    /// not included in the timing. One routine call per sample.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        let warm_until = Instant::now() + self.config.warm_up_time;
+        let warm_until = self.clock.now_ns() + self.warm_up_time.as_nanos() as u64;
         loop {
             let input = setup();
             black_box(routine(input));
-            if Instant::now() >= warm_until {
+            if self.clock.now_ns() >= warm_until {
                 break;
             }
         }
-        self.samples.clear();
-        for _ in 0..self.config.sample_size {
+        self.iters_per_sample = 1;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
             let input = setup();
-            let t0 = Instant::now();
+            let t0 = self.clock.now_ns();
             black_box(routine(input));
-            self.samples.push(t0.elapsed());
+            let t1 = self.clock.now_ns();
+            self.samples_ns.push((t1 - t0) as f64);
         }
     }
 }
 
-fn report(id: &str, samples: &[Duration]) {
-    if samples.is_empty() {
-        println!("{id:<44} (no samples)");
-        return;
+/// Shortest-round-trip float formatting (`1.5`, not `1.5000000`);
+/// integral values keep a trailing `.0` so the field stays a float.
+fn fmt_f64(x: f64) -> String {
+    if x == x.trunc() && x.is_finite() {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
     }
-    let total: Duration = samples.iter().sum();
-    let mean = total / samples.len() as u32;
-    let min = samples.iter().min().expect("non-empty");
-    let max = samples.iter().max().expect("non-empty");
-    println!(
-        "{id:<44} time: [{} {} {}]",
-        fmt_dur(*min),
-        fmt_dur(mean),
-        fmt_dur(*max)
-    );
 }
 
-fn fmt_dur(d: Duration) -> String {
-    let ns = d.as_nanos();
-    if ns < 1_000 {
-        format!("{ns} ns")
-    } else if ns < 1_000_000 {
-        format!("{:.2} µs", ns as f64 / 1e3)
-    } else if ns < 1_000_000_000 {
-        format!("{:.2} ms", ns as f64 / 1e6)
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
     } else {
-        format!("{:.2} s", ns as f64 / 1e9)
+        format!("{:.2} s", ns / 1e9)
     }
 }
 
@@ -158,6 +410,7 @@ macro_rules! criterion_group {
         pub fn $name() {
             let mut criterion = $config;
             $($target(&mut criterion);)+
+            criterion.write_json_if_env();
         }
     };
     ($name:ident, $($target:path),+ $(,)?) => {
@@ -180,6 +433,7 @@ macro_rules! criterion_main {
 
 #[cfg(test)]
 mod tests {
+    use super::stats::*;
     use super::*;
 
     #[test]
@@ -194,6 +448,10 @@ mod tests {
             ran = true;
         });
         assert!(ran);
+        let r = &c.results()[0];
+        assert_eq!(r.summary.n_samples, 3);
+        assert!(r.summary.n_kept >= 1);
+        assert!(r.summary.median_ns > 0.0);
     }
 
     #[test]
@@ -205,5 +463,97 @@ mod tests {
         c.bench_function("batched", |b| {
             b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput);
         });
+        assert_eq!(c.results()[0].iters_per_sample, 1);
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_single() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 3.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_rejects_empty_input() {
+        median(&[]);
+    }
+
+    #[test]
+    fn mad_known_fixture() {
+        // Median 3, |x - 3| = [2, 1, 0, 1, 6], MAD = 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 9.0]), 1.0);
+        assert_eq!(mad(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(mad(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn outlier_rejection_drops_the_spike_and_only_the_spike() {
+        let xs = [10.0, 11.0, 10.5, 9.5, 10.2, 500.0];
+        let kept = reject_outliers(&xs);
+        assert_eq!(kept, vec![10.0, 11.0, 10.5, 9.5, 10.2]);
+    }
+
+    #[test]
+    fn all_equal_samples_all_survive() {
+        let xs = [4.0; 8];
+        assert_eq!(reject_outliers(&xs).len(), 8);
+        let s = RobustSummary::from_ns(&xs);
+        assert_eq!(s.n_kept, 8);
+        assert_eq!(s.median_ns, 4.0);
+        assert_eq!(s.mad_ns, 0.0);
+        assert_eq!(s.min_ns, 4.0);
+        assert_eq!(s.max_ns, 4.0);
+        assert_eq!(s.mean_ns, 4.0);
+    }
+
+    #[test]
+    fn single_sample_summary_is_itself() {
+        let s = RobustSummary::from_ns(&[42.0]);
+        assert_eq!(s.n_samples, 1);
+        assert_eq!(s.n_kept, 1);
+        assert_eq!(s.median_ns, 42.0);
+        assert_eq!(s.mad_ns, 0.0);
+    }
+
+    #[test]
+    fn zero_mad_keeps_only_the_bulk() {
+        // Spread is zero except one sample: the deviant is an outlier.
+        let xs = [2.0, 2.0, 2.0, 2.0, 3.0];
+        let kept = reject_outliers(&xs);
+        assert_eq!(kept, vec![2.0, 2.0, 2.0, 2.0]);
+    }
+
+    fn virtual_run() -> String {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_micros(50))
+            .warm_up_time(Duration::from_micros(10))
+            .with_virtual_clock(Duration::from_micros(1));
+        c.bench_function("pinned_a", |b| b.iter(|| black_box(2 + 2)));
+        c.bench_function("pinned_b", |b| {
+            b.iter_batched(|| 7u64, |v| v * v, BatchSize::SmallInput)
+        });
+        c.to_json()
+    }
+
+    #[test]
+    fn pinned_virtual_clock_emits_identical_json() {
+        let a = virtual_run();
+        let b = virtual_run();
+        assert_eq!(a, b, "virtual-clock runs must serialize identically");
+        assert!(a.contains("\"schema\": \"unimem-criterion/v1\""));
+        assert!(a.contains("\"id\": \"pinned_a\""));
+        assert!(a.contains("median_ns"));
+    }
+
+    #[test]
+    fn virtual_clock_advances_fixed_steps() {
+        let mut clk = Clock::Virtual {
+            step_ns: 10,
+            now_ns: 0,
+        };
+        assert_eq!(clk.now_ns(), 10);
+        assert_eq!(clk.now_ns(), 20);
     }
 }

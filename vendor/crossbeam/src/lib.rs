@@ -1,9 +1,284 @@
-//! Offline stub of `crossbeam`: the `channel` module the workspace uses,
-//! implemented as a real MPMC queue (`Mutex<VecDeque>` + `Condvar`) rather
-//! than a wrapper over `std::sync::mpsc`. Any number of `Sender` and
-//! `Receiver` clones share one FIFO queue; disconnection semantics match
-//! upstream crossbeam: `send` fails once every receiver is gone, `recv`
-//! fails once the queue is empty and every sender is gone.
+//! Offline stub of `crossbeam`: the two modules the workspace uses.
+//!
+//! * [`channel`] — a blocking MPMC channel (`Mutex<VecDeque>` + `Condvar`)
+//!   with upstream disconnect semantics: `send` fails once every receiver
+//!   is gone, `recv` fails once the queue is empty and every sender is
+//!   gone. Used where a consumer must *park* (the HMS helper thread).
+//! * [`queue`] — a lock-free bounded MPMC [`queue::ArrayQueue`] (Vyukov
+//!   sequence-stamped ring buffer), matching upstream
+//!   `crossbeam::queue::ArrayQueue`'s API. Used by the `unimem_sim`
+//!   worker pool, where producers enqueue everything up front and workers
+//!   spin-pop until empty — no parking needed, no lock wanted.
+
+pub mod queue {
+    //! Lock-free bounded MPMC queue.
+    //!
+    //! The classic Vyukov design: a power-of-anything ring of slots, each
+    //! carrying an atomic *sequence stamp*. A slot whose stamp equals the
+    //! current tail ticket is free to write; one whose stamp equals
+    //! `head + 1` holds a value ready to pop. Producers and consumers
+    //! claim tickets with a CAS on `tail`/`head` and then touch only
+    //! their own slot, so contention is a single CAS — there is no lock
+    //! to convoy behind and a preempted thread only delays the slot it
+    //! already claimed, never the whole queue.
+
+    use std::cell::UnsafeCell;
+    use std::fmt;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Slot<T> {
+        /// Ticket parity: `index` when empty/writable, `index + 1` when
+        /// full/readable, advancing by `capacity` per lap.
+        stamp: AtomicUsize,
+        value: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    /// A bounded lock-free multi-producer multi-consumer queue.
+    pub struct ArrayQueue<T> {
+        head: AtomicUsize,
+        tail: AtomicUsize,
+        buffer: Box<[Slot<T>]>,
+    }
+
+    // Values move through the queue across threads; the queue itself is
+    // shared by reference from all of them.
+    unsafe impl<T: Send> Send for ArrayQueue<T> {}
+    unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+    impl<T> ArrayQueue<T> {
+        /// An empty queue holding at most `cap` items.
+        ///
+        /// # Panics
+        /// Panics if `cap` is zero.
+        pub fn new(cap: usize) -> ArrayQueue<T> {
+            assert!(cap > 0, "ArrayQueue capacity must be non-zero");
+            ArrayQueue {
+                head: AtomicUsize::new(0),
+                tail: AtomicUsize::new(0),
+                buffer: (0..cap)
+                    .map(|i| Slot {
+                        stamp: AtomicUsize::new(i),
+                        value: UnsafeCell::new(MaybeUninit::uninit()),
+                    })
+                    .collect(),
+            }
+        }
+
+        /// Maximum number of items the queue holds.
+        pub fn capacity(&self) -> usize {
+            self.buffer.len()
+        }
+
+        /// Attempt to enqueue, handing `value` back if the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let cap = self.buffer.len();
+            let mut tail = self.tail.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.buffer[tail % cap];
+                let stamp = slot.stamp.load(Ordering::Acquire);
+                if stamp == tail {
+                    // The slot is free at this ticket: claim the ticket,
+                    // then we own the slot exclusively.
+                    match self.tail.compare_exchange_weak(
+                        tail,
+                        tail + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            unsafe { (*slot.value.get()).write(value) };
+                            // Publish: stamp `tail + 1` marks "readable".
+                            slot.stamp.store(tail + 1, Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(t) => tail = t,
+                    }
+                } else if stamp < tail {
+                    // A full lap behind: the consumer for the previous
+                    // lap hasn't freed the slot, so the queue is full —
+                    // unless tail moved while we looked.
+                    let now = self.tail.load(Ordering::Relaxed);
+                    if now == tail {
+                        return Err(value);
+                    }
+                    tail = now;
+                } else {
+                    // Another producer claimed this ticket; reload.
+                    tail = self.tail.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Attempt to dequeue; `None` when the queue is empty.
+        pub fn pop(&self) -> Option<T> {
+            let cap = self.buffer.len();
+            let mut head = self.head.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.buffer[head % cap];
+                let stamp = slot.stamp.load(Ordering::Acquire);
+                if stamp == head + 1 {
+                    // The slot holds the value for this ticket: claim it.
+                    match self.head.compare_exchange_weak(
+                        head,
+                        head + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            // Free the slot for the producer one lap out.
+                            slot.stamp.store(head + cap, Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(h) => head = h,
+                    }
+                } else if stamp <= head {
+                    // The producer for this ticket hasn't published yet:
+                    // the queue is empty — unless head moved meanwhile.
+                    let now = self.head.load(Ordering::Relaxed);
+                    if now == head {
+                        return None;
+                    }
+                    head = now;
+                } else {
+                    // Another consumer claimed this ticket; reload.
+                    head = self.head.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Whether the queue is empty at the instant of the call.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Number of items at the instant of the call (racy under
+        /// concurrent use, exact when quiescent).
+        pub fn len(&self) -> usize {
+            let tail = self.tail.load(Ordering::SeqCst);
+            let head = self.head.load(Ordering::SeqCst);
+            tail.saturating_sub(head)
+        }
+    }
+
+    impl<T> Drop for ArrayQueue<T> {
+        fn drop(&mut self) {
+            // &mut self: no concurrent access; drain whatever remains.
+            while self.pop().is_some() {}
+        }
+    }
+
+    impl<T> fmt::Debug for ArrayQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("ArrayQueue")
+                .field("capacity", &self.capacity())
+                .field("len", &self.len())
+                .finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_capacity() {
+            let q = ArrayQueue::new(4);
+            assert!(q.is_empty());
+            for i in 0..4 {
+                q.push(i).unwrap();
+            }
+            assert_eq!(q.len(), 4);
+            assert_eq!(q.push(99), Err(99), "full queue must reject");
+            for i in 0..4 {
+                assert_eq!(q.pop(), Some(i));
+            }
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn wraps_around_many_laps() {
+            let q = ArrayQueue::new(3);
+            for lap in 0u64..100 {
+                for i in 0..3 {
+                    q.push(lap * 3 + i).unwrap();
+                }
+                for i in 0..3 {
+                    assert_eq!(q.pop(), Some(lap * 3 + i));
+                }
+            }
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn drop_releases_unpopped_items() {
+            let item = std::sync::Arc::new(());
+            let q = ArrayQueue::new(8);
+            for _ in 0..5 {
+                q.push(std::sync::Arc::clone(&item)).unwrap();
+            }
+            drop(q);
+            assert_eq!(std::sync::Arc::strong_count(&item), 1);
+        }
+
+        #[test]
+        fn concurrent_producers_and_consumers_lose_nothing() {
+            const PER: u64 = 2000;
+            const PRODUCERS: u64 = 3;
+            let q = ArrayQueue::new(16);
+            let done = AtomicUsize::new(0);
+            let sums: Vec<u64> = std::thread::scope(|s| {
+                for p in 0..PRODUCERS {
+                    let q = &q;
+                    let done = &done;
+                    s.spawn(move || {
+                        for i in 0..PER {
+                            let mut v = p * PER + i;
+                            loop {
+                                match q.push(v) {
+                                    Ok(()) => break,
+                                    Err(back) => {
+                                        v = back;
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            }
+                        }
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                let consumers: Vec<_> = (0..3)
+                    .map(|_| {
+                        let q = &q;
+                        let done = &done;
+                        s.spawn(move || {
+                            let mut sum = 0u64;
+                            loop {
+                                match q.pop() {
+                                    Some(v) => sum += v,
+                                    None => {
+                                        if done.load(Ordering::SeqCst) == PRODUCERS as usize
+                                            && q.is_empty()
+                                        {
+                                            break;
+                                        }
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            }
+                            sum
+                        })
+                    })
+                    .collect();
+                consumers.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let total: u64 = sums.iter().sum();
+            let n = PRODUCERS * PER;
+            assert_eq!(total, n * (n - 1) / 2, "items lost or duplicated");
+        }
+    }
+}
 
 pub mod channel {
     use std::collections::VecDeque;
