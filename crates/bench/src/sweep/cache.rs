@@ -1,0 +1,811 @@
+//! Content-addressed on-disk cell cache: the cross-run half of the
+//! sweep's incremental-reuse layer (ROADMAP item 4).
+//!
+//! Growing the matrix re-runs every cell from scratch even when only one
+//! axis value was added. This module makes sweep results **reusable
+//! across runs**: every `(workload, policy, profile, ranks, layout,
+//! topology)` cell — and every `(profile, mix)` co-run group — is keyed
+//! by a digest of its *canonical configuration document*, and finished
+//! results are persisted under that digest. A later sweep that contains
+//! the same cell loads the result instead of recomputing it, so adding
+//! `nodes256` to yesterday's matrix costs only the new cells.
+//!
+//! Three design rules keep the cache invisible in the output:
+//!
+//! * **Byte-identity.** A warm sweep must serialize byte-identically to a
+//!   cold one. Cached payloads therefore carry the cell's *raw* state
+//!   (including the non-serialized `overlapped`/`exposed` migration
+//!   durations that `RunStats::to_json` only exposes as a derived
+//!   percentage) so reconstruction is exact, not approximate. The
+//!   integration property tests assert `cold == warm` on the serialized
+//!   report text.
+//! * **Conservative keys.** The key document includes the cache schema
+//!   ([`SCHEMA`]), the sweep report schema ([`crate::sweep::report::SCHEMA`]),
+//!   an engine fingerprint ([`ENGINE_FINGERPRINT`]) bumped on any
+//!   behavior-affecting engine change, and a caller salt — any of them
+//!   changing strands old entries harmlessly (content-addressing means
+//!   they are simply never looked up again). FNV-1a is not
+//!   cryptographic, so the full canonical key text is stored inside the
+//!   entry and compared on load; a digest collision degrades to a miss,
+//!   never to wrong data.
+//! * **Corruption is a miss.** Entries are framed with the redo
+//!   journal's discipline — magic, length, FNV-1a-64 checksum — and any
+//!   verification failure (truncation, bit flip, bad magic, unparsable
+//!   payload, key mismatch) logs a warning and falls back to
+//!   recomputation. A corrupt cache can cost time, never correctness.
+//!
+//! Entries are written atomically (temp file + rename) so a crashed
+//! sweep leaves either a complete entry or none.
+
+use crate::sweep::matrix::{NvmProfile, PolicyKind, SweepConfig, TopologySpec};
+use crate::sweep::report::SCHEMA as SWEEP_SCHEMA;
+use crate::sweep::runner::{CorunCell, SweepCell};
+use std::io;
+use std::path::{Path, PathBuf};
+use unimem::exec::RunReport;
+use unimem::search::SearchKind;
+use unimem::stats::RunStats;
+use unimem_hms::arbiter::ArbiterPolicy;
+use unimem_hms::migration::MigrationStats;
+use unimem_sim::{json_digest_hex, Bytes, Fnv64, Json, VDur};
+use unimem_workloads::corun::CorunMix;
+
+/// Cache entry schema tag; part of every key document. Bump when the
+/// entry payload layout changes.
+pub const SCHEMA: &str = "unimem-sweep-cache/v1";
+
+/// Engine fingerprint; part of every key document. Bump whenever a
+/// change anywhere in the execution engine (simulator, runtime model,
+/// policies, workload models, machine profiles) can alter any cell's
+/// numbers — stale entries then become unreachable instead of wrong.
+pub const ENGINE_FINGERPRINT: &str = "unimem-engine/pr10";
+
+/// On-disk entry magic ("UNIMEMSC" — UNIMEM Sweep Cache).
+const MAGIC: &[u8; 8] = b"UNIMEMSC";
+
+/// Framed header size: magic (8) + payload length (4) + FNV-1a-64 (8).
+const HEADER_LEN: usize = 20;
+
+/// A content-addressed store of finished sweep cells under one
+/// directory. Cheap to construct; all state is on disk.
+#[derive(Debug, Clone)]
+pub struct SweepCache {
+    dir: PathBuf,
+    salt: String,
+}
+
+impl SweepCache {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SweepCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SweepCache {
+            dir,
+            salt: String::new(),
+        })
+    }
+
+    /// Replace the key salt (default empty). Every distinct salt is a
+    /// disjoint key space inside the same directory — the property tests
+    /// use this to prove a salt change forces a 0% hit rate.
+    pub fn with_salt(mut self, salt: impl Into<String>) -> SweepCache {
+        self.salt = salt.into();
+        self
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active key salt.
+    pub fn salt(&self) -> &str {
+        &self.salt
+    }
+
+    /// Key for one single-tenant cell. `ranks_per_node` is the *row*
+    /// layout (clustered rooms derive their real packing from the
+    /// topology, so the row value identifies the configuration).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn cell_key(
+        &self,
+        cfg: &SweepConfig,
+        workload: &str,
+        policy: PolicyKind,
+        profile: NvmProfile,
+        nranks: usize,
+        ranks_per_node: usize,
+        topology: &TopologySpec,
+    ) -> CacheKey {
+        let mut doc = key_preamble("cell", &self.salt, cfg);
+        doc.push("workload", workload)
+            .push("policy", policy.name())
+            .push("profile", profile.name())
+            .push("nranks", nranks)
+            .push("ranks_per_node", ranks_per_node)
+            .push("topology", topology.name());
+        CacheKey::of(doc, "cell")
+    }
+
+    /// Key for one co-run group: a `(profile, mix)` pair covering every
+    /// arbiter in `cfg.arbiters` (the group is the unit of execution, so
+    /// it is also the unit of caching). The member slots and the arbiter
+    /// list are spelled out because both shape the results.
+    pub(crate) fn corun_key(
+        &self,
+        cfg: &SweepConfig,
+        mix: &CorunMix,
+        profile: NvmProfile,
+        nranks: usize,
+    ) -> CacheKey {
+        let mut doc = key_preamble("corun", &self.salt, cfg);
+        let members: Vec<Json> = mix
+            .members
+            .iter()
+            .map(|m| {
+                let mut o = Json::obj();
+                o.push("workload", m.workload.as_str())
+                    .push("tenant", m.tenant.as_str())
+                    .push("weight", u64::from(m.weight))
+                    .push("start_epoch", m.start_epoch);
+                o
+            })
+            .collect();
+        let arbiters: Vec<Json> = cfg.arbiters.iter().map(|a| Json::from(a.name())).collect();
+        doc.push("mix", mix.label())
+            .push("members", members)
+            .push("arbiters", arbiters)
+            .push("profile", profile.name())
+            .push("nranks", nranks);
+        CacheKey::of(doc, "corun")
+    }
+
+    /// Look a cell up. `None` on miss — silently when the entry does not
+    /// exist, with a stderr warning when it exists but fails
+    /// verification (the caller recomputes either way).
+    pub(crate) fn load_cell(&self, key: &CacheKey) -> Option<SweepCell> {
+        self.load(key, "cell", cell_from_json)
+    }
+
+    /// Persist a finished cell under its key. Write failures warn and
+    /// drop the entry: a read-only or full cache directory degrades the
+    /// cache to a no-op, it does not fail the sweep.
+    pub(crate) fn store_cell(&self, key: &CacheKey, cell: &SweepCell) {
+        self.store(key, "cell", cell_to_json(cell));
+    }
+
+    /// Look a co-run group up (all arbiters × tenants of one
+    /// `(profile, mix)` pair, in canonical order).
+    pub(crate) fn load_corun(&self, key: &CacheKey) -> Option<Vec<CorunCell>> {
+        self.load(key, "cells", |v| {
+            let items = v.as_arr().ok_or("\"cells\" is not an array")?;
+            items.iter().map(corun_cell_from_json).collect()
+        })
+    }
+
+    /// Persist a finished co-run group under its key.
+    pub(crate) fn store_corun(&self, key: &CacheKey, cells: &[CorunCell]) {
+        let items: Vec<Json> = cells.iter().map(corun_cell_to_json).collect();
+        self.store(key, "cells", Json::from(items));
+    }
+
+    fn load<T>(
+        &self,
+        key: &CacheKey,
+        member: &str,
+        decode: impl FnOnce(&Json) -> Result<T, String>,
+    ) -> Option<T> {
+        let path = key.path_in(&self.dir);
+        let doc = match read_entry(&path, &key.canon) {
+            Ok(doc) => doc,
+            Err(ReadError::Missing) => return None,
+            Err(ReadError::Corrupt(why)) => {
+                eprintln!(
+                    "sweep cache: discarding corrupt entry {}: {why}",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        match doc
+            .get(member)
+            .ok_or_else(|| format!("entry has no {member:?} member"))
+            .and_then(decode)
+        {
+            Ok(value) => Some(value),
+            Err(why) => {
+                eprintln!(
+                    "sweep cache: discarding corrupt entry {}: {why}",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: &CacheKey, member: &str, value: Json) {
+        let mut doc = Json::obj();
+        doc.push("key", key.doc.clone()).push(member, value);
+        let path = key.path_in(&self.dir);
+        if let Err(e) = write_entry(&path, &doc) {
+            eprintln!("sweep cache: failed to write {}: {e}", path.display());
+        }
+    }
+}
+
+/// The shared head of every key document: schemas, fingerprint, salt,
+/// and the config axes that apply to every cell kind (workload class and
+/// the DRAM-capacity override reshape every machine).
+fn key_preamble(entry: &str, salt: &str, cfg: &SweepConfig) -> Json {
+    let mut doc = Json::obj();
+    doc.push("entry", entry)
+        .push("cache", SCHEMA)
+        .push("sweep", SWEEP_SCHEMA)
+        .push("engine", ENGINE_FINGERPRINT)
+        .push("salt", salt)
+        .push("class", cfg.class.name())
+        .push(
+            "dram_capacity",
+            match cfg.dram_capacity {
+                Some(b) => Json::UInt(b.0),
+                None => Json::Null,
+            },
+        );
+    doc
+}
+
+/// A derived cache key: the canonical key document, its compact text
+/// (stored in the entry and compared on load — the collision guard), and
+/// the digest that names the entry file.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheKey {
+    doc: Json,
+    canon: String,
+    hex: String,
+    kind: &'static str,
+}
+
+impl CacheKey {
+    fn of(doc: Json, kind: &'static str) -> CacheKey {
+        let canon = doc.to_compact();
+        let hex = json_digest_hex(&doc);
+        CacheKey {
+            doc,
+            canon,
+            hex,
+            kind,
+        }
+    }
+
+    fn path_in(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("{}.{}", self.hex, self.kind))
+    }
+}
+
+/// FNV-1a-64 over the payload bytes — the journal's checksum, reused as
+/// the entry framing checksum.
+fn crc64(payload: &[u8]) -> u64 {
+    Fnv64::new().update(payload).finish()
+}
+
+/// Write one framed entry atomically: temp file in the same directory,
+/// then rename over the final name.
+fn write_entry(path: &Path, doc: &Json) -> io::Result<()> {
+    let payload = doc.to_compact().into_bytes();
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc64(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &buf)?;
+    std::fs::rename(&tmp, path)
+}
+
+enum ReadError {
+    /// No entry on disk — the silent miss.
+    Missing,
+    /// An entry exists but failed verification — warn, then miss.
+    Corrupt(String),
+}
+
+/// Read and verify one framed entry: magic, exact length, checksum,
+/// UTF-8, JSON, and key equality against `expected_canon`.
+fn read_entry(path: &Path, expected_canon: &str) -> Result<Json, ReadError> {
+    use ReadError::Corrupt;
+    let buf = match std::fs::read(path) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(ReadError::Missing),
+        Err(e) => return Err(Corrupt(format!("read failed: {e}"))),
+    };
+    if buf.len() < HEADER_LEN {
+        return Err(Corrupt(format!("truncated header ({} bytes)", buf.len())));
+    }
+    if &buf[..8] != MAGIC {
+        return Err(Corrupt("bad magic".into()));
+    }
+    let len = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) as usize;
+    let crc = u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes"));
+    let payload = &buf[HEADER_LEN..];
+    if payload.len() != len {
+        return Err(Corrupt(format!(
+            "length mismatch (header says {len}, file holds {})",
+            payload.len()
+        )));
+    }
+    if crc64(payload) != crc {
+        return Err(Corrupt("checksum mismatch".into()));
+    }
+    let text = std::str::from_utf8(payload).map_err(|e| Corrupt(format!("not UTF-8: {e}")))?;
+    let doc = Json::parse(text).map_err(|e| Corrupt(format!("unparsable payload: {e}")))?;
+    let key = doc
+        .get("key")
+        .ok_or_else(|| Corrupt("entry has no \"key\" member".into()))?;
+    if key.to_compact() != expected_canon {
+        return Err(Corrupt(
+            "key mismatch (digest collision or misnamed file)".into(),
+        ));
+    }
+    Ok(doc)
+}
+
+// ---------------------------------------------------------------------
+// Full-fidelity (de)serialization.
+//
+// `RunStats::to_json` (the report path) derives `overlap_pct` and drops
+// the raw overlapped/exposed durations; reconstruction from the report
+// form would not be exact. The cache therefore carries every raw field
+// and nothing derived — decode(encode(x)) rebuilds `x` so the warm
+// report serializes byte-identically to the cold one.
+// ---------------------------------------------------------------------
+
+fn stats_to_json(s: &RunStats) -> Json {
+    let mut o = Json::obj();
+    o.push("total_time_s", s.total_time)
+        .push("app_time_s", s.app_time)
+        .push("profiling_overhead_s", s.profiling_overhead)
+        .push("modeling_overhead_s", s.modeling_overhead)
+        .push("sync_overhead_s", s.sync_overhead)
+        .push("migration_stall_s", s.migration_stall)
+        .push("contention_time_s", s.contention_time)
+        .push("neighbor_contention_time_s", s.neighbor_contention_time)
+        .push("mig_count", s.migrations.count)
+        .push("mig_bytes", s.migrations.bytes)
+        .push("mig_to_dram", s.migrations.to_dram_count)
+        .push("mig_to_nvm", s.migrations.to_nvm_count)
+        .push("mig_overlapped_s", s.migrations.overlapped)
+        .push("mig_exposed_s", s.migrations.exposed)
+        .push("reprofiles", s.reprofiles)
+        .push("lease_replans", s.lease_replans)
+        .push("iterations", s.iterations);
+    o
+}
+
+fn stats_from_json(v: &Json) -> Result<RunStats, String> {
+    Ok(RunStats {
+        total_time: vdur(v, "total_time_s")?,
+        app_time: vdur(v, "app_time_s")?,
+        profiling_overhead: vdur(v, "profiling_overhead_s")?,
+        modeling_overhead: vdur(v, "modeling_overhead_s")?,
+        sync_overhead: vdur(v, "sync_overhead_s")?,
+        migration_stall: vdur(v, "migration_stall_s")?,
+        contention_time: vdur(v, "contention_time_s")?,
+        neighbor_contention_time: vdur(v, "neighbor_contention_time_s")?,
+        migrations: MigrationStats {
+            count: uint(v, "mig_count")?,
+            bytes: Bytes(uint(v, "mig_bytes")?),
+            to_dram_count: uint(v, "mig_to_dram")?,
+            to_nvm_count: uint(v, "mig_to_nvm")?,
+            overlapped: vdur(v, "mig_overlapped_s")?,
+            exposed: vdur(v, "mig_exposed_s")?,
+        },
+        reprofiles: uint(v, "reprofiles")?,
+        lease_replans: uint(v, "lease_replans")?,
+        iterations: uint(v, "iterations")?,
+    })
+}
+
+fn report_to_json(r: &RunReport) -> Json {
+    let per_rank: Vec<Json> = r.per_rank.iter().map(stats_to_json).collect();
+    let mut o = Json::obj();
+    o.push("workload", r.workload.as_str())
+        .push("policy", r.policy.as_str())
+        .push(
+            "plan_kind",
+            match r.plan_kind {
+                Some(k) => Json::from(k.name()),
+                None => Json::Null,
+            },
+        )
+        .push("job", stats_to_json(&r.job))
+        .push("per_rank", per_rank);
+    o
+}
+
+fn report_from_json(v: &Json) -> Result<RunReport, String> {
+    let plan_kind = match field(v, "plan_kind")? {
+        Json::Null => None,
+        Json::Str(s) => {
+            Some(SearchKind::from_name(s).ok_or_else(|| format!("unknown plan kind {s:?}"))?)
+        }
+        other => return Err(format!("plan_kind is neither null nor a string: {other:?}")),
+    };
+    let per_rank = field(v, "per_rank")?
+        .as_arr()
+        .ok_or("per_rank is not an array")?
+        .iter()
+        .map(stats_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(RunReport {
+        workload: string(v, "workload")?,
+        policy: string(v, "policy")?,
+        per_rank,
+        job: stats_from_json(field(v, "job")?)?,
+        plan_kind,
+    })
+}
+
+fn cell_to_json(c: &SweepCell) -> Json {
+    let mut o = Json::obj();
+    o.push("workload", c.workload.as_str())
+        .push("full_name", c.full_name.as_str())
+        .push("policy", c.policy.name())
+        .push("profile", c.profile.name())
+        .push("nranks", c.nranks)
+        .push("ranks_per_node", c.ranks_per_node)
+        .push("topology", c.topology.name())
+        .push("normalized_to_dram", c.normalized_to_dram)
+        .push("report", report_to_json(&c.report));
+    o
+}
+
+fn cell_from_json(v: &Json) -> Result<SweepCell, String> {
+    let policy = string(v, "policy")?;
+    let profile = string(v, "profile")?;
+    let topology = string(v, "topology")?;
+    Ok(SweepCell {
+        workload: string(v, "workload")?,
+        full_name: string(v, "full_name")?,
+        policy: PolicyKind::from_name(&policy)
+            .ok_or_else(|| format!("unknown policy {policy:?}"))?,
+        profile: NvmProfile::parse(&profile)
+            .ok_or_else(|| format!("unknown profile {profile:?}"))?,
+        nranks: uint(v, "nranks")? as usize,
+        ranks_per_node: uint(v, "ranks_per_node")? as usize,
+        topology: TopologySpec::parse(&topology)
+            .ok_or_else(|| format!("unknown topology {topology:?}"))?,
+        normalized_to_dram: float(v, "normalized_to_dram")?,
+        report: report_from_json(field(v, "report")?)?,
+    })
+}
+
+fn corun_cell_to_json(c: &CorunCell) -> Json {
+    let mut o = Json::obj();
+    o.push("mix", c.mix.as_str())
+        .push("workload", c.workload.as_str())
+        .push("tenant", c.tenant.as_str())
+        .push("weight", u64::from(c.weight))
+        .push("start_epoch", c.start_epoch)
+        .push("arbiter", c.arbiter.name())
+        .push("profile", c.profile.name())
+        .push("nranks", c.nranks)
+        .push("solo_time_s", c.solo_time_s)
+        .push("slowdown", c.slowdown)
+        .push("lease_min", c.lease_min)
+        .push("lease_max", c.lease_max)
+        .push("report", report_to_json(&c.report));
+    o
+}
+
+fn corun_cell_from_json(v: &Json) -> Result<CorunCell, String> {
+    let arbiter = string(v, "arbiter")?;
+    let profile = string(v, "profile")?;
+    Ok(CorunCell {
+        mix: string(v, "mix")?,
+        workload: string(v, "workload")?,
+        tenant: string(v, "tenant")?,
+        weight: u32::try_from(uint(v, "weight")?).map_err(|_| "weight exceeds u32")?,
+        start_epoch: uint(v, "start_epoch")? as usize,
+        arbiter: ArbiterPolicy::parse(&arbiter)
+            .ok_or_else(|| format!("unknown arbiter {arbiter:?}"))?,
+        profile: NvmProfile::parse(&profile)
+            .ok_or_else(|| format!("unknown profile {profile:?}"))?,
+        nranks: uint(v, "nranks")? as usize,
+        solo_time_s: float(v, "solo_time_s")?,
+        slowdown: float(v, "slowdown")?,
+        lease_min: Bytes(uint(v, "lease_min")?),
+        lease_max: Bytes(uint(v, "lease_max")?),
+        report: report_from_json(field(v, "report")?)?,
+    })
+}
+
+// Field accessors that name the missing/mistyped member in the error —
+// every decode error surfaces verbatim in the corrupt-entry warning.
+
+fn field<'a>(v: &'a Json, k: &str) -> Result<&'a Json, String> {
+    v.get(k).ok_or_else(|| format!("missing member {k:?}"))
+}
+
+fn string(v: &Json, k: &str) -> Result<String, String> {
+    field(v, k)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("member {k:?} is not a string"))
+}
+
+fn uint(v: &Json, k: &str) -> Result<u64, String> {
+    field(v, k)?
+        .as_u64()
+        .ok_or_else(|| format!("member {k:?} is not an unsigned integer"))
+}
+
+fn float(v: &Json, k: &str) -> Result<f64, String> {
+    field(v, k)?
+        .as_f64()
+        .ok_or_else(|| format!("member {k:?} is not a number"))
+}
+
+fn vdur(v: &Json, k: &str) -> Result<VDur, String> {
+    Ok(VDur(float(v, k)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use unimem_workloads::Class;
+
+    fn tmp_dir() -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "unimem-sweep-cache-test-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample_stats(seed: u64) -> RunStats {
+        let f = seed as f64;
+        RunStats {
+            total_time: VDur(10.125 + f),
+            app_time: VDur(8.0625 + f),
+            profiling_overhead: VDur(0.031 + f / 7.0),
+            modeling_overhead: VDur(0.011),
+            sync_overhead: VDur(0.007),
+            migration_stall: VDur(0.503),
+            contention_time: VDur(0.101),
+            neighbor_contention_time: VDur(0.041),
+            migrations: MigrationStats {
+                count: 12 + seed,
+                bytes: Bytes(u64::MAX - 3 - seed), // above 2^53: must not round through f64
+                to_dram_count: 7,
+                to_nvm_count: 5 + seed,
+                overlapped: VDur(0.375),
+                exposed: VDur(0.128 + f / 3.0),
+            },
+            reprofiles: 2,
+            lease_replans: seed,
+            iterations: 50,
+        }
+    }
+
+    fn sample_cell() -> SweepCell {
+        SweepCell {
+            workload: "CG".into(),
+            full_name: "CG.C".into(),
+            policy: PolicyKind::Unimem,
+            profile: NvmProfile::BwHalf,
+            nranks: 4,
+            ranks_per_node: 1,
+            topology: TopologySpec::Nodes { count: 4 },
+            normalized_to_dram: 1.3706293706293706,
+            report: RunReport {
+                workload: "CG.C".into(),
+                policy: "Unimem".into(),
+                per_rank: vec![sample_stats(0), sample_stats(1)],
+                job: sample_stats(2),
+                plan_kind: Some(SearchKind::Global),
+            },
+        }
+    }
+
+    fn sample_config() -> SweepConfig {
+        SweepConfig {
+            class: Class::S,
+            workloads: vec!["CG".into()],
+            policies: vec![PolicyKind::DramOnly, PolicyKind::Unimem],
+            profiles: vec![NvmProfile::BwHalf],
+            ranks: vec![4],
+            ranks_per_node: vec![1],
+            topologies: vec![TopologySpec::Flat],
+            dram_capacity: None,
+            coruns: vec![],
+            arbiters: vec![],
+        }
+    }
+
+    fn key_for(cache: &SweepCache) -> CacheKey {
+        cache.cell_key(
+            &sample_config(),
+            "CG",
+            PolicyKind::Unimem,
+            NvmProfile::BwHalf,
+            4,
+            1,
+            &TopologySpec::Nodes { count: 4 },
+        )
+    }
+
+    #[test]
+    fn cell_roundtrip_is_exact() {
+        let dir = tmp_dir();
+        let cache = SweepCache::open(&dir).expect("open");
+        let key = key_for(&cache);
+        let cell = sample_cell();
+        assert!(cache.load_cell(&key).is_none(), "empty cache misses");
+        cache.store_cell(&key, &cell);
+        let loaded = cache.load_cell(&key).expect("hit after store");
+        // Exactness proxy: the full-fidelity serialization of original
+        // and reconstruction must match byte for byte (covers every
+        // field, including the u64 > 2^53 byte counter and plan_kind).
+        assert_eq!(
+            cell_to_json(&loaded).to_compact(),
+            cell_to_json(&cell).to_compact()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corun_group_roundtrip_is_exact() {
+        let dir = tmp_dir();
+        let cache = SweepCache::open(&dir).expect("open");
+        let mut cfg = sample_config();
+        cfg.arbiters = vec![ArbiterPolicy::FairShare, ArbiterPolicy::Priority];
+        let mix = CorunMix::parse("CG+FT").expect("mix parses");
+        let key = cache.corun_key(&cfg, &mix, NvmProfile::Pcram, 8);
+        let group = vec![
+            CorunCell {
+                mix: "CG+FT".into(),
+                workload: "CG".into(),
+                tenant: "CG".into(),
+                weight: 4,
+                start_epoch: 0,
+                arbiter: ArbiterPolicy::FairShare,
+                profile: NvmProfile::Pcram,
+                nranks: 8,
+                solo_time_s: 4.203125,
+                slowdown: 1.2109375,
+                lease_min: Bytes(1 << 27),
+                lease_max: Bytes(1 << 28),
+                report: sample_cell().report,
+            },
+            CorunCell {
+                mix: "CG+FT".into(),
+                workload: "FT".into(),
+                tenant: "FT".into(),
+                weight: 1,
+                start_epoch: 2,
+                arbiter: ArbiterPolicy::Priority,
+                profile: NvmProfile::Pcram,
+                nranks: 8,
+                solo_time_s: 7.75,
+                slowdown: 1.046875,
+                lease_min: Bytes(0),
+                lease_max: Bytes(1 << 26),
+                report: sample_cell().report,
+            },
+        ];
+        assert!(cache.load_corun(&key).is_none());
+        cache.store_corun(&key, &group);
+        let loaded = cache.load_corun(&key).expect("hit after store");
+        assert_eq!(loaded.len(), 2);
+        for (a, b) in group.iter().zip(&loaded) {
+            assert_eq!(
+                corun_cell_to_json(a).to_compact(),
+                corun_cell_to_json(b).to_compact()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn salt_and_axes_change_the_digest() {
+        let dir = tmp_dir();
+        let cache = SweepCache::open(&dir).expect("open");
+        let base = key_for(&cache);
+        let salted = key_for(&cache.clone().with_salt("x"));
+        assert_ne!(base.hex, salted.hex, "salt must reshape every key");
+        let other_rank = cache.cell_key(
+            &sample_config(),
+            "CG",
+            PolicyKind::Unimem,
+            NvmProfile::BwHalf,
+            8,
+            1,
+            &TopologySpec::Nodes { count: 4 },
+        );
+        assert_ne!(base.hex, other_rank.hex);
+        let mut capped = sample_config();
+        capped.dram_capacity = Some(Bytes(1 << 30));
+        let with_cap = cache.cell_key(
+            &capped,
+            "CG",
+            PolicyKind::Unimem,
+            NvmProfile::BwHalf,
+            4,
+            1,
+            &TopologySpec::Nodes { count: 4 },
+        );
+        assert_ne!(base.hex, with_cap.hex, "dram capacity is part of the key");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Every corruption mode must degrade to a miss (`None`), never a
+    /// panic or a wrong cell — the robustness satellite's core claim.
+    #[test]
+    fn corrupt_entries_fall_back_to_miss() {
+        let dir = tmp_dir();
+        let cache = SweepCache::open(&dir).expect("open");
+        let key = key_for(&cache);
+        let cell = sample_cell();
+        let path = key.path_in(cache.dir());
+
+        // Truncated mid-payload.
+        cache.store_cell(&key, &cell);
+        let whole = std::fs::read(&path).expect("entry exists");
+        std::fs::write(&path, &whole[..whole.len() / 2]).expect("truncate");
+        assert!(cache.load_cell(&key).is_none(), "truncated entry misses");
+
+        // Truncated inside the header.
+        std::fs::write(&path, &whole[..HEADER_LEN - 5]).expect("truncate header");
+        assert!(cache.load_cell(&key).is_none(), "headerless entry misses");
+
+        // A flipped bit in the payload breaks the checksum.
+        let mut flipped = whole.clone();
+        let at = HEADER_LEN + 10;
+        flipped[at] ^= 0x01;
+        std::fs::write(&path, &flipped).expect("bit flip");
+        assert!(cache.load_cell(&key).is_none(), "bit-flipped entry misses");
+
+        // Wrong magic.
+        let mut bad_magic = whole.clone();
+        bad_magic[0] = b'X';
+        std::fs::write(&path, &bad_magic).expect("bad magic");
+        assert!(cache.load_cell(&key).is_none(), "bad-magic entry misses");
+
+        // A well-formed entry filed under the wrong name (what a digest
+        // collision would look like): the stored canonical key disagrees.
+        let other = cache.cell_key(
+            &sample_config(),
+            "CG",
+            PolicyKind::Unimem,
+            NvmProfile::BwHalf,
+            8,
+            1,
+            &TopologySpec::Flat,
+        );
+        std::fs::write(&path, &whole).expect("restore");
+        std::fs::rename(&path, other.path_in(cache.dir())).expect("misfile");
+        assert!(cache.load_cell(&other).is_none(), "key mismatch misses");
+
+        // And after all that abuse, a fresh store still works.
+        cache.store_cell(&key, &cell);
+        assert!(cache.load_cell(&key).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A payload that frames and checksums correctly but decodes to the
+    /// wrong shape is still a miss (exercises the decode error path).
+    #[test]
+    fn wrong_shape_payload_is_a_miss() {
+        let dir = tmp_dir();
+        let cache = SweepCache::open(&dir).expect("open");
+        let key = key_for(&cache);
+        let mut doc = Json::obj();
+        doc.push("key", key.doc.clone())
+            .push("cell", "not an object");
+        write_entry(&key.path_in(cache.dir()), &doc).expect("write");
+        assert!(cache.load_cell(&key).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

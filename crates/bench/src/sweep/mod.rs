@@ -46,16 +46,18 @@
 //! [`matrix::SweepConfig::reduced`] matrix and as a full-matrix CLI mode
 //! (`cargo run --release --example sweep -- --full --check`).
 
+pub mod cache;
 pub mod conformance;
 pub mod jobs;
 pub mod matrix;
 pub mod report;
 pub mod runner;
 
+pub use cache::SweepCache;
 pub use conformance::{
     check_contention, check_determinism, check_recovery, check_report, check_weak_scaling,
     Tolerances, Violation,
 };
 pub use jobs::{default_workers, run_pool};
 pub use matrix::{ArbiterPolicy, NvmProfile, PolicyKind, SweepConfig, TopologySpec};
-pub use runner::{run_sweep, run_sweep_jobs, CorunCell, SweepCell, SweepReport};
+pub use runner::{run_sweep, run_sweep_cached, run_sweep_jobs, CorunCell, SweepCell, SweepReport};

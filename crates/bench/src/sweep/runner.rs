@@ -9,6 +9,7 @@
 //! serialized JSON — is byte-identical for any worker count, including
 //! the serial `n_workers = 1` path.
 
+use crate::sweep::cache::SweepCache;
 use crate::sweep::jobs::{
     default_workers, enumerate_cells, enumerate_coruns, enumerate_rows, run_pool, with_label,
     CellJob, CorunJob,
@@ -153,6 +154,13 @@ pub struct SweepReport {
     /// serializes the whole matrix, and before this field nothing
     /// recorded that it had happened.
     pub effective_workers: usize,
+    /// How many cache lookups hit ([`run_sweep_cached`] with a cache; 0
+    /// otherwise). Run-time metadata only, never serialized — the cache
+    /// is invisible in the report bytes by contract.
+    pub cache_hits: usize,
+    /// How many cells were looked up in the cache (cell jobs plus co-run
+    /// groups; 0 when no cache was passed). Run-time metadata only.
+    pub cache_lookups: usize,
     /// Coordinate index over `cells`, built once at construction.
     /// Workload names map to a dense id first so lookups allocate nothing.
     index: CellIndex,
@@ -209,6 +217,8 @@ impl SweepReport {
             cells,
             corun_cells,
             effective_workers: 1,
+            cache_hits: 0,
+            cache_lookups: 0,
             index,
         }
     }
@@ -218,6 +228,20 @@ impl SweepReport {
     pub fn with_workers(mut self, n_workers: usize) -> SweepReport {
         self.effective_workers = n_workers.max(1);
         self
+    }
+
+    /// Record the cache outcome (in-memory metadata; see
+    /// [`SweepReport::cache_hits`]).
+    pub fn with_cache_stats(mut self, hits: usize, lookups: usize) -> SweepReport {
+        self.cache_hits = hits;
+        self.cache_lookups = lookups;
+        self
+    }
+
+    /// Fraction of cache lookups that hit; `None` when the sweep ran
+    /// without a cache (0/0 is "no evidence", not "0%").
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        (self.cache_lookups > 0).then(|| self.cache_hits as f64 / self.cache_lookups as f64)
     }
 
     /// Cell lookup by coordinates, pinned to the classic flat world.
@@ -278,6 +302,20 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
 /// cell in order on the calling thread; any count produces byte-identical
 /// reports.
 pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport, String> {
+    run_sweep_cached(cfg, n_workers, None)
+}
+
+/// [`run_sweep_jobs`] with an optional content-addressed cell cache
+/// ([`SweepCache`]): finished cells load instead of recomputing, misses
+/// run on the pool and are written back, and the assembled report —
+/// including its serialized JSON — is **byte-identical** to a cacheless
+/// run (the property tests assert this). The hit/miss outcome lands in
+/// [`SweepReport::cache_hits`] / [`SweepReport::cache_lookups`].
+pub fn run_sweep_cached(
+    cfg: &SweepConfig,
+    n_workers: usize,
+    store: Option<&SweepCache>,
+) -> Result<SweepReport, String> {
     if cfg.ranks.contains(&0) {
         return Err("rank counts must be positive".into());
     }
@@ -344,9 +382,6 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
         }
     };
 
-    // Stage 1: every row's DRAM-only baseline, in parallel. Failures
-    // (including panics) carry the row's matrix coordinates. Clustered
-    // rows run their baseline in the same machine room as their cells.
     let rows = enumerate_rows(&cfg, selection.len());
     if rows.is_empty() && !cfg.profiles.is_empty() && !selection.is_empty() && !cfg.ranks.is_empty()
     {
@@ -356,7 +391,87 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
             cfg.topologies
         ));
     }
-    let baselines = run_pool(rows.clone(), n_workers, |row| {
+
+    // Cache pre-pass (serial, cheap relative to a single cell run):
+    // resolve every already-finished cell before anything executes. The
+    // key uses the *row* layout; clustered cells re-derive their real
+    // packing from the topology on both the compute and the cached path.
+    let cell_jobs = enumerate_cells(&cfg, &rows);
+    let mut lookups = 0usize;
+    let mut hits = 0usize;
+    let mut cached_cells: Vec<Option<SweepCell>> = vec![None; cell_jobs.len()];
+    let mut cell_keys = Vec::with_capacity(cell_jobs.len());
+    if let Some(store) = store {
+        for (slot, job) in cached_cells.iter_mut().zip(&cell_jobs) {
+            let (short, _) = &selection[job.row.workload];
+            let key = store.cell_key(
+                &cfg,
+                short,
+                job.policy,
+                job.row.profile,
+                job.row.nranks,
+                job.row.ranks_per_node,
+                &cfg.topologies[job.row.topology],
+            );
+            lookups += 1;
+            if let Some(cell) = store.load_cell(&key) {
+                hits += 1;
+                *slot = Some(cell);
+            }
+            cell_keys.push(key);
+        }
+    }
+
+    // Stage 1: DRAM-only baselines, in parallel — but only for rows that
+    // still have a cell to run. Failures (including panics) carry the
+    // row's matrix coordinates. Clustered rows run their baseline in the
+    // same machine room as their cells. A cached DRAM-only cell doubles
+    // as its row's baseline (its report *is* the baseline run), so a
+    // fully-warm sweep executes nothing at all.
+    let mut need_baseline = vec![false; rows.len()];
+    for (cached, job) in cached_cells.iter().zip(&cell_jobs) {
+        if cached.is_none() {
+            need_baseline[job.baseline] = true;
+        }
+    }
+    let mut baselines: Vec<Option<RunReport>> = vec![None; rows.len()];
+    for (cached, job) in cached_cells.iter().zip(&cell_jobs) {
+        if job.policy == PolicyKind::DramOnly {
+            if let Some(cell) = cached {
+                baselines[job.baseline] = Some(cell.report.clone());
+            }
+        }
+    }
+    // When the policy axis omits dram-only there is no DramOnly cell to
+    // piggyback on, but another sweep's may be on disk under its key.
+    if let Some(store) = store {
+        if !cfg.policies.contains(&PolicyKind::DramOnly) {
+            for (i, row) in rows.iter().enumerate() {
+                if need_baseline[i] && baselines[i].is_none() {
+                    let (short, _) = &selection[row.workload];
+                    let key = store.cell_key(
+                        &cfg,
+                        short,
+                        PolicyKind::DramOnly,
+                        row.profile,
+                        row.nranks,
+                        row.ranks_per_node,
+                        &cfg.topologies[row.topology],
+                    );
+                    if let Some(cell) = store.load_cell(&key) {
+                        baselines[i] = Some(cell.report);
+                    }
+                }
+            }
+        }
+    }
+    let live_rows: Vec<(usize, _)> = rows
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| need_baseline[*i] && baselines[*i].is_none())
+        .map(|(i, r)| (i, *r))
+        .collect();
+    let computed_baselines = run_pool(live_rows.clone(), n_workers, |(_, row)| {
         let (short, workload) = &selection[row.workload];
         let t = &cfg.topologies[row.topology];
         with_label(
@@ -386,11 +501,20 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
         )
     })
     .map_err(|e| format!("sweep baseline failed: {e}"))?;
+    for ((i, _), report) in live_rows.into_iter().zip(computed_baselines) {
+        baselines[i] = Some(report);
+    }
 
-    // Stage 2: every matrix cell, each normalized against its row's
-    // shared baseline (DRAM-only cells reuse the baseline run directly).
-    let cell_jobs = enumerate_cells(&cfg, &rows);
-    let cells = run_pool(cell_jobs, n_workers, |job: &CellJob| {
+    // Stage 2: the matrix cells that missed, each normalized against its
+    // row's shared baseline (DRAM-only cells reuse the baseline run
+    // directly).
+    let missed_cells: Vec<(usize, CellJob)> = cached_cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_none())
+        .map(|(i, _)| (i, cell_jobs[i]))
+        .collect();
+    let computed_cells = run_pool(missed_cells.clone(), n_workers, |(_, job)| {
         let (short, workload) = &selection[job.row.workload];
         let nranks = job.row.nranks;
         let t = &cfg.topologies[job.row.topology];
@@ -411,7 +535,9 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
             || {
                 let w = workload.as_ref();
                 let m = machine(job.row.profile, ranks_per_node);
-                let dram = &baselines[job.baseline];
+                let dram = baselines[job.baseline]
+                    .as_ref()
+                    .expect("baseline resolved for every row with a missed cell");
                 let topo = topo_of(t, job.row.profile, nranks);
                 let run = |policy: &Policy| match &topo {
                     None => run_workload(w, &m, &cache, nranks, policy),
@@ -451,13 +577,52 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
     })
     .map_err(|e| format!("sweep cell failed: {e}"))?;
 
+    // Write the misses back (serial, after the pool: writes never race),
+    // then splice computed cells into the cached ones by job index — the
+    // same reassembly-by-index discipline the pool itself uses, so the
+    // cell order is byte-for-byte the canonical enumeration order no
+    // matter which cells hit.
+    if let Some(store) = store {
+        for ((i, _), cell) in missed_cells.iter().zip(&computed_cells) {
+            store.store_cell(&cell_keys[*i], cell);
+        }
+    }
+    let mut by_index = cached_cells;
+    for ((i, _), cell) in missed_cells.into_iter().zip(computed_cells) {
+        by_index[i] = Some(cell);
+    }
+    let cells: Vec<SweepCell> = by_index
+        .into_iter()
+        .map(|c| c.expect("every cell either hit the cache or ran"))
+        .collect();
+
     // Stage 3: the co-run matrix — every mix on every profile, at the
     // largest rank count. One job covers all arbitration policies of a
     // (profile, mix) pair so each tenant's policy-independent solo
     // baseline runs once; cells flatten in canonical (profile, mix,
-    // arbiter, tenant) order.
+    // arbiter, tenant) order. The group is the unit of execution, so it
+    // is also the unit of caching.
     let corun_jobs = enumerate_coruns(&cfg);
-    let corun_groups = run_pool(corun_jobs, n_workers, |job: &CorunJob| {
+    let mut cached_groups: Vec<Option<Vec<CorunCell>>> = vec![None; corun_jobs.len()];
+    let mut corun_keys = Vec::with_capacity(corun_jobs.len());
+    if let Some(store) = store {
+        for (slot, job) in cached_groups.iter_mut().zip(&corun_jobs) {
+            let key = store.corun_key(&cfg, &cfg.coruns[job.mix], job.profile, job.nranks);
+            lookups += 1;
+            if let Some(group) = store.load_corun(&key) {
+                hits += 1;
+                *slot = Some(group);
+            }
+            corun_keys.push(key);
+        }
+    }
+    let missed_coruns: Vec<(usize, CorunJob)> = cached_groups
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.is_none())
+        .map(|(i, _)| (i, corun_jobs[i]))
+        .collect();
+    let computed_groups = run_pool(missed_coruns.clone(), n_workers, |(_, job)| {
         let mix = &cfg.coruns[job.mix];
         with_label(
             || format!("{}/{}/r{}", mix.label(), job.profile.name(), job.nranks),
@@ -507,9 +672,23 @@ pub fn run_sweep_jobs(cfg: &SweepConfig, n_workers: usize) -> Result<SweepReport
         )
     })
     .map_err(|e| format!("sweep co-run failed: {e}"))?;
-    let corun_cells = corun_groups.into_iter().flatten().collect();
+    if let Some(store) = store {
+        for ((i, _), group) in missed_coruns.iter().zip(&computed_groups) {
+            store.store_corun(&corun_keys[*i], group);
+        }
+    }
+    let mut groups_by_index = cached_groups;
+    for ((i, _), group) in missed_coruns.into_iter().zip(computed_groups) {
+        groups_by_index[i] = Some(group);
+    }
+    let corun_cells = groups_by_index
+        .into_iter()
+        .flat_map(|g| g.expect("every co-run group either hit the cache or ran"))
+        .collect();
 
-    Ok(SweepReport::new(cfg, cells, corun_cells).with_workers(n_workers))
+    Ok(SweepReport::new(cfg, cells, corun_cells)
+        .with_workers(n_workers)
+        .with_cache_stats(hits, lookups))
 }
 
 /// Normalize a cell's run time against its row's DRAM-only baseline,
@@ -793,6 +972,38 @@ mod tests {
     fn empty_corun_axes_produce_no_corun_cells() {
         let rep = run_sweep(&micro()).unwrap();
         assert!(rep.corun_cells.is_empty());
+    }
+
+    /// The cache contract in miniature: a cold cached run, a warm rerun,
+    /// and a cacheless run all serialize to the same bytes, and the warm
+    /// rerun answers every lookup from disk.
+    #[test]
+    fn cached_sweep_is_byte_identical_and_warms_up() {
+        let dir =
+            std::env::temp_dir().join(format!("unimem-runner-cache-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cfg = micro();
+        cfg.coruns = unimem_workloads::parse_mixes(&["CG+LU"]).unwrap();
+        cfg.arbiters = vec![ArbiterPolicy::FairShare];
+        let store = SweepCache::open(&dir).expect("cache opens");
+
+        let plain = run_sweep_jobs(&cfg, 1).expect("cacheless run");
+        let cold = run_sweep_cached(&cfg, 1, Some(&store)).expect("cold run");
+        assert_eq!(cold.cache_hits, 0, "nothing to hit on a cold cache");
+        assert_eq!(cold.cache_lookups, 3, "2 cells + 1 co-run group");
+        let warm = run_sweep_cached(&cfg, 1, Some(&store)).expect("warm run");
+        assert_eq!(warm.cache_hits, 3, "everything hits on a warm cache");
+        assert_eq!(warm.cache_hit_rate(), Some(1.0));
+        assert_eq!(plain.cache_hit_rate(), None, "no cache, no evidence");
+
+        let (p, c, w) = (
+            plain.to_json().to_string(),
+            cold.to_json().to_string(),
+            warm.to_json().to_string(),
+        );
+        assert_eq!(p, c, "the cache must be invisible in the bytes (cold)");
+        assert_eq!(p, w, "the cache must be invisible in the bytes (warm)");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// The parallel executor shares workload models, the cache model, and

@@ -1,0 +1,170 @@
+//! Run-wide shared calibration memo — the intra-run half of the sweep's
+//! incremental-reuse layer.
+//!
+//! Eq. 1's offline calibration (`unimem_perf::calibrate`) is a pure
+//! deterministic function of the machine share it probes, the cache
+//! model, the sampler configuration, and the seed — nothing else. PR 8
+//! already deduplicated it *within* one job (once per distinct node
+//! class × occupancy pair); this module lifts that into a process-wide
+//! memo, so a sweep running hundreds of cells over the same handful of
+//! NVM profiles calibrates each distinct platform **once per process**
+//! instead of once per cell.
+//!
+//! Correctness rests on purity: because the result is a pure function of
+//! the key, memoization cannot change any run's numbers — the
+//! byte-identity property tests cover this transitively. The memo key is
+//! *bit-exact* ([`f64::to_bits`] of every parameter the calibration
+//! reads), so two machines that differ in the last ulp memoize
+//! separately rather than sharing a almost-right result.
+//!
+//! Concurrency follows the sharded-ledger discipline (PR 9): a fixed
+//! array of mutex-guarded shards selected by key hash, so parallel sweep
+//! workers calibrating *different* platforms never contend on one lock.
+//! The computation itself runs outside any lock; two workers racing on
+//! the same cold key may both compute (identical) results and one insert
+//! wins — a benign duplicate beats serializing every worker behind the
+//! slowest calibration.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use unimem_cache::CacheModel;
+use unimem_hms::MachineConfig;
+use unimem_perf::{calibrate, Calibration, SamplerConfig};
+
+/// Shard count: comfortably above the distinct-platform count of any
+/// real sweep (|profiles| × |occupancies|), tiny in memory.
+const SHARDS: usize = 16;
+
+struct Memo {
+    shards: [Mutex<HashMap<String, Calibration>>; SHARDS],
+}
+
+static MEMO: OnceLock<Memo> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn memo() -> &'static Memo {
+    MEMO.get_or_init(|| Memo {
+        shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+    })
+}
+
+/// The bit-exact memo key: every parameter [`calibrate`](fn@calibrate) reads, rendered
+/// as fixed-width hex of its raw bits. `f64::to_bits` (not `Display`)
+/// because the key must distinguish values that print alike: -0.0 vs
+/// 0.0, or NaNs with different payloads, would otherwise alias.
+fn key(machine: &MachineConfig, cache: &CacheModel, cfg: SamplerConfig, seed: u64) -> String {
+    let mut k = String::with_capacity(16 * 18);
+    for f in [
+        machine.dram.read_lat.0,
+        machine.dram.write_lat.0,
+        machine.dram.read_bw.0,
+        machine.dram.write_bw.0,
+        machine.nvm.read_lat.0,
+        machine.nvm.write_lat.0,
+        machine.nvm.read_bw.0,
+        machine.nvm.write_bw.0,
+        cfg.cpu_hz,
+        cfg.per_window_cost.0,
+    ] {
+        let _ = write!(k, "{:016x}.", f.to_bits());
+    }
+    let _ = write!(
+        k,
+        "{:x}.{:x}.{:x}.{:x}.{:x}",
+        cache.size.0, cache.line.0, cfg.window_cycles, cfg.event_period, seed
+    );
+    k
+}
+
+/// [`calibrate`](fn@calibrate), memoized process-wide. Returns exactly what a direct
+/// call would (the function is pure); repeat calls with bit-identical
+/// inputs return the memoized copy without re-running the
+/// micro-benchmarks.
+pub fn calibrate_memoized(
+    machine: &MachineConfig,
+    cache: &CacheModel,
+    cfg: SamplerConfig,
+    seed: u64,
+) -> Calibration {
+    let k = key(machine, cache, cfg, seed);
+    let shard =
+        &memo().shards[unimem_sim::Fnv64::new().update(k.as_bytes()).finish() as usize % SHARDS];
+    if let Some(cal) = shard.lock().expect("memo shard poisoned").get(&k) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return *cal;
+    }
+    let cal = calibrate(machine, cache, cfg, seed);
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    shard.lock().expect("memo shard poisoned").insert(k, cal);
+    cal
+}
+
+/// Lifetime (process-wide) memo counters: `(hits, misses)`. Test and
+/// diagnostics surface; the sweep's user-facing hit rate is the on-disk
+/// cache's, not this one's.
+pub fn memo_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A machine no other test calibrates: unique last-ulp offsets keep
+    /// this test's keys disjoint from the rest of the (parallel) suite,
+    /// so the counter deltas below are attributable.
+    fn unique_machine(ulp_steps: u64) -> MachineConfig {
+        let mut m = MachineConfig::nvm_bw_fraction(0.5);
+        m.dram.read_bw.0 = f64::from_bits(m.dram.read_bw.0.to_bits() + ulp_steps);
+        m
+    }
+
+    #[test]
+    fn memoized_result_equals_direct_and_repeats_hit() {
+        let m = unique_machine(1);
+        let cache = CacheModel::platform_a();
+        let cfg = SamplerConfig::default();
+        let direct = calibrate(&m, &cache, cfg, 42);
+        let first = calibrate_memoized(&m, &cache, cfg, 42);
+        assert_eq!(first, direct, "memoization must not change the result");
+        let (hits_before, _) = memo_stats();
+        let again = calibrate_memoized(&m, &cache, cfg, 42);
+        assert_eq!(again, direct);
+        let (hits_after, _) = memo_stats();
+        assert!(hits_after > hits_before, "second call must hit the memo");
+    }
+
+    #[test]
+    fn last_ulp_and_seed_changes_miss() {
+        let cache = CacheModel::platform_a();
+        let cfg = SamplerConfig::default();
+        let (_, misses_before) = memo_stats();
+        calibrate_memoized(&unique_machine(2), &cache, cfg, 42);
+        calibrate_memoized(&unique_machine(3), &cache, cfg, 42);
+        calibrate_memoized(&unique_machine(2), &cache, cfg, 43);
+        let (_, misses_after) = memo_stats();
+        assert!(
+            misses_after - misses_before >= 3,
+            "ulp-distinct machines and distinct seeds are distinct keys"
+        );
+    }
+
+    #[test]
+    fn key_is_bit_exact_not_display_based() {
+        let cache = CacheModel::platform_a();
+        let cfg = SamplerConfig::default();
+        let mut a = MachineConfig::nvm_bw_fraction(0.5);
+        let mut b = MachineConfig::nvm_bw_fraction(0.5);
+        a.dram.read_lat.0 = 0.0;
+        b.dram.read_lat.0 = -0.0;
+        assert_ne!(
+            key(&a, &cache, cfg, 1),
+            key(&b, &cache, cfg, 1),
+            "0.0 and -0.0 print alike but are different bit patterns"
+        );
+        assert_eq!(key(&a, &cache, cfg, 1), key(&a.clone(), &cache, cfg, 1));
+    }
+}

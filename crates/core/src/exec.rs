@@ -47,7 +47,6 @@ use unimem_hms::{DramService, MachineConfig};
 use unimem_mpi::{
     collective_timing, CollectiveKind, NetParams, PhaseId, PhaseTracker, RankClock, RankPlacement,
 };
-use unimem_perf::calibrate;
 use unimem_perf::sampler::GroundTruth;
 use unimem_sim::{default_workers, run_pool, run_pool_mut, Bytes, Channel, VDur, VTime};
 
@@ -498,7 +497,10 @@ fn run_topology_rig(
     // sampled phases actually see — so Eq. 1's peak comparisons stay
     // like-for-like under multi-rank nodes. Distinct (node class,
     // occupancy) pairs see distinct shares, so calibrate once per pair
-    // and let each rank pick its node's entry.
+    // and let each rank pick its node's entry. The call goes through the
+    // process-wide memo ([`crate::calib`]), so a sweep running many
+    // cells on the same platforms calibrates each one once per process,
+    // not once per cell.
     let cals: HashMap<(usize, usize), unimem_perf::Calibration> = match built.sampler_calibration()
     {
         Some((sampler, seed)) => {
@@ -515,7 +517,7 @@ fn run_topology_rig(
                         let mut share = machine.clone();
                         share.dram = machine.rank_share(TierKind::Dram, occ);
                         share.nvm = machine.rank_share(TierKind::Nvm, occ);
-                        calibrate(&share, cache, sampler, seed)
+                        crate::calib::calibrate_memoized(&share, cache, sampler, seed)
                     });
             }
             by_key.into_iter().collect()

@@ -42,6 +42,7 @@
 
 pub mod adapt;
 pub mod api;
+pub mod calib;
 pub mod deps;
 pub mod enforce;
 pub mod exec;

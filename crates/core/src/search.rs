@@ -39,6 +39,15 @@ impl SearchKind {
             SearchKind::Local => "local",
         }
     }
+
+    /// Inverse of [`SearchKind::name`], for report/cache deserialization.
+    pub fn from_name(s: &str) -> Option<SearchKind> {
+        match s {
+            "global" => Some(SearchKind::Global),
+            "local" => Some(SearchKind::Local),
+            _ => None,
+        }
+    }
 }
 
 /// A cyclic placement plan: desired DRAM contents per phase.

@@ -374,14 +374,15 @@ impl Record {
     }
 }
 
-/// FNV-1a 64 over the frame's vtime bytes and payload.
+/// FNV-1a 64 over the frame's vtime bytes and payload. The hand-rolled
+/// loop this used to be moved to the vendored `fnv` crate when the sweep
+/// cache needed the same digest family; the constants are identical, so
+/// journals written before the change verify unchanged.
 fn crc64(at: f64, payload: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in at.to_le_bytes().iter().chain(payload) {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    fnv::Fnv64::new()
+        .update(&at.to_le_bytes())
+        .update(payload)
+        .finish()
 }
 
 fn encode_frame(buf: &mut Vec<u8>, rec: &Record, at: VTime) {

@@ -1,0 +1,81 @@
+//! Deterministic content hashing for content-addressed storage.
+//!
+//! Thin façade over the vendored [`fnv`] crate (FNV-1a, 64- and 128-bit)
+//! plus the one convention every content-addressed consumer shares:
+//! **hash the canonical compact JSON form**. The sweep's incremental cell
+//! cache (`unimem_bench::sweep::cache`) derives its on-disk entry names
+//! from [`json_digest_hex`] of a canonically-constructed [`Json`]
+//! document, so two processes — or two runs months apart — that describe
+//! the same cell configuration land on the same file.
+//!
+//! The [`Json`] builder already guarantees the canonical part: objects
+//! keep insertion order, floats render in shortest round-trip form, and
+//! nothing consults locale or host state. Hashing that text (rather than
+//! an ad-hoc field concatenation) means the key derivation is readable in
+//! one place and unambiguous — adding a field to the key document changes
+//! every digest, which is exactly the invalidation semantics a
+//! content-addressed cache wants.
+//!
+//! FNV-1a is not cryptographic; see the collision note in [`fnv`].
+//! Consumers that cannot tolerate a constructed collision must store the
+//! canonical text next to the payload and compare it on load (the sweep
+//! cache does).
+
+pub use fnv::{fnv1a_128, fnv1a_64, Fnv128, Fnv64};
+
+use crate::json::Json;
+
+/// 128-bit FNV-1a digest of the value's compact JSON form, as 32
+/// lower-case hex characters — fixed-width, separator-free, safe as a
+/// file name on every platform the workspace targets.
+pub fn json_digest_hex(value: &Json) -> String {
+    Fnv128::new()
+        .update(value.to_compact().as_bytes())
+        .finish_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(salt: &str) -> Json {
+        let mut o = Json::obj();
+        o.push("schema", "unimem-bench-sweep/v5")
+            .push("salt", salt)
+            .push("workload", "CG")
+            .push("nranks", 4u64);
+        o
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_fixed_width() {
+        let a = json_digest_hex(&key(""));
+        assert_eq!(a, json_digest_hex(&key("")));
+        assert_eq!(a.len(), 32);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn any_field_change_changes_the_digest() {
+        let base = json_digest_hex(&key(""));
+        assert_ne!(base, json_digest_hex(&key("s")), "salt must invalidate");
+        let mut reordered = Json::obj();
+        reordered
+            .push("salt", "")
+            .push("schema", "unimem-bench-sweep/v5")
+            .push("workload", "CG")
+            .push("nranks", 4u64);
+        // Member order is part of the canonical form on purpose: keys are
+        // constructed by one function, never merged from maps.
+        assert_ne!(base, json_digest_hex(&reordered));
+    }
+
+    #[test]
+    fn digest_matches_hashing_the_compact_text() {
+        let k = key("x");
+        assert_eq!(
+            json_digest_hex(&k),
+            Fnv128::new().update(k.to_compact().as_bytes()).finish_hex()
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! Minimal deterministic JSON document builder.
+//! Minimal deterministic JSON document builder **and parser**.
 //!
 //! The vendored `serde` is a trait-only stub (see `vendor/README.md`), so
 //! machine-readable reports are built through this hand-rolled value tree
@@ -13,6 +13,16 @@
 //!
 //! Non-finite floats have no JSON representation and render as `null`,
 //! matching what `serde_json` does with `arbitrary_precision` disabled.
+//!
+//! [`Json::parse`] is the inverse, added for the sweep's incremental cell
+//! cache: cached cells are stored as JSON text and must reconstruct to
+//! values that re-serialize **byte-identically**. The round-trip contract
+//! is `parse(v.to_compact())?.to_compact() == v.to_compact()` for every
+//! value this builder can produce, which hinges on two details: unsigned
+//! integer literals parse to [`Json::UInt`] (not a lossy `f64`) so `u64`
+//! counters above 2^53 survive, and fractional/exponent literals parse
+//! through Rust's correctly-rounded `str::parse::<f64>`, whose result
+//! re-renders to the same shortest form.
 
 use std::fmt;
 
@@ -61,6 +71,16 @@ impl Json {
             Json::UInt(u) => Some(*u as f64),
             Json::Int(i) => Some(*i as f64),
             Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a lossless u64 (integer variants only, no float
+    /// rounding) — counters and byte sizes above 2^53 survive.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
             _ => None,
         }
     }
@@ -175,6 +195,250 @@ fn write_escaped(out: &mut String, s: &str) -> fmt::Result {
     }
     out.push('"');
     Ok(())
+}
+
+impl Json {
+    /// Parse JSON text into a value tree.
+    ///
+    /// Accepts exactly standard JSON (as produced by [`Json::to_compact`]
+    /// / [`Json::to_pretty`], but any conforming writer works). Number
+    /// literals map back onto the numeric variants losslessly: unsigned
+    /// integers to [`Json::UInt`], negative integers to [`Json::Int`],
+    /// everything with a fraction or exponent (or beyond integer range)
+    /// to [`Json::Num`]. Errors carry the byte offset of the problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+}
+
+/// Recursive-descent JSON parser over raw bytes (`at` is a byte offset;
+/// string decoding is the only place multi-byte UTF-8 appears, and it is
+/// copied through verbatim).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("json parse error at byte {}: {what}", self.at)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.at;
+            // Copy unescaped runs through verbatim (multi-byte UTF-8
+            // included — no byte in a multi-byte sequence can equal '"'
+            // or '\\', both < 0x80).
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.at += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.at])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.at += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: the writer never emits
+                                // one, but a conforming reader decodes it.
+                                if !self.bytes[self.at..].starts_with(b"\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.at += 2;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                            // hex4 leaves `at` one past the last digit.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.at += 1;
+                }
+                None => return Err(self.err("unterminated string")),
+                _ => unreachable!("loop above stops only on '\"', '\\\\', or EOF"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.at + 4;
+        let digits = self
+            .bytes
+            .get(self.at..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let code = u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.at = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.at += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.at += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ASCII digits");
+        if integral {
+            // Integer literal: keep full 64-bit precision (a u64 counter
+            // above 2^53 must not round through f64).
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Json::Int(i));
+                }
+                // Magnitude beyond i64: fall through to f64 like serde_json.
+                let _ = digits;
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| format!("json parse error: invalid number {text:?}"))
+    }
 }
 
 impl From<bool> for Json {
@@ -318,5 +582,96 @@ mod tests {
     fn empty_containers() {
         assert_eq!(Json::obj().to_compact(), "{}");
         assert_eq!(Json::Arr(vec![]).to_pretty(), "[]\n");
+    }
+
+    #[test]
+    fn parse_round_trips_compact_and_pretty() {
+        let v = sample();
+        let compact = v.to_compact();
+        assert_eq!(Json::parse(&compact).unwrap(), v);
+        assert_eq!(Json::parse(&compact).unwrap().to_compact(), compact);
+        // Pretty text parses to the same tree (whitespace is not part of
+        // the value) and re-serializes to the same bytes.
+        let p = Json::parse(&v.to_pretty()).unwrap();
+        assert_eq!(p, v);
+        assert_eq!(p.to_pretty(), v.to_pretty());
+    }
+
+    #[test]
+    fn parse_preserves_numeric_variants() {
+        // Unsigned counters above 2^53 must not round through f64.
+        let big = u64::MAX - 1;
+        let j = Json::parse(&format!("{big}")).unwrap();
+        assert_eq!(j, Json::UInt(big));
+        assert_eq!(j.to_compact(), format!("{big}"));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Num(1.5));
+        assert_eq!(Json::parse("2e-7").unwrap(), Json::Num(2e-7));
+        // Integral floats render without a fraction, parse as UInt, and
+        // re-render to the same text — the byte-identity contract cares
+        // about the text, not the variant.
+        assert_eq!(
+            Json::parse(&Json::Num(42.0).to_compact()).unwrap(),
+            Json::UInt(42)
+        );
+    }
+
+    #[test]
+    fn parse_decodes_escapes() {
+        let original = Json::from("a\"b\\c\nd\u{1}é");
+        let text = original.to_compact();
+        assert_eq!(Json::parse(&text).unwrap(), original);
+        // Surrogate pair (writer never emits one, reader must accept).
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::from("\u{1f600}")
+        );
+    }
+
+    #[test]
+    fn parse_float_round_trip_is_byte_exact() {
+        // Shortest-form rendering followed by correctly-rounded parsing
+        // recovers the exact bit pattern — the property the cache's
+        // byte-identity guarantee stands on.
+        for bits in [
+            0x3fb999999999999au64, // 0.1
+            0x400921fb54442d18,    // pi
+            0x7fe1ccf385ebc8a0,    // ~1.6e308
+            0x0000000000000001,    // smallest subnormal
+        ] {
+            let x = f64::from_bits(bits);
+            let text = Json::Num(x).to_compact();
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.as_f64().map(f64::to_bits), Some(bits), "{text}");
+            assert_eq!(back.to_compact(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "1 2",
+            "{\"a\":1}garbage",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_nested_structures() {
+        let text = r#"{"a":[{"b":null},{"c":[1,-2,3.5]}],"d":{"e":true}}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_compact(), text);
+        assert!(v.get("d").and_then(|d| d.get("e")).is_some());
     }
 }

@@ -18,9 +18,12 @@
 //!   flows, and consumers ask how much of a channel is already spoken for
 //!   during a virtual-time window (own flows by exact interval overlap,
 //!   neighbor flows by fence-epoch rates).
-//! * [`json`] — a deterministic JSON document builder used for the
-//!   machine-readable run/sweep reports (the vendored `serde` is a
-//!   trait-only stub, so serialization is hand-rolled here).
+//! * [`json`] — a deterministic JSON document builder **and parser** used
+//!   for the machine-readable run/sweep reports and the sweep's on-disk
+//!   cell cache (the vendored `serde` is a trait-only stub, so
+//!   serialization is hand-rolled here).
+//! * [`hash`] — deterministic FNV-1a content hashing (vendored `fnv`):
+//!   the digest convention behind the content-addressed sweep cache.
 //! * [`crash`] — seeded virtual-time kill points for the crash-injection
 //!   harness: determinism makes a "crash at `T`" a pure function of the
 //!   clean run, so no threads are ever actually torn down.
@@ -34,6 +37,7 @@
 pub mod arena;
 pub mod crash;
 pub mod events;
+pub mod hash;
 pub mod json;
 pub mod ledger;
 pub mod pool;
@@ -45,6 +49,7 @@ pub mod units;
 pub use arena::{StrArena, StrRef};
 pub use crash::{sample_kill_points, CrashSpec};
 pub use events::{Event, EventKind, TraceLog};
+pub use hash::{json_digest_hex, Fnv128, Fnv64};
 pub use json::Json;
 pub use ledger::{BwLedger, Channel, ChannelMap, LoadSplit};
 pub use pool::{default_workers, run_pool, run_pool_mut, with_label};

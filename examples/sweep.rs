@@ -14,6 +14,7 @@
 //!     --arbiters fair-share,priority                       # co-run axes
 //! cargo run --release --example sweep -- \
 //!     --topologies flat,nodes4,mixed:bw-half+pcram         # machine rooms
+//! cargo run --release --example sweep -- --cache .sweep-cache  # reuse cells
 //! ```
 //!
 //! `--jobs N` sets the worker-pool width (default: the host's available
@@ -23,13 +24,21 @@
 //! `--check` exits non-zero when any conformance check fails, so the CI
 //! job can gate on it. See the README's "Evaluation-matrix sweep" section
 //! for the report schema and the tolerance ↔ figure mapping.
+//!
+//! `--cache DIR` turns on the content-addressed cell cache: finished
+//! cells persist under `DIR` and later sweeps containing the same cells
+//! load them instead of recomputing (`--no-cache` turns a previously
+//! scripted cache off; the last flag wins). The report bytes are
+//! byte-identical with or without a cache. `--min-hit-rate F` (0..=1)
+//! exits non-zero when the hit rate falls below `F` — the warm-rerun CI
+//! job gates on it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use unimem_repro::bench::sweep::{
     check_contention, check_determinism, check_recovery, check_report, check_weak_scaling,
-    default_workers, run_sweep_jobs, ArbiterPolicy, NvmProfile, PolicyKind, SweepConfig,
-    Tolerances, TopologySpec,
+    default_workers, run_sweep_cached, ArbiterPolicy, NvmProfile, PolicyKind, SweepCache,
+    SweepConfig, Tolerances, TopologySpec,
 };
 use unimem_repro::workloads::{corun, Class};
 
@@ -38,7 +47,8 @@ fn usage() -> ! {
         "usage: sweep [--full] [--check] [--out PATH] [--class S|C|D] [--jobs N]\n\
          \x20            [--workloads CSV] [--policies CSV] [--profiles CSV] [--ranks CSV]\n\
          \x20            [--rpn CSV of ranks-per-node] [--mixes CSV of A+B[+C]] [--arbiters CSV]\n\
-         \x20            [--topologies CSV of flat|nodesN|mixed:a+b]"
+         \x20            [--topologies CSV of flat|nodesN|mixed:a+b]\n\
+         \x20            [--cache DIR] [--no-cache] [--min-hit-rate F]"
     );
     std::process::exit(2)
 }
@@ -60,6 +70,8 @@ fn main() -> ExitCode {
     let mut check = false;
     let mut full = false;
     let mut jobs = default_workers();
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut min_hit_rate: Option<f64> = None;
     let (mut explicit_profiles, mut explicit_ranks, mut explicit_mixes) = (false, false, false);
     let mut explicit_rpn = false;
 
@@ -75,6 +87,17 @@ fn main() -> ExitCode {
             "--full" => full = true,
             "--check" => check = true,
             "--out" => out = PathBuf::from(value("--out")),
+            "--cache" => cache_dir = Some(PathBuf::from(value("--cache"))),
+            "--no-cache" => cache_dir = None,
+            "--min-hit-rate" => {
+                min_hit_rate = match value("--min-hit-rate").parse::<f64>() {
+                    Ok(f) if (0.0..=1.0).contains(&f) => Some(f),
+                    _ => {
+                        eprintln!("--min-hit-rate needs a fraction in 0..=1");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--jobs" => {
                 jobs = match value("--jobs").parse() {
                     Ok(n) if n > 0 => n,
@@ -192,8 +215,19 @@ fn main() -> ExitCode {
         cfg.class.name(),
     );
 
+    let store = match cache_dir {
+        None => None,
+        Some(dir) => match SweepCache::open(&dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("cannot open cache {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        },
+    };
+
     let t0 = std::time::Instant::now();
-    let report = match run_sweep_jobs(&cfg, jobs) {
+    let report = match run_sweep_cached(&cfg, jobs, store.as_ref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sweep failed: {e}");
@@ -306,6 +340,29 @@ fn main() -> ExitCode {
             "s"
         }
     );
+
+    if let Some(rate) = report.cache_hit_rate() {
+        println!(
+            "cache: {}/{} lookups hit ({:.1}%) in {}",
+            report.cache_hits,
+            report.cache_lookups,
+            rate * 100.0,
+            store
+                .as_ref()
+                .map(|s| s.dir().display().to_string())
+                .unwrap_or_default(),
+        );
+    }
+    if let Some(min) = min_hit_rate {
+        let rate = report.cache_hit_rate().unwrap_or_else(|| {
+            eprintln!("--min-hit-rate needs --cache (no lookups happened)");
+            std::process::exit(2)
+        });
+        if rate < min {
+            eprintln!("cache hit rate {rate:.3} below required {min:.3}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if check {
         // check_report itself reports missing coverage (no unimem cells,

@@ -11,7 +11,7 @@
 //! a wide pool (`--jobs 8`, oversubscribed on small hosts on purpose)
 //! and require both to equal the committed baseline byte-for-byte.
 
-use unimem_repro::bench::sweep::{run_sweep_jobs, SweepConfig};
+use unimem_repro::bench::sweep::{run_sweep_cached, run_sweep_jobs, SweepCache, SweepConfig};
 
 const GOLDEN: &str = include_str!("../BENCH_sweep.json");
 
@@ -42,4 +42,37 @@ fn serial_path_reproduces_the_committed_sweep_bytes() {
 #[test]
 fn wide_pool_reproduces_the_committed_sweep_bytes() {
     assert_matches_golden(8);
+}
+
+/// The PR-10 reuse layer under the same maximal guard: a cold cached run
+/// and a fully-warm rerun of the reduced matrix must both reproduce the
+/// committed bytes exactly — on a warm run every cell is reconstructed
+/// from disk, so this exercises the full-fidelity (de)serialization of
+/// every cell the golden file contains.
+#[test]
+fn cached_runs_reproduce_the_committed_sweep_bytes() {
+    let dir = std::env::temp_dir().join(format!("unimem-golden-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = SweepCache::open(&dir).expect("cache opens");
+    let cfg = SweepConfig::reduced();
+
+    let cold = run_sweep_cached(&cfg, 1, Some(&store)).expect("cold cached sweep runs");
+    assert_eq!(cold.cache_hits, 0, "cold cache cannot hit");
+    assert_eq!(
+        cold.to_json().to_pretty(),
+        GOLDEN,
+        "cold cached run diverges from the committed BENCH_sweep.json"
+    );
+
+    let warm = run_sweep_cached(&cfg, 1, Some(&store)).expect("warm cached sweep runs");
+    assert_eq!(
+        warm.cache_hits, warm.cache_lookups,
+        "a rerun of the identical matrix must answer every lookup from disk"
+    );
+    assert_eq!(
+        warm.to_json().to_pretty(),
+        GOLDEN,
+        "warm (all-cells-from-disk) run diverges from the committed BENCH_sweep.json"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

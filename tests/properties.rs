@@ -693,3 +693,124 @@ proptest! {
         prop_assert_eq!(serial, wide);
     }
 }
+
+/// PR-10 reuse-layer properties. Sweeps are expensive relative to the
+/// other properties here, so the case count is small and the matrices
+/// are CLASS-S micro configurations — the point is the *shape* space
+/// (arbitrary axis subsets, worker counts, salts), not matrix scale.
+mod sweep_cache_props {
+    use super::*;
+    use unimem_repro::bench::sweep::{
+        run_sweep_cached, run_sweep_jobs, NvmProfile, PolicyKind, SweepCache, SweepConfig,
+        TopologySpec,
+    };
+    use unimem_repro::workloads::Class;
+
+    fn subset<T: Clone>(all: &[T], mask: u8) -> Vec<T> {
+        all.iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, v)| v.clone())
+            .collect()
+    }
+
+    fn cfg_for(wl_mask: u8, pol_mask: u8, nranks: usize, clustered: bool) -> SweepConfig {
+        let mut topologies = vec![TopologySpec::Flat];
+        if clustered && nranks >= 2 {
+            topologies.push(TopologySpec::Nodes { count: 2 });
+        }
+        SweepConfig {
+            class: Class::S,
+            workloads: subset(&["CG".into(), "FT".into(), "MG".into()], wl_mask),
+            policies: subset(
+                &[
+                    PolicyKind::DramOnly,
+                    PolicyKind::Unimem,
+                    PolicyKind::NvmOnly,
+                    PolicyKind::HwCache,
+                ],
+                pol_mask,
+            ),
+            profiles: vec![NvmProfile::BwHalf],
+            ranks: vec![nranks],
+            ranks_per_node: vec![1],
+            topologies,
+            dram_capacity: None,
+            coruns: vec![],
+            arbiters: vec![],
+        }
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "unimem-props-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// For arbitrary axis subsets and worker counts: a cacheless run,
+        /// a cold cached run, and a warm rerun serialize byte-identically,
+        /// the cold run hits nothing, and the warm run hits everything.
+        #[test]
+        fn cold_and_warm_cached_sweeps_are_byte_identical(
+            wl_mask in 1u8..8,
+            pol_mask in 1u8..16,
+            nranks in 1usize..3,
+            clustered in any::<bool>(),
+            workers in 1usize..5,
+        ) {
+            let cfg = cfg_for(wl_mask, pol_mask, nranks, clustered);
+            let dir = tmp("coldwarm");
+            let store = SweepCache::open(&dir).expect("cache opens");
+
+            let plain = run_sweep_jobs(&cfg, workers).expect("cacheless run");
+            let cold = run_sweep_cached(&cfg, workers, Some(&store)).expect("cold run");
+            let warm = run_sweep_cached(&cfg, workers, Some(&store)).expect("warm run");
+
+            prop_assert_eq!(cold.cache_hits, 0, "cold cache cannot hit");
+            prop_assert!(cold.cache_lookups > 0);
+            prop_assert_eq!(warm.cache_hits, warm.cache_lookups, "warm rerun must fully hit");
+
+            let p = plain.to_json().to_pretty();
+            prop_assert_eq!(&p, &cold.to_json().to_pretty(), "cold bytes diverge");
+            prop_assert_eq!(&p, &warm.to_json().to_pretty(), "warm bytes diverge");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        /// A salt change is a full invalidation: rerunning the identical
+        /// matrix against the same populated directory under a different
+        /// salt hits nothing — and still produces identical bytes.
+        #[test]
+        fn salt_change_forces_zero_hit_rate(
+            wl_mask in 1u8..8,
+            workers in 1usize..4,
+            salt_n in 1u32..100_000,
+        ) {
+            let salt = format!("s{salt_n}");
+            let cfg = cfg_for(wl_mask, 0b11, 2, false);
+            let dir = tmp("salt");
+            let plain = SweepCache::open(&dir).expect("cache opens");
+            let salted = plain.clone().with_salt(salt);
+
+            let first = run_sweep_cached(&cfg, workers, Some(&plain)).expect("populate");
+            let crossed = run_sweep_cached(&cfg, workers, Some(&salted)).expect("salted run");
+            prop_assert_eq!(crossed.cache_hits, 0, "a new salt must miss everything");
+            prop_assert_eq!(crossed.cache_hit_rate(), Some(0.0));
+            // And the salted world warms up independently.
+            let rewarm = run_sweep_cached(&cfg, workers, Some(&salted)).expect("salted rerun");
+            prop_assert_eq!(rewarm.cache_hits, rewarm.cache_lookups);
+            prop_assert_eq!(
+                first.to_json().to_pretty(),
+                rewarm.to_json().to_pretty(),
+                "salt must never leak into the report bytes"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Vendored Fowler–Noll–Vo hashing (FNV-1a), 64- and 128-bit.
+//!
+//! The build container has no route to a crates registry, so this is a
+//! local, self-contained implementation (upstream `fnv` provides only the
+//! 64-bit `std::hash::Hasher` form; the 128-bit variant here follows the
+//! same published FNV-1a parameters). Two properties matter to the
+//! workspace and are what the unit tests pin:
+//!
+//! * **Determinism across hosts and runs** — the digest is a pure
+//!   function of the input bytes: no per-process seed (unlike
+//!   `std::collections::hash_map::RandomState`), no host endianness
+//!   dependence, no allocation. The sweep's content-addressed cell cache
+//!   (`unimem_bench::sweep::cache`) derives on-disk file names from these
+//!   digests, so a digest that varied per process would orphan every
+//!   cached entry.
+//! * **Reference-exact constants** — offset basis and prime are the
+//!   published FNV parameters, so digests can be checked against any
+//!   independent FNV-1a implementation (the `known_vectors` test does).
+//!
+//! FNV-1a is *not* cryptographic: collisions can be constructed. Cache
+//! consumers guard by storing the full canonical key next to the payload
+//! and comparing it on load; the hash only names the file.
+
+/// Incremental 64-bit FNV-1a hasher.
+///
+/// ```
+/// use fnv::Fnv64;
+/// let h = Fnv64::new().update(b"hello ").update(b"world").finish();
+/// assert_eq!(h, Fnv64::new().update(b"hello world").finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// Fresh hasher at the offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV64_OFFSET)
+    }
+
+    /// Fold `bytes` into the state, returning the hasher for chaining.
+    #[must_use]
+    pub fn update(mut self, bytes: &[u8]) -> Fnv64 {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV64_PRIME);
+        }
+        self
+    }
+
+    /// The digest of everything folded in so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+/// One-shot 64-bit FNV-1a digest of `bytes`.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    Fnv64::new().update(bytes).finish()
+}
+
+/// FNV-1a 128-bit offset basis (0x6c62272e07bb014262b821756295c58d).
+pub const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime (2^88 + 2^8 + 0x3b).
+pub const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// Incremental 128-bit FNV-1a hasher — the content-addressing digest.
+/// 128 bits keep accidental collisions out of reach for any realistic
+/// cache population (birthday bound ~2^64 entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv128(u128);
+
+impl Fnv128 {
+    /// Fresh hasher at the offset basis.
+    pub fn new() -> Fnv128 {
+        Fnv128(FNV128_OFFSET)
+    }
+
+    /// Fold `bytes` into the state, returning the hasher for chaining.
+    #[must_use]
+    pub fn update(mut self, bytes: &[u8]) -> Fnv128 {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(FNV128_PRIME);
+        }
+        self
+    }
+
+    /// The digest of everything folded in so far.
+    pub fn finish(self) -> u128 {
+        self.0
+    }
+
+    /// The digest as 32 lower-case hex characters — the cache's on-disk
+    /// file-name form (fixed width, no separators, shell-safe).
+    pub fn finish_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Fnv128 {
+        Fnv128::new()
+    }
+}
+
+/// One-shot 128-bit FNV-1a digest of `bytes`.
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    Fnv128::new().update(bytes).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published FNV-1a test vectors (from the FNV reference material):
+    /// digests must match any independent implementation byte for byte.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+        assert_eq!(fnv1a_128(b""), FNV128_OFFSET);
+        // 128-bit single-byte fold, computable by hand:
+        // (basis ^ 'a') * prime mod 2^128.
+        assert_eq!(
+            fnv1a_128(b"a"),
+            (FNV128_OFFSET ^ u128::from(b'a')).wrapping_mul(FNV128_PRIME)
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let parts = Fnv64::new().update(b"un").update(b"im").update(b"em");
+        assert_eq!(parts.finish(), fnv1a_64(b"unimem"));
+        let parts = Fnv128::new().update(b"sweep").update(b"-cache");
+        assert_eq!(parts.finish(), fnv1a_128(b"sweep-cache"));
+    }
+
+    #[test]
+    fn hex_form_is_fixed_width() {
+        let h = Fnv128::new().update(b"x").finish_hex();
+        assert_eq!(h.len(), 32);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+        // Deterministic: same input, same name, every process.
+        assert_eq!(h, Fnv128::new().update(b"x").finish_hex());
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        // Not a collision-resistance claim, just a sanity probe over the
+        // kinds of near-miss keys the cache produces.
+        let keys = [
+            "schema=v5|salt=|CG|unimem|bw-half|r4x1",
+            "schema=v5|salt=|CG|unimem|bw-half|r4x2",
+            "schema=v5|salt=|CG|unimem|lat-4x|r4x1",
+            "schema=v5|salt=s|CG|unimem|bw-half|r4x1",
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for k in keys {
+            assert!(seen.insert(fnv1a_128(k.as_bytes())), "collision on {k}");
+        }
+    }
+}
